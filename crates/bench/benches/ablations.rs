@@ -1,0 +1,47 @@
+//! Criterion bench for the ablation studies: the selection kernel under
+//! each score variant (`experiments ablations` prints the full tables).
+
+use catapult_bench::exp07::prepare;
+use catapult_core::{find_canned_patterns, PatternBudget, ScoreVariant, SelectionConfig};
+use catapult_datasets::{aids_profile, generate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_score_variants(c: &mut Criterion) {
+    let db = generate(&aids_profile(), 40, 24).graphs;
+    let csgs = prepare(&db, 25);
+    let mut group = c.benchmark_group("ablation_score_variants");
+    group.sample_size(10);
+    for variant in [
+        ScoreVariant::Full,
+        ScoreVariant::NoDiversity,
+        ScoreVariant::NoCognitiveLoad,
+        ScoreVariant::Additive,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(26);
+                    find_canned_patterns(
+                        &db,
+                        &csgs,
+                        &SelectionConfig {
+                            budget: PatternBudget::new(3, 6, 6).unwrap(),
+                            walks: 15,
+                            variant,
+                            ..Default::default()
+                        },
+                        &mut rng,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_variants);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Exp 1 / Fig. 7: the five small-graph clustering
+//! strategies. The `experiments exp1` binary prints the figure's rows;
+//! this bench times the underlying kernels.
+
+use catapult_bench::common::harness_clustering;
+use catapult_cluster::{cluster_graphs, ClusteringConfig, SimilarityKind, Strategy};
+use catapult_datasets::{aids_profile, generate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_strategies(c: &mut Criterion) {
+    let db = generate(&aids_profile(), 40, 1).graphs;
+    let mut group = c.benchmark_group("fig7_clustering");
+    group.sample_size(10);
+    for strategy in [
+        Strategy::CoarseOnly,
+        Strategy::FineOnly(SimilarityKind::Mccs),
+        Strategy::FineOnly(SimilarityKind::Mcs),
+        Strategy::Hybrid(SimilarityKind::Mccs),
+        Strategy::Hybrid(SimilarityKind::Mcs),
+    ] {
+        let cfg = ClusteringConfig {
+            strategy,
+            ..harness_clustering(10)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.paper_name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    cluster_graphs(&db, cfg, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Exp 10 / Fig. 18: simulated ranking study +
+//! Kendall τ (`experiments exp10` prints the figure's bars).
+
+use catapult_eval::cogload::{correlate, exp10_stimuli};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_cogload(c: &mut Criterion) {
+    let stimuli = exp10_stimuli();
+    let mut group = c.benchmark_group("fig18_cognitive_load");
+    group.sample_size(30);
+    group.bench_function("correlate_15_participants", |b| {
+        b.iter(|| correlate(&stimuli, 15, 23))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cogload);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Exp 5 / Fig. 11: scov/lcov computation for pattern
+//! sets vs top-|P| frequent edges (`experiments exp5` prints the series).
+
+use catapult_datasets::{aids_profile, generate, random_queries};
+use catapult_eval::measures::{label_coverage, subgraph_coverage};
+use catapult_mining::EdgeLabelStats;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_coverage(c: &mut Criterion) {
+    let db = generate(&aids_profile(), 60, 12).graphs;
+    let patterns = random_queries(&db, 10, (3, 10), 13);
+    let stats = EdgeLabelStats::from_graphs(&db);
+    let edges = stats.top_k_as_patterns(10);
+    let mut group = c.benchmark_group("fig11_coverage");
+    group.sample_size(20);
+    group.bench_function("scov_patterns", |b| {
+        b.iter(|| subgraph_coverage(&patterns, &db))
+    });
+    group.bench_function("scov_top_edges", |b| {
+        b.iter(|| subgraph_coverage(&edges, &db))
+    });
+    group.bench_function("lcov_patterns", |b| {
+        b.iter(|| label_coverage(&patterns, &db))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

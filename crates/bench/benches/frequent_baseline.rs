@@ -1,0 +1,23 @@
+//! Criterion bench for Exp 9 / Fig. 17: frequent-subgraph baseline mining
+//! and selection (`experiments exp9` prints the figure's series).
+
+use catapult_bench::exp09::baseline_patterns;
+use catapult_datasets::{aids_profile, generate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_baseline(c: &mut Criterion) {
+    let db = generate(&aids_profile(), 40, 22).graphs;
+    let mut group = c.benchmark_group("fig17_frequent_baseline");
+    group.sample_size(10);
+    for support in [0.12f64, 0.2, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("support_{support}")),
+            &support,
+            |b, &s| b.iter(|| baseline_patterns(&db, s, 12)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Exp 3 (§6.2): labeled CATAPULT formulation vs the
+//! unlabeled-GUI relabelling model (`experiments exp3` prints the rows).
+
+use catapult_datasets::{generate, pubchem_profile, random_queries};
+use catapult_eval::gui::pubchem_gui_patterns;
+use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
+use catapult_eval::{formulate, formulate_unlabeled};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_formulation_models(c: &mut Criterion) {
+    let db = generate(&pubchem_profile(), 30, 5).graphs;
+    let queries = random_queries(&db, 20, (6, 20), 6);
+    let gui = pubchem_gui_patterns();
+    // A labeled panel of the same size: use GUI shapes with db labels via
+    // real query subgraphs.
+    let labeled: Vec<_> = random_queries(&db, 12, (3, 8), 7);
+
+    let mut group = c.benchmark_group("exp3_gui_comparison");
+    group.sample_size(10);
+    group.bench_function("labeled_panel", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| formulate(q, &labeled, DEFAULT_EMBEDDING_CAP).steps)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("unlabeled_gui_panel", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| formulate_unlabeled(q, &gui, DEFAULT_EMBEDDING_CAP).steps)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulation_models);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Exp 7 / Fig. 13: selection cost (PGT) as |P| grows
+//! (`experiments exp7` prints the figure's series).
+
+use catapult_bench::exp07::prepare;
+use catapult_core::{find_canned_patterns, PatternBudget, SelectionConfig};
+use catapult_datasets::{aids_profile, generate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pattern_count(c: &mut Criterion) {
+    let db = generate(&aids_profile(), 40, 16).graphs;
+    let csgs = prepare(&db, 17);
+    let mut group = c.benchmark_group("fig13_pattern_count");
+    group.sample_size(10);
+    for gamma in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(18);
+                find_canned_patterns(
+                    &db,
+                    &csgs,
+                    &SelectionConfig {
+                        budget: PatternBudget::new(3, 8, gamma).unwrap(),
+                        walks: 20,
+                            ..Default::default()
+                    },
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_count);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Exp 8 / Fig. 14–16: selection cost across the
+//! ηmin / ηmax sweeps (`experiments exp8` prints the figures' series).
+
+use catapult_bench::exp07::prepare;
+use catapult_core::{find_canned_patterns, PatternBudget, SelectionConfig};
+use catapult_datasets::{aids_profile, generate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pattern_size(c: &mut Criterion) {
+    let db = generate(&aids_profile(), 40, 19).graphs;
+    let csgs = prepare(&db, 20);
+    let mut group = c.benchmark_group("fig14_16_pattern_size");
+    group.sample_size(10);
+    for (eta_min, eta_max) in [(3usize, 12usize), (5, 12), (9, 12), (3, 5)] {
+        let name = format!("eta[{eta_min},{eta_max}]");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(eta_min, eta_max),
+            |b, &(lo, hi)| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(21);
+                    find_canned_patterns(
+                        &db,
+                        &csgs,
+                        &SelectionConfig {
+                            budget: PatternBudget::new(lo, hi, 8).unwrap(),
+                            walks: 20,
+                                ..Default::default()
+                        },
+                        &mut rng,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_size);
+criterion_main!(benches);

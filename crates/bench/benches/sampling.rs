@@ -1,0 +1,35 @@
+//! Criterion bench for Exp 2 / Fig. 8–9: pipeline cost with sampling on
+//! and off (`experiments exp2` prints the figures' rows).
+
+use catapult_bench::common::harness_clustering;
+use catapult_bench::exp02::harness_sampling;
+use catapult_core::{run_catapult, CatapultConfig, PatternBudget};
+use catapult_datasets::{aids_profile, generate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sampling(c: &mut Criterion) {
+    let db = generate(&aids_profile(), 48, 3).graphs;
+    let mut group = c.benchmark_group("fig8_9_sampling");
+    group.sample_size(10);
+    for sampled in [true, false] {
+        let mut clustering = harness_clustering(10);
+        if sampled {
+            clustering.sampling = Some(harness_sampling(db.len()));
+        }
+        let cfg = CatapultConfig {
+            clustering,
+            budget: PatternBudget::new(3, 6, 6).unwrap(),
+            walks: 20,
+            seed: 4,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if sampled { "sampled" } else { "no-sampling" }),
+            &cfg,
+            |b, cfg| b.iter(|| run_catapult(&db, cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for Exp 6 / Fig. 12: pipeline cost as |D| grows
+//! (`experiments exp6` prints the figure's series).
+
+use catapult_bench::common::run_pipeline;
+use catapult_core::PatternBudget;
+use catapult_datasets::{generate, pubchem_profile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_scalability");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let db = generate(&pubchem_profile(), n, 14).graphs;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| run_pipeline(db, PatternBudget::new(3, 6, 6).unwrap(), 20, 15))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

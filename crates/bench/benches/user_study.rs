@@ -1,0 +1,27 @@
+//! Criterion bench for Exp 4 / Fig. 10: the simulated QFT model
+//! (`experiments exp4` prints Table 1 / Fig. 10 rows).
+
+use catapult_datasets::{generate, pubchem_profile, random_queries};
+use catapult_eval::formulate;
+use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
+use catapult_eval::userstudy::run_cell;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_user_study(c: &mut Criterion) {
+    let db = generate(&pubchem_profile(), 30, 8).graphs;
+    let panel = random_queries(&db, 12, (3, 8), 9);
+    let query = random_queries(&db, 1, (20, 30), 10).remove(0);
+    let f = formulate(&query, &panel, DEFAULT_EMBEDDING_CAP);
+    let mut group = c.benchmark_group("fig10_user_study");
+    group.sample_size(20);
+    group.bench_function("simulate_25_participants", |b| {
+        b.iter(|| run_cell(&f, &panel, 0, 25, 11))
+    });
+    group.bench_function("formulate_query", |b| {
+        b.iter(|| formulate(&query, &panel, DEFAULT_EMBEDDING_CAP))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_user_study);
+criterion_main!(benches);

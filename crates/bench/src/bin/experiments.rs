@@ -1,0 +1,51 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! cargo run --release -p catapult-bench --bin experiments -- all
+//! cargo run --release -p catapult-bench --bin experiments -- exp3 exp9 --scale quick
+//! ```
+
+use catapult_bench::{run_experiment, Scale, ALL_ABLATIONS, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match Scale::parse(v) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{v}' (smoke|quick|full)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(ALL_ABLATIONS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments [all | ablations | exp1..exp10 | ablation1..ablation5]... [--scale smoke|quick|full]"
+        );
+        std::process::exit(2);
+    }
+    for id in ids {
+        let start = std::time::Instant::now();
+        match run_experiment(&id, scale) {
+            Some(report) => {
+                println!("{report}");
+                println!("[{} completed in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Exp 1 — Small graph clustering (Fig. 7).
+//!
+//! Compares the five clustering strategies (CC, mccsFC, mcsFC, mccsH,
+//! mcsH) on two AIDS-like repositories, reporting clustering time and CSG
+//! compactness ξ_t for t ∈ {0.4, 0.5, 0.6}. The paper's finding: CC is
+//! fastest but least compact; MCCS-based fine clustering is most compact
+//! but slow; the hybrid (mccsH) reaches near-best compactness at a
+//! reasonable time.
+
+use crate::common::harness_clustering;
+use crate::report::{f3, secs, Report, Table};
+use crate::scale::Scale;
+use catapult_cluster::{cluster_graphs, SimilarityKind, Strategy};
+use catapult_csg::build_csgs;
+use catapult_datasets::{aids_profile, generate};
+use catapult_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measured strategy run.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    /// Dataset name ("aids10k"-like small / "aids40k"-like large).
+    pub dataset: String,
+    /// Strategy short name (CC, mccsFC, …).
+    pub strategy: &'static str,
+    /// Clustering wall time.
+    pub time: std::time::Duration,
+    /// Mean ξ_0.4 / ξ_0.5 / ξ_0.6 over CSGs.
+    pub xi: [f64; 3],
+    /// Number of clusters produced.
+    pub clusters: usize,
+}
+
+/// Mean CSG compactness at thresholds {0.4, 0.5, 0.6}.
+pub fn mean_compactness(db: &[Graph], clusters: &[Vec<u32>]) -> [f64; 3] {
+    let csgs = build_csgs(db, clusters);
+    if csgs.is_empty() {
+        return [0.0; 3];
+    }
+    let mut out = [0.0f64; 3];
+    for (i, t) in [0.4, 0.5, 0.6].into_iter().enumerate() {
+        out[i] = csgs.iter().map(|c| c.compactness(t)).sum::<f64>() / csgs.len() as f64;
+    }
+    out
+}
+
+/// Run Exp 1.
+pub fn run(scale: Scale) -> Report {
+    let datasets = [
+        ("aids-small", generate(&aids_profile(), scale.size(80), 101).graphs),
+        ("aids-large", generate(&aids_profile(), scale.size(240), 102).graphs),
+    ];
+    let strategies = [
+        Strategy::CoarseOnly,
+        Strategy::FineOnly(SimilarityKind::Mccs),
+        Strategy::FineOnly(SimilarityKind::Mcs),
+        Strategy::Hybrid(SimilarityKind::Mccs),
+        Strategy::Hybrid(SimilarityKind::Mcs),
+    ];
+    let mut rows = Vec::new();
+    for (name, db) in &datasets {
+        for strategy in strategies {
+            let cfg = catapult_cluster::ClusteringConfig {
+                strategy,
+                ..harness_clustering(20)
+            };
+            let mut rng = StdRng::seed_from_u64(7);
+            let clustering = cluster_graphs(db, &cfg, &mut rng);
+            let xi = mean_compactness(db, &clustering.clusters);
+            rows.push(StrategyRow {
+                dataset: name.to_string(),
+                strategy: strategy.paper_name(),
+                time: clustering.elapsed,
+                xi,
+                clusters: clustering.clusters.len(),
+            });
+        }
+    }
+    into_report(rows)
+}
+
+fn into_report(rows: Vec<StrategyRow>) -> Report {
+    let mut table = Table::new(&[
+        "dataset", "strategy", "clusters", "time", "xi_0.4", "xi_0.5", "xi_0.6",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.dataset.clone(),
+            r.strategy.to_string(),
+            r.clusters.to_string(),
+            secs(r.time),
+            f3(r.xi[0]),
+            f3(r.xi[1]),
+            f3(r.xi[2]),
+        ]);
+    }
+    // Shape checks vs the paper.
+    let mut notes = Vec::new();
+    let get = |ds: &str, s: &str| rows.iter().find(|r| r.dataset == ds && r.strategy == s);
+    for ds in ["aids-small", "aids-large"] {
+        if let (Some(cc), Some(h)) = (get(ds, "CC"), get(ds, "mccsH")) {
+            notes.push(format!(
+                "{ds}: CC time {} vs mccsH {}; xi_0.5 CC {:.3} vs mccsH {:.3} (paper: CC fastest, hybrid most compact)",
+                secs(cc.time),
+                secs(h.time),
+                cc.xi[1],
+                h.xi[1]
+            ));
+        }
+    }
+    Report {
+        id: "exp1",
+        title: "Small graph clustering strategies (Fig. 7)".into(),
+        tables: vec![("clustering".into(), table)],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_has_all_cells() {
+        let r = run(Scale::Smoke);
+        assert_eq!(r.tables[0].1.len(), 10); // 2 datasets × 5 strategies
+    }
+
+    #[test]
+    fn compactness_values_are_probabilities() {
+        let db = generate(&aids_profile(), 30, 5).graphs;
+        let clusters = vec![(0..15).collect::<Vec<u32>>(), (15..30).collect()];
+        let xi = mean_compactness(&db, &clusters);
+        for x in xi {
+            assert!((0.0..=1.0).contains(&x));
+        }
+        // ξ is monotone non-increasing in t.
+        assert!(xi[0] >= xi[1] && xi[1] >= xi[2]);
+    }
+}

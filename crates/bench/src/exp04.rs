@@ -1,0 +1,180 @@
+//! Exp 4 — (Simulated) user study (Table 1 + Fig. 10).
+//!
+//! Five queries per GUI with paper-matched edge counts, each formulated by
+//! 5 simulated participants per interface (see `catapult_eval::userstudy`
+//! and DESIGN.md §3 for the simulation rationale). Reported: mean QFT and
+//! steps per query for the GUI panel vs CATAPULT's panel.
+
+use crate::common::run_pipeline;
+use crate::report::{f2, Report, Table};
+use crate::scale::Scale;
+use catapult_core::PatternBudget;
+use catapult_datasets::{emol_profile, generate, pubchem_profile, random_queries};
+use catapult_eval::gui::{emol_gui_patterns, pubchem_gui_patterns};
+use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
+use catapult_eval::userstudy::run_cell;
+use catapult_eval::{formulate, formulate_unlabeled};
+use catapult_graph::Graph;
+
+/// The paper's Table 1 query sizes.
+pub const PUBCHEM_QUERY_SIZES: [usize; 5] = [18, 29, 34, 39, 40];
+/// eMolecules query sizes from Table 1.
+pub const EMOL_QUERY_SIZES: [usize; 5] = [12, 17, 23, 33, 35];
+
+/// One query's study cell.
+#[derive(Clone, Debug)]
+pub struct StudyRow {
+    /// GUI name.
+    pub gui: &'static str,
+    /// Query label (Q1..Q5).
+    pub query: String,
+    /// Query size in edges.
+    pub edges: usize,
+    /// (QFT, steps) on the commercial GUI.
+    pub gui_result: (f64, usize),
+    /// (QFT, steps) with CATAPULT patterns.
+    pub catapult_result: (f64, usize),
+}
+
+/// Pick, for each target size, the workload query closest in size.
+fn pick_queries(pool: &[Graph], targets: &[usize]) -> Vec<Graph> {
+    targets
+        .iter()
+        .map(|&t| {
+            pool.iter()
+                .min_by_key(|q| q.edge_count().abs_diff(t))
+                .expect("non-empty pool")
+                .clone()
+        })
+        .collect()
+}
+
+fn study(
+    gui: &'static str,
+    queries: &[Graph],
+    gui_panel: &[Graph],
+    cat_panel: &[Graph],
+    seed: u64,
+) -> Vec<StudyRow> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let f_gui = formulate_unlabeled(q, gui_panel, DEFAULT_EMBEDDING_CAP);
+            let relabels: usize = f_gui.used.iter().map(|o| o.vertices.len()).sum();
+            let f_cat = formulate(q, cat_panel, DEFAULT_EMBEDDING_CAP);
+            let cell_gui = run_cell(&f_gui, gui_panel, relabels, 5, seed + i as u64);
+            let cell_cat = run_cell(&f_cat, cat_panel, 0, 5, seed + 100 + i as u64);
+            StudyRow {
+                gui,
+                query: format!("Q{}", i + 1),
+                edges: q.edge_count(),
+                gui_result: (cell_gui.mean_qft, cell_gui.steps),
+                catapult_result: (cell_cat.mean_qft, cell_cat.steps),
+            }
+        })
+        .collect()
+}
+
+/// Run Exp 4.
+pub fn run(scale: Scale) -> Report {
+    let pubchem = generate(&pubchem_profile(), scale.size(120), 401).graphs;
+    let emol = generate(&emol_profile(), scale.size(120), 402).graphs;
+    let cat_pub = run_pipeline(
+        &pubchem,
+        PatternBudget::new(3, 8, 12).unwrap(),
+        scale.walks(),
+        403,
+    )
+    .patterns();
+    let cat_emol = run_pipeline(
+        &emol,
+        PatternBudget::new(3, 8, 6).unwrap(),
+        scale.walks(),
+        404,
+    )
+    .patterns();
+    let pool_pub = random_queries(&pubchem, 200, (10, 40), 405);
+    let pool_emol = random_queries(&emol, 200, (10, 35), 406);
+    let q_pub = pick_queries(&pool_pub, &PUBCHEM_QUERY_SIZES);
+    let q_emol = pick_queries(&pool_emol, &EMOL_QUERY_SIZES);
+
+    let mut rows = study("PubChem", &q_pub, &pubchem_gui_patterns(), &cat_pub, 407);
+    rows.extend(study("eMol", &q_emol, &emol_gui_patterns(), &cat_emol, 408));
+    into_report(rows)
+}
+
+fn into_report(rows: Vec<StudyRow>) -> Report {
+    let mut table = Table::new(&[
+        "gui",
+        "query",
+        "|E|",
+        "QFT(gui)s",
+        "steps(gui)",
+        "QFT(CAT)s",
+        "steps(CAT)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.gui.to_string(),
+            r.query.clone(),
+            r.edges.to_string(),
+            f2(r.gui_result.0),
+            r.gui_result.1.to_string(),
+            f2(r.catapult_result.0),
+            r.catapult_result.1.to_string(),
+        ]);
+    }
+    let mut notes = Vec::new();
+    for gui in ["PubChem", "eMol"] {
+        let sel: Vec<&StudyRow> = rows.iter().filter(|r| r.gui == gui).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let qft_red: f64 = sel
+            .iter()
+            .map(|r| (r.gui_result.0 - r.catapult_result.0) / r.gui_result.0)
+            .fold(f64::MIN, f64::max);
+        let step_red: f64 = sel
+            .iter()
+            .map(|r| {
+                (r.gui_result.1 as f64 - r.catapult_result.1 as f64) / r.gui_result.1 as f64
+            })
+            .fold(f64::MIN, f64::max);
+        notes.push(format!(
+            "{gui}: max QFT reduction {:.0}%, max step reduction {:.0}% (paper: up to 78%/81% PubChem, 74%/75% eMol)",
+            qft_red * 100.0,
+            step_red * 100.0
+        ));
+    }
+    Report {
+        id: "exp4",
+        title: "Simulated user study (Table 1 + Fig. 10)".into(),
+        tables: vec![("user-study".into(), table)],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_ten_cells() {
+        let r = run(Scale::Smoke);
+        assert_eq!(r.tables[0].1.len(), 10);
+    }
+
+    #[test]
+    fn pick_queries_matches_targets() {
+        let pool = random_queries(
+            &generate(&pubchem_profile(), 30, 1).graphs,
+            100,
+            (5, 40),
+            2,
+        );
+        let picked = pick_queries(&pool, &[12, 30]);
+        assert_eq!(picked.len(), 2);
+        assert!(picked[0].edge_count().abs_diff(12) <= picked[1].edge_count().abs_diff(12));
+    }
+}

@@ -1,0 +1,155 @@
+//! Exp 7 — Effect of |P| (Fig. 13, Appendix C).
+//!
+//! Varies the number of canned patterns |P| ∈ {5, 10, 20, 30, 40} over
+//! four repositories, reporting max/avg μ, MP, and PGT. Paper shape: μ is
+//! largely insensitive to |P|, MP halves from |P| = 10 to 40, PGT grows
+//! with |P|.
+
+use crate::common::harness_clustering;
+use crate::report::{pct, secs, Report, Table};
+use crate::scale::Scale;
+use catapult_cluster::cluster_graphs;
+use catapult_core::{find_canned_patterns, PatternBudget, SelectionConfig};
+use catapult_csg::{build_csgs, Csg};
+use catapult_datasets::{
+    aids_profile, emol_profile, generate, pubchem_profile, random_queries,
+};
+use catapult_eval::WorkloadEvaluation;
+use catapult_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One (dataset, |P|) measurement.
+#[derive(Clone, Debug)]
+pub struct PatternCountRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// γ.
+    pub p: usize,
+    /// Max μ (%).
+    pub max_mu: f64,
+    /// Mean μ (%).
+    pub avg_mu: f64,
+    /// MP (%).
+    pub mp: f64,
+    /// Pattern generation time.
+    pub pgt: std::time::Duration,
+}
+
+/// Cluster a repository once; reused across all budget sweeps.
+pub fn prepare(db: &[Graph], seed: u64) -> Vec<Csg> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clustering = cluster_graphs(db, &harness_clustering(20), &mut rng);
+    build_csgs(db, &clustering.clusters)
+}
+
+/// Sweep |P| for one prepared dataset.
+pub fn sweep(
+    dataset: &'static str,
+    db: &[Graph],
+    csgs: &[Csg],
+    queries: &[Graph],
+    ps: &[usize],
+    walks: usize,
+    seed: u64,
+) -> Vec<PatternCountRow> {
+    ps.iter()
+        .map(|&p| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sel = find_canned_patterns(
+                db,
+                csgs,
+                &SelectionConfig {
+                    budget: PatternBudget::new(3, 12, p).unwrap(),
+                    walks,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            let ev = WorkloadEvaluation::evaluate(&sel.patterns(), queries);
+            PatternCountRow {
+                dataset,
+                p,
+                max_mu: ev.max_reduction() * 100.0,
+                avg_mu: ev.mean_reduction() * 100.0,
+                mp: ev.missed_percentage(),
+                pgt: sel.elapsed,
+            }
+        })
+        .collect()
+}
+
+/// Run Exp 7.
+pub fn run(scale: Scale) -> Report {
+    let datasets: Vec<(&'static str, Vec<Graph>)> = vec![
+        ("aids-small", generate(&aids_profile(), scale.size(80), 701).graphs),
+        ("aids-large", generate(&aids_profile(), scale.size(200), 702).graphs),
+        ("pubchem", generate(&pubchem_profile(), scale.size(120), 703).graphs),
+        ("emol", generate(&emol_profile(), scale.size(120), 704).graphs),
+    ];
+    let ps = [5usize, 10, 20, 30, 40];
+    let mut rows = Vec::new();
+    for (i, (name, db)) in datasets.iter().enumerate() {
+        let csgs = prepare(db, 710 + i as u64);
+        let queries = random_queries(db, scale.queries(60), (4, 25), 720 + i as u64);
+        rows.extend(sweep(name, db, &csgs, &queries, &ps, scale.walks(), 730 + i as u64));
+    }
+    into_report(rows)
+}
+
+fn into_report(rows: Vec<PatternCountRow>) -> Report {
+    let mut table = Table::new(&["dataset", "|P|", "max_mu", "avg_mu", "MP", "PGT"]);
+    for r in &rows {
+        table.row(vec![
+            r.dataset.to_string(),
+            r.p.to_string(),
+            pct(r.max_mu),
+            pct(r.avg_mu),
+            pct(r.mp),
+            secs(r.pgt),
+        ]);
+    }
+    let mut notes = Vec::new();
+    for ds in ["aids-small", "aids-large", "pubchem", "emol"] {
+        let series: Vec<&PatternCountRow> = rows.iter().filter(|r| r.dataset == ds).collect();
+        if series.len() >= 2 {
+            let first = series.first().unwrap();
+            let last = series.last().unwrap();
+            notes.push(format!(
+                "{ds}: MP {} (|P|={}) → {} (|P|={}) — paper: downward trend; PGT {} → {}",
+                pct(first.mp),
+                first.p,
+                pct(last.mp),
+                last.p,
+                secs(first.pgt),
+                secs(last.pgt),
+            ));
+        }
+    }
+    Report {
+        id: "exp7",
+        title: "Effect of |P| (Fig. 13)".into(),
+        tables: vec![("pattern-count".into(), table)],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_covers_grid() {
+        let r = run(Scale::Smoke);
+        assert_eq!(r.tables[0].1.len(), 20); // 4 datasets × 5 budgets
+    }
+
+    #[test]
+    fn mp_not_increasing_in_p_on_average() {
+        let db = generate(&aids_profile(), 40, 1).graphs;
+        let csgs = prepare(&db, 2);
+        let queries = random_queries(&db, 20, (4, 15), 3);
+        let rows = sweep("t", &db, &csgs, &queries, &[5, 30], 20, 4);
+        assert!(rows[1].mp <= rows[0].mp + 25.0, "MP should tend downward");
+    }
+}

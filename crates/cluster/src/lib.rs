@@ -1,0 +1,28 @@
+//! # catapult-cluster
+//!
+//! The small-graph clustering phase of CATAPULT (§4.1, §4.3):
+//!
+//! * [`kmeans`] — k-means with k-means++ seeding over binary subtree
+//!   feature vectors;
+//! * [`coarse`] — Algorithm 2 (frequent-subtree features + facility
+//!   location refinement + k-means);
+//! * [`fine`] — Algorithm 3 (MCCS/MCS seed splitting of oversized
+//!   clusters);
+//! * [`sampling`] — eager (Toivonen/Hoeffding) and lazy (Cochran
+//!   stratified) sampling for large repositories;
+//! * [`pipeline`] — the five Exp-1 strategies (CC, mccsFC, mcsFC, mccsH,
+//!   mcsH) behind one entry point, [`pipeline::cluster_graphs`];
+//! * [`quality`] — misclassification distance (Lemma 4.2 / [29]) and
+//!   intra/inter-cluster similarity summaries.
+
+#![warn(missing_docs)]
+
+pub mod coarse;
+pub mod fine;
+pub mod kmeans;
+pub mod pipeline;
+pub mod quality;
+pub mod sampling;
+
+pub use fine::SimilarityKind;
+pub use pipeline::{cluster_graphs, Clustering, ClusteringConfig, SamplingConfig, Strategy};

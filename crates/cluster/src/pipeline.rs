@@ -1,0 +1,295 @@
+//! The small-graph clustering phase: coarse + fine clustering with
+//! optional eager/lazy sampling — the left half of Fig. 3.
+//!
+//! Exp 1 compares five strategies: coarse only (`CC`), fine only with MCCS
+//! or MCS (`mccsFC` / `mcsFC`), and the hybrid coarse-then-fine pipelines
+//! (`mccsH` / `mcsH`, the paper's recommended configuration).
+
+use crate::coarse::{coarse_cluster_with_subtrees, CoarseConfig, CoarseResult};
+use crate::fine::{fine_cluster, FineConfig, SimilarityKind};
+use crate::sampling::{
+    eager_sample, lazy_sample_clusters, lowered_support, EagerConfig, LazyConfig,
+};
+use catapult_graph::iso::contains;
+use catapult_graph::Graph;
+use catapult_mining::subtree::{mine_frequent_subtrees, FrequentSubtree, SubtreeMinerConfig};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Clustering strategy (Exp 1 naming).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Coarse (feature-vector k-means) clustering only.
+    CoarseOnly,
+    /// Fine (seed-splitting) clustering only, from one all-graph cluster.
+    FineOnly(SimilarityKind),
+    /// Coarse then fine — the paper's hybrid.
+    Hybrid(SimilarityKind),
+}
+
+impl Strategy {
+    /// The paper's short name for the strategy (CC, mccsFC, mcsFC, mccsH,
+    /// mcsH).
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            Strategy::CoarseOnly => "CC",
+            Strategy::FineOnly(SimilarityKind::Mccs) => "mccsFC",
+            Strategy::FineOnly(SimilarityKind::Mcs) => "mcsFC",
+            Strategy::Hybrid(SimilarityKind::Mccs) => "mccsH",
+            Strategy::Hybrid(SimilarityKind::Mcs) => "mcsH",
+        }
+    }
+}
+
+/// Full clustering-phase configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusteringConfig {
+    /// Strategy to run.
+    pub strategy: Strategy,
+    /// Maximum cluster size `N` (paper default 20).
+    pub max_cluster_size: usize,
+    /// Frequent-subtree mining settings for coarse clustering.
+    pub miner: SubtreeMinerConfig,
+    /// Facility-location feature cap.
+    pub max_features: usize,
+    /// MCS/MCCS node budget for fine clustering.
+    pub mcs_budget: u64,
+    /// Enable §4.3 sampling (eager + lazy).
+    pub sampling: Option<SamplingConfig>,
+}
+
+/// Combined sampling settings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SamplingConfig {
+    /// Eager (pre-clustering) sampling parameters.
+    pub eager: EagerConfig,
+    /// Lazy (post-coarse) stratified sampling parameters.
+    pub lazy: LazyConfig,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig {
+            strategy: Strategy::Hybrid(SimilarityKind::Mccs),
+            max_cluster_size: 20,
+            miner: SubtreeMinerConfig::default(),
+            max_features: 64,
+            mcs_budget: 100_000,
+            sampling: None,
+        }
+    }
+}
+
+/// Output of the clustering phase.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Clusters of indices into the *original* database. With sampling
+    /// enabled this is a partition of the sampled subset, not of all of
+    /// `0..|D|`.
+    pub clusters: Vec<Vec<u32>>,
+    /// Frequent subtrees used as coarse features (empty for fine-only).
+    pub features: Vec<FrequentSubtree>,
+    /// Wall-clock time of the whole phase.
+    pub elapsed: Duration,
+}
+
+impl Clustering {
+    /// Number of graphs covered by the clustering.
+    pub fn covered(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+/// Mine coarse features, honouring eager sampling when configured:
+/// mine on the sample at the lowered support (Lemma 4.4), then recount the
+/// survivors on the full database at the original support.
+fn mine_features<R: Rng>(
+    db: &[Graph],
+    cfg: &ClusteringConfig,
+    rng: &mut R,
+) -> (Vec<FrequentSubtree>, Vec<u32>) {
+    match &cfg.sampling {
+        None => {
+            let trees = mine_frequent_subtrees(db, &cfg.miner);
+            (trees, (0..db.len() as u32).collect())
+        }
+        Some(s) => {
+            let sample_idx = eager_sample(db.len(), &s.eager, rng);
+            let sample: Vec<Graph> = sample_idx.iter().map(|&i| db[i].clone()).collect();
+            let low = lowered_support(cfg.miner.min_support, sample.len(), &s.eager);
+            let low_cfg = SubtreeMinerConfig {
+                min_support: low,
+                ..cfg.miner
+            };
+            let potential = mine_frequent_subtrees(&sample, &low_cfg);
+            // Recount each potential subtree on the full database at min_fr.
+            let min_count =
+                ((cfg.miner.min_support * db.len() as f64).ceil() as usize).max(1);
+            let mut confirmed = Vec::new();
+            for t in potential {
+                let txs: Vec<u32> = (0..db.len() as u32)
+                    .filter(|&i| contains(&db[i as usize], &t.tree))
+                    .collect();
+                if txs.len() >= min_count {
+                    confirmed.push(FrequentSubtree {
+                        transactions: txs,
+                        ..t
+                    });
+                }
+            }
+            (confirmed, (0..db.len() as u32).collect())
+        }
+    }
+}
+
+/// Run the configured small-graph clustering strategy over `db`.
+pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R) -> Clustering {
+    let start = Instant::now();
+    let fine_cfg = |kind| FineConfig {
+        max_cluster_size: cfg.max_cluster_size,
+        similarity: kind,
+        mcs_budget: cfg.mcs_budget,
+    };
+    let coarse_cfg = CoarseConfig {
+        max_cluster_size: cfg.max_cluster_size,
+        miner: cfg.miner,
+        max_features: cfg.max_features,
+        kmeans_iterations: 30,
+    };
+
+    let (clusters, features) = match cfg.strategy {
+        Strategy::FineOnly(kind) => {
+            let all: Vec<u32> = (0..db.len() as u32).collect();
+            let initial = if all.is_empty() { vec![] } else { vec![all] };
+            (fine_cluster(db, initial, &fine_cfg(kind), rng), Vec::new())
+        }
+        Strategy::CoarseOnly | Strategy::Hybrid(_) => {
+            let (subtrees, _) = mine_features(db, cfg, rng);
+            let CoarseResult { clusters, features } =
+                coarse_cluster_with_subtrees(db, subtrees, &coarse_cfg, rng);
+            // Lazy sampling shrinks oversized clusters before fine clustering.
+            let clusters = match &cfg.sampling {
+                Some(s) => lazy_sample_clusters(
+                    &clusters,
+                    db.len(),
+                    cfg.max_cluster_size,
+                    &s.lazy,
+                    rng,
+                ),
+                None => clusters,
+            };
+            match cfg.strategy {
+                Strategy::CoarseOnly => (clusters, features),
+                Strategy::Hybrid(kind) => {
+                    (fine_cluster(db, clusters, &fine_cfg(kind), rng), features)
+                }
+                Strategy::FineOnly(_) => unreachable!(),
+            }
+        }
+    };
+    Clustering {
+        clusters,
+        features,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catapult_graph::{Label, VertexId};
+    use rand::SeedableRng;
+
+    fn ring(n: u32, label: u32) -> Graph {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            g.add_vertex(Label(label));
+        }
+        for i in 0..n {
+            g.add_edge(VertexId(i), VertexId((i + 1) % n)).unwrap();
+        }
+        g
+    }
+
+    fn db() -> Vec<Graph> {
+        (0..30).map(|i| ring(4 + (i % 3), (i % 2) as u32)).collect()
+    }
+
+    #[test]
+    fn all_strategies_partition() {
+        let db = db();
+        for strategy in [
+            Strategy::CoarseOnly,
+            Strategy::FineOnly(SimilarityKind::Mccs),
+            Strategy::FineOnly(SimilarityKind::Mcs),
+            Strategy::Hybrid(SimilarityKind::Mccs),
+            Strategy::Hybrid(SimilarityKind::Mcs),
+        ] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let cfg = ClusteringConfig {
+                strategy,
+                max_cluster_size: 8,
+                ..Default::default()
+            };
+            let c = cluster_graphs(&db, &cfg, &mut rng);
+            let mut all: Vec<u32> = c.clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..db.len() as u32).collect::<Vec<_>>(),
+                "strategy {strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fine_strategies_respect_cap() {
+        let db = db();
+        for kind in [SimilarityKind::Mccs, SimilarityKind::Mcs] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            let cfg = ClusteringConfig {
+                strategy: Strategy::Hybrid(kind),
+                max_cluster_size: 5,
+                ..Default::default()
+            };
+            let c = cluster_graphs(&db, &cfg, &mut rng);
+            assert!(c.clusters.iter().all(|cl| cl.len() <= 5));
+        }
+    }
+
+    #[test]
+    fn sampling_reduces_covered_set() {
+        // With a tiny Cochran sample, large clusters shrink.
+        let db: Vec<Graph> = (0..60).map(|_| ring(5, 0)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = ClusteringConfig {
+            strategy: Strategy::CoarseOnly,
+            max_cluster_size: 10,
+            sampling: Some(SamplingConfig {
+                eager: EagerConfig::default(),
+                lazy: LazyConfig {
+                    z: 1.65,
+                    p: 0.5,
+                    e: 0.3, // tiny representative sample
+                },
+            }),
+            ..Default::default()
+        };
+        let c = cluster_graphs(&db, &cfg, &mut rng);
+        assert!(c.covered() <= 60);
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(Strategy::CoarseOnly.paper_name(), "CC");
+        assert_eq!(Strategy::Hybrid(SimilarityKind::Mccs).paper_name(), "mccsH");
+        assert_eq!(Strategy::FineOnly(SimilarityKind::Mcs).paper_name(), "mcsFC");
+    }
+
+    #[test]
+    fn empty_db() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let c = cluster_graphs(&[], &ClusteringConfig::default(), &mut rng);
+        assert!(c.clusters.is_empty());
+    }
+}

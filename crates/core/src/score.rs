@@ -1,0 +1,334 @@
+//! Pattern scoring (§5, Eq. 2):
+//! `s_p = ccov(p, cw, C) × lcov(p, D) × div(p, P\p) / cog(p)`.
+//!
+//! * `ccov` estimates subgraph coverage through the cluster weights: a CSG
+//!   "covers" `p` when `p` is subgraph-isomorphic to it (tested with VF2).
+//! * `lcov(p, D)` is the fraction of data graphs containing at least one
+//!   edge whose label occurs in `p`, computed against a bitset index.
+//! * `div` is the minimum GED to the already-selected patterns, with the
+//!   Definition 5.1 lower bound pruning exact computations (§5 steps a–c).
+//! * `cog` is the density-based cognitive load (§3.2).
+//!
+//! The four criteria combine multiplicatively following Tofallis [37]
+//! because no trade-off rate between them is known a priori.
+
+use catapult_csg::{ClusterWeights, Csg};
+use catapult_graph::ged::{ged_lower_bound, ged_with_budget};
+use catapult_graph::iso::{for_each_embedding, MatchOptions};
+use catapult_graph::metrics::cognitive_load;
+use catapult_graph::{EdgeLabel, Graph};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// Bitset index: per edge label, which data graphs contain it.
+///
+/// Enables `lcov(p, D)` — the size of the *union* of transaction sets over
+/// `p`'s edge labels — in O(labels × |D|/64).
+#[derive(Clone, Debug)]
+pub struct EdgeLabelIndex {
+    blocks_per_row: usize,
+    rows: HashMap<EdgeLabel, Vec<u64>>,
+    db_size: usize,
+}
+
+impl EdgeLabelIndex {
+    /// Build the index over `db`.
+    pub fn build(db: &[Graph]) -> Self {
+        let n = db.len();
+        let blocks = n.div_ceil(64);
+        let mut rows: HashMap<EdgeLabel, Vec<u64>> = HashMap::new();
+        for (i, g) in db.iter().enumerate() {
+            for el in g.edge_label_set() {
+                let row = rows.entry(el).or_insert_with(|| vec![0u64; blocks]);
+                row[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        EdgeLabelIndex {
+            blocks_per_row: blocks,
+            rows,
+            db_size: n,
+        }
+    }
+
+    /// Number of graphs indexed.
+    pub fn db_size(&self) -> usize {
+        self.db_size
+    }
+
+    /// `lcov(p, D)`: fraction of graphs containing any of `p`'s edge labels.
+    pub fn lcov(&self, pattern: &Graph) -> f64 {
+        if self.db_size == 0 {
+            return 0.0;
+        }
+        let mut acc = vec![0u64; self.blocks_per_row];
+        for el in pattern.edge_label_set() {
+            if let Some(row) = self.rows.get(&el) {
+                for (a, &b) in acc.iter_mut().zip(row) {
+                    *a |= b;
+                }
+            }
+        }
+        let covered: u32 = acc.iter().map(|b| b.count_ones()).sum();
+        covered as f64 / self.db_size as f64
+    }
+
+    /// `lcov` for a whole pattern set (union over all patterns' labels).
+    pub fn lcov_set(&self, patterns: &[Graph]) -> f64 {
+        if self.db_size == 0 {
+            return 0.0;
+        }
+        let mut acc = vec![0u64; self.blocks_per_row];
+        for p in patterns {
+            for el in p.edge_label_set() {
+                if let Some(row) = self.rows.get(&el) {
+                    for (a, &b) in acc.iter_mut().zip(row) {
+                        *a |= b;
+                    }
+                }
+            }
+        }
+        let covered: u32 = acc.iter().map(|b| b.count_ones()).sum();
+        covered as f64 / self.db_size as f64
+    }
+}
+
+/// Node budget for each CSG-containment VF2 test (CSGs are small; this is
+/// generous).
+const CCOV_ISO_BUDGET: u64 = 2_000_000;
+
+/// Which CSGs contain `p` (subgraph isomorphism against the closure graph).
+pub fn covering_csgs(pattern: &Graph, csgs: &[Csg]) -> Vec<usize> {
+    csgs.iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            let opts = MatchOptions {
+                max_embeddings: 1,
+                node_budget: CCOV_ISO_BUDGET,
+                ..MatchOptions::default()
+            };
+            for_each_embedding(&c.graph, pattern, opts, |_| ControlFlow::Break(())).embeddings > 0
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `ccov(p, cw, C) = Σ_i cw_i · I(CSG_i ⊇ p)` (§5).
+pub fn ccov(pattern: &Graph, csgs: &[Csg], cw: &ClusterWeights) -> f64 {
+    covering_csgs(pattern, csgs)
+        .into_iter()
+        .map(|i| cw.get(i))
+        .sum()
+}
+
+/// GED node budget for diversity computations (patterns are ≤ ηmax ≈ 12
+/// edges).
+const DIV_GED_BUDGET: u64 = 50_000;
+
+/// `div(p, P\p) = min_i GED(p, p_i)` with lower-bound pruning (§5):
+/// order selected patterns by ascending `GED_l`, compute exact GEDs in that
+/// order, and drop every pattern whose lower bound already exceeds the
+/// best exact distance found.
+///
+/// Returns `None` for an empty `selected` set (the first pattern has no
+/// diversity term).
+pub fn diversity(pattern: &Graph, selected: &[Graph]) -> Option<f64> {
+    if selected.is_empty() {
+        return None;
+    }
+    let mut order: Vec<(usize, usize)> = selected
+        .iter()
+        .map(|p| ged_lower_bound(pattern, p))
+        .enumerate()
+        .collect();
+    order.sort_by_key(|&(_, lb)| lb);
+    let mut best = usize::MAX;
+    for (i, lb) in order {
+        if lb >= best {
+            break; // all remaining lower bounds are ≥ best: prune (step c3)
+        }
+        let d = ged_with_budget(pattern, &selected[i], DIV_GED_BUDGET).distance;
+        if d < best {
+            best = d;
+        }
+    }
+    Some(best as f64)
+}
+
+/// Scoring-function variants: the paper's Eq. 2 plus the ablations the
+/// harness evaluates (`experiments ablation1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScoreVariant {
+    /// Eq. 2: `ccov × lcov × div / cog` (multiplicative, per [37]).
+    #[default]
+    Full,
+    /// Drop the diversity term: `ccov × lcov / cog`.
+    NoDiversity,
+    /// Drop the cognitive-load term: `ccov × lcov × div`.
+    NoCognitiveLoad,
+    /// Additive combination of normalized criteria — the alternative [37]
+    /// argues against when trade-off rates are unknown:
+    /// `(ccov + lcov + div/(div+1) + 1/(1+cog)) / 4`.
+    Additive,
+}
+
+/// The Eq. 2 pattern score. `div` defaults to 1 when no pattern has been
+/// selected yet (the multiplicative identity — the first pick is driven by
+/// coverage and cognitive load alone).
+pub fn pattern_score(
+    pattern: &Graph,
+    csgs: &[Csg],
+    cw: &ClusterWeights,
+    index: &EdgeLabelIndex,
+    selected: &[Graph],
+) -> f64 {
+    pattern_score_variant(pattern, csgs, cw, index, selected, ScoreVariant::Full)
+}
+
+/// Pattern score under a chosen [`ScoreVariant`].
+pub fn pattern_score_variant(
+    pattern: &Graph,
+    csgs: &[Csg],
+    cw: &ClusterWeights,
+    index: &EdgeLabelIndex,
+    selected: &[Graph],
+    variant: ScoreVariant,
+) -> f64 {
+    let cov = ccov(pattern, csgs, cw);
+    let label_cov = index.lcov(pattern);
+    let cog = cognitive_load(pattern);
+    if cog <= 0.0 {
+        return 0.0;
+    }
+    match variant {
+        ScoreVariant::Full => {
+            let div = diversity(pattern, selected).unwrap_or(1.0);
+            cov * label_cov * div / cog
+        }
+        ScoreVariant::NoDiversity => cov * label_cov / cog,
+        ScoreVariant::NoCognitiveLoad => {
+            let div = diversity(pattern, selected).unwrap_or(1.0);
+            cov * label_cov * div
+        }
+        ScoreVariant::Additive => {
+            let div = diversity(pattern, selected).unwrap_or(1.0);
+            (cov + label_cov + div / (div + 1.0) + 1.0 / (1.0 + cog)) / 4.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catapult_csg::build_csgs;
+    use catapult_graph::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn db() -> Vec<Graph> {
+        vec![
+            Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]),
+            Graph::from_parts(&[l(0), l(1)], &[(0, 1)]),
+            Graph::from_parts(&[l(3), l(4)], &[(0, 1)]),
+        ]
+    }
+
+    #[test]
+    fn lcov_unions_transactions() {
+        let db = db();
+        let idx = EdgeLabelIndex::build(&db);
+        let p = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        assert!((idx.lcov(&p) - 2.0 / 3.0).abs() < 1e-12);
+        let q = Graph::from_parts(&[l(0), l(1), l(3), l(4)], &[(0, 1), (2, 3)]);
+        assert!((idx.lcov(&q) - 1.0).abs() < 1e-12);
+        assert!((idx.lcov_set(&[p, q]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccov_weights_covering_clusters() {
+        let db = db();
+        let csgs = build_csgs(&db, &[vec![0, 1], vec![2]]);
+        let cw = ClusterWeights::new(&csgs, db.len());
+        let p = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        // p is in CSG 0 (weight 2/3) only.
+        assert!((ccov(&p, &csgs, &cw) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(covering_csgs(&p, &csgs), vec![0]);
+    }
+
+    #[test]
+    fn diversity_is_min_ged() {
+        let p = Graph::from_parts(&[l(0); 3], &[(0, 1), (1, 2)]);
+        let near = Graph::from_parts(&[l(0); 3], &[(0, 1), (1, 2), (0, 2)]); // +1 edge
+        let far = Graph::from_parts(&[l(9); 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let d = diversity(&p, &[far.clone(), near.clone()]).unwrap();
+        assert_eq!(d, 1.0);
+        assert!(diversity(&p, &[]).is_none());
+    }
+
+    #[test]
+    fn pruning_matches_naive_min() {
+        let p = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let set = vec![
+            Graph::from_parts(&[l(0), l(1)], &[(0, 1)]),
+            Graph::from_parts(&[l(0), l(1), l(2), l(3)], &[(0, 1), (1, 2), (2, 3)]),
+            Graph::from_parts(&[l(5), l(6), l(7)], &[(0, 1), (1, 2)]),
+        ];
+        let pruned = diversity(&p, &set).unwrap();
+        let naive = set
+            .iter()
+            .map(|q| ged_with_budget(&p, q, 1_000_000).distance)
+            .min()
+            .unwrap() as f64;
+        assert_eq!(pruned, naive);
+    }
+
+    #[test]
+    fn score_prefers_low_cog_high_cov() {
+        let db = db();
+        let csgs = build_csgs(&db, &[vec![0, 1], vec![2]]);
+        let cw = ClusterWeights::new(&csgs, db.len());
+        let idx = EdgeLabelIndex::build(&db);
+        // A pattern in the big cluster vs one in the small cluster.
+        let popular = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let niche = Graph::from_parts(&[l(3), l(4)], &[(0, 1)]);
+        let s1 = pattern_score(&popular, &csgs, &cw, &idx, &[]);
+        let s2 = pattern_score(&niche, &csgs, &cw, &idx, &[]);
+        assert!(s1 > s2, "popular {s1} vs niche {s2}");
+    }
+
+    #[test]
+    fn variants_differ_as_designed() {
+        let db = db();
+        let csgs = build_csgs(&db, &[vec![0, 1], vec![2]]);
+        let cw = ClusterWeights::new(&csgs, db.len());
+        let idx = EdgeLabelIndex::build(&db);
+        let p = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let selected = vec![Graph::from_parts(&[l(0), l(1)], &[(0, 1)])];
+        let full = pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::Full);
+        let no_div =
+            pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::NoDiversity);
+        let no_cog =
+            pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::NoCognitiveLoad);
+        let add = pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::Additive);
+        // div(p, selected) = GED to the single edge = 2 → full = no_div × 2.
+        assert!((full - no_div * 2.0).abs() < 1e-9);
+        // no_cog = full × cog.
+        let cog = catapult_graph::metrics::cognitive_load(&p);
+        assert!((no_cog - full * cog).abs() < 1e-9);
+        // additive is bounded in [0, 1].
+        assert!((0.0..=1.0).contains(&add));
+    }
+
+    #[test]
+    fn default_variant_is_full() {
+        assert_eq!(ScoreVariant::default(), ScoreVariant::Full);
+    }
+
+    #[test]
+    fn empty_db_scores_zero() {
+        let idx = EdgeLabelIndex::build(&[]);
+        let p = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        assert_eq!(idx.lcov(&p), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Graph mapping for closure construction (§2, [19]).
+//!
+//! Integrating a data graph into a growing closure graph requires a vertex
+//! mapping φ where mapped vertices share labels and unmapped vertices
+//! become dummy-extended (new) vertices. Exact optimal mapping is itself an
+//! MCS-hard problem, so — like Closure-tree's neighbor-biased mapping [19]
+//! — we use a greedy heuristic: vertices are matched to same-label closure
+//! vertices, preferring candidates adjacent to already-matched neighbors
+//! (maximizing preserved edges), with deterministic tie-breaking.
+
+use catapult_graph::{Graph, VertexId};
+
+/// Greedy neighbor-biased mapping of `g`'s vertices onto `closure`'s.
+///
+/// Returns, per `g`-vertex, `Some(closure vertex)` for matched vertices
+/// (labels equal, injective) or `None` for vertices that must be added to
+/// the closure as new (dummy-extended) vertices.
+pub fn neighbor_biased_mapping(g: &Graph, closure: &Graph) -> Vec<Option<VertexId>> {
+    let n = g.vertex_count();
+    let mut mapping: Vec<Option<VertexId>> = vec![None; n];
+    let mut used = vec![false; closure.vertex_count()];
+    let mut decided = vec![false; n];
+
+    // Process vertices in descending degree order (hubs first), but
+    // dynamically prefer vertices with already-mapped neighbors so the
+    // mapping grows connected regions.
+    for _ in 0..n {
+        // Pick the next undecided vertex: most mapped neighbors, then
+        // highest degree, then lowest id.
+        let v = g
+            .vertices()
+            .filter(|&v| !decided[v.index()])
+            .max_by_key(|&v| {
+                let mapped_nbrs = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(w, _)| mapping[w.index()].is_some())
+                    .count();
+                (mapped_nbrs, g.degree(v), std::cmp::Reverse(v.0))
+            })
+            .expect("undecided vertices remain");
+        decided[v.index()] = true;
+
+        // Candidate closure vertices: same label, unused; score by number
+        // of preserved edges to already-mapped neighbors.
+        let best = closure
+            .vertices()
+            .filter(|&u| !used[u.index()] && closure.label(u) == g.label(v))
+            .map(|u| {
+                let preserved = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(w, _)| {
+                        mapping[w.index()].is_some_and(|m| closure.has_edge(m, u))
+                    })
+                    .count();
+                (preserved, std::cmp::Reverse(u.0), u)
+            })
+            .max();
+        if let Some((_, _, u)) = best {
+            mapping[v.index()] = Some(u);
+            used[u.index()] = true;
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catapult_graph::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    #[test]
+    fn identical_graphs_map_fully() {
+        let g = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let m = neighbor_biased_mapping(&g, &g);
+        assert!(m.iter().all(Option::is_some));
+        // Labels are distinct so the mapping must be the identity.
+        for (i, mapped) in m.iter().enumerate() {
+            assert_eq!(mapped.unwrap().0, i as u32);
+        }
+    }
+
+    #[test]
+    fn label_mismatch_leaves_vertex_unmapped() {
+        let g = Graph::from_parts(&[l(0), l(9)], &[(0, 1)]);
+        let closure = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        let m = neighbor_biased_mapping(&g, &closure);
+        assert!(m[0].is_some());
+        assert!(m[1].is_none());
+    }
+
+    #[test]
+    fn mapping_is_injective() {
+        // Two C vertices in g; closure has only one C.
+        let g = Graph::from_parts(&[l(0), l(0), l(1)], &[(0, 2), (1, 2)]);
+        let closure = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        let m = neighbor_biased_mapping(&g, &closure);
+        let mapped: Vec<VertexId> = m.iter().flatten().copied().collect();
+        let mut dedup = mapped.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(mapped.len(), dedup.len());
+        assert_eq!(mapped.len(), 2); // one C and the O
+    }
+
+    #[test]
+    fn prefers_edge_preserving_candidates() {
+        // g: O-C. closure: C-O plus a second isolated O. The O adjacent to C
+        // should be chosen.
+        let g = Graph::from_parts(&[l(1), l(0)], &[(0, 1)]); // O(0)-C(1)
+        let closure = Graph::from_parts(&[l(0), l(1), l(1)], &[(0, 1)]); // C-O, O
+        let m = neighbor_biased_mapping(&g, &closure);
+        // g's C maps to closure 0; g's O should map to closure 1 (adjacent),
+        // not the isolated closure 2.
+        assert_eq!(m[1], Some(VertexId(0)));
+        assert_eq!(m[0], Some(VertexId(1)));
+    }
+
+    #[test]
+    fn empty_closure_maps_nothing() {
+        let g = Graph::from_parts(&[l(0)], &[]);
+        let m = neighbor_biased_mapping(&g, &Graph::new());
+        assert_eq!(m, vec![None]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Query workload generation (§6.1, Exp 9).
+//!
+//! * [`random_queries`] — the paper's standard workload: subgraph queries
+//!   drawn as random connected subgraphs of random data graphs, sizes in a
+//!   given edge range (the paper uses 1000 queries of size [4, 40]).
+//! * [`mixed_queries`] — Exp 9's `Q_x` workloads, where a fraction `x` of
+//!   the queries are *infrequent* (support below a threshold) and the rest
+//!   frequent. Real users pose both kinds (§3.3), which is exactly what the
+//!   frequent-subgraph baseline fails on.
+
+use catapult_graph::iso::contains;
+use catapult_graph::random::random_connected_subgraph;
+use catapult_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw `count` random connected subgraph queries with edge counts in
+/// `size_range` (inclusive), per §6.1.
+pub fn random_queries(
+    db: &[Graph],
+    count: usize,
+    size_range: (usize, usize),
+    seed: u64,
+) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    if db.is_empty() {
+        return out;
+    }
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 50 {
+        guard += 1;
+        let g = &db[rng.gen_range(0..db.len())];
+        let target = rng.gen_range(size_range.0..=size_range.1);
+        if let Some(q) = random_connected_subgraph(g, target, &mut rng) {
+            if q.edge_count() >= size_range.0 {
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+/// Estimate the support fraction of `q` in `db`, testing at most
+/// `sample_cap` graphs (uniformly strided) for tractability.
+pub fn support_fraction(db: &[Graph], q: &Graph, sample_cap: usize) -> f64 {
+    if db.is_empty() {
+        return 0.0;
+    }
+    let stride = (db.len() / sample_cap.max(1)).max(1);
+    let sampled: Vec<&Graph> = db.iter().step_by(stride).collect();
+    let hits = sampled.iter().filter(|g| contains(g, q)).count();
+    hits as f64 / sampled.len() as f64
+}
+
+/// Exp 9 workload: `total` queries of which fraction `x` are infrequent
+/// (support < `support_threshold`) and `1 − x` frequent.
+///
+/// Queries are drawn like [`random_queries`] and classified by sampled
+/// support; generation stops early (returning fewer queries) if one of the
+/// classes cannot be filled within the attempt budget.
+pub fn mixed_queries(
+    db: &[Graph],
+    total: usize,
+    x_infrequent: f64,
+    support_threshold: f64,
+    size_range: (usize, usize),
+    seed: u64,
+) -> Vec<Graph> {
+    assert!((0.0..=1.0).contains(&x_infrequent));
+    let want_infrequent = (total as f64 * x_infrequent).round() as usize;
+    let want_frequent = total - want_infrequent;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut frequent = Vec::new();
+    let mut infrequent = Vec::new();
+    let mut guard = 0usize;
+    if db.is_empty() {
+        return Vec::new();
+    }
+    while (frequent.len() < want_frequent || infrequent.len() < want_infrequent)
+        && guard < total * 200
+    {
+        guard += 1;
+        let g = &db[rng.gen_range(0..db.len())];
+        let target = rng.gen_range(size_range.0..=size_range.1);
+        let Some(q) = random_connected_subgraph(g, target, &mut rng) else {
+            continue;
+        };
+        if q.edge_count() < size_range.0 {
+            continue;
+        }
+        let sup = support_fraction(db, &q, 200);
+        if sup >= support_threshold {
+            if frequent.len() < want_frequent {
+                frequent.push(q);
+            }
+        } else if infrequent.len() < want_infrequent {
+            infrequent.push(q);
+        }
+    }
+    // Interleave deterministically.
+    let mut out = frequent;
+    out.extend(infrequent);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecules::{aids_profile, generate};
+    use catapult_graph::components::is_connected;
+
+    #[test]
+    fn random_queries_are_connected_subgraphs() {
+        let db = generate(&aids_profile(), 30, 2).graphs;
+        let qs = random_queries(&db, 40, (4, 12), 9);
+        assert_eq!(qs.len(), 40);
+        for q in &qs {
+            assert!(is_connected(q));
+            assert!((4..=12).contains(&q.edge_count()));
+            assert!(db.iter().any(|g| contains(g, q)), "query not from db");
+        }
+    }
+
+    #[test]
+    fn support_fraction_bounds() {
+        let db = generate(&aids_profile(), 20, 3).graphs;
+        // A single C-C edge is essentially universal.
+        let mut interner = catapult_graph::LabelInterner::new();
+        let c = interner.intern("C");
+        let edge = Graph::from_parts(&[c, c], &[(0, 1)]);
+        let s = support_fraction(&db, &edge, 100);
+        assert!(s > 0.8, "C-C support {s}");
+        // An implausible all-Br triangle never occurs.
+        let br = catapult_graph::Label(7);
+        let tri = Graph::from_parts(&[br; 3], &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(support_fraction(&db, &tri, 100), 0.0);
+    }
+
+    #[test]
+    fn mixed_queries_hit_requested_fractions() {
+        let db = generate(&aids_profile(), 40, 4).graphs;
+        let total = 20;
+        let qs = mixed_queries(&db, total, 0.5, 0.2, (4, 10), 11);
+        assert!(!qs.is_empty());
+        // Re-classify and check the mix is near the request (generation can
+        // fall short on one class; tolerate slack).
+        let infrequent = qs
+            .iter()
+            .filter(|q| support_fraction(&db, q, 200) < 0.2)
+            .count();
+        assert!(infrequent >= qs.len() / 4, "too few infrequent: {infrequent}");
+    }
+
+    #[test]
+    fn x_zero_gives_frequent_only() {
+        let db = generate(&aids_profile(), 40, 5).graphs;
+        let qs = mixed_queries(&db, 10, 0.0, 0.15, (4, 8), 13);
+        for q in &qs {
+            assert!(support_fraction(&db, q, 200) >= 0.15);
+        }
+    }
+
+    #[test]
+    fn empty_db() {
+        assert!(random_queries(&[], 5, (4, 8), 1).is_empty());
+        assert!(mixed_queries(&[], 5, 0.5, 0.1, (4, 8), 1).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Simulated commercial GUI pattern sets (Exp 3).
+//!
+//! The paper extracts the size-[3,8] canned patterns exposed by the
+//! PubChem sketcher (12 patterns, 11 unlabeled) and the eMolecules/Reaxys
+//! sketcher (6 unlabeled patterns) and evaluates them under the
+//! vertex-relabelling step model. The concrete pattern shapes are the
+//! standard chemistry-sketcher inventory: small rings (C3–C8), short
+//! chains, a branch motif, and fused ring systems. We reproduce sets of
+//! the same cardinality, size range, and character (all unlabeled).
+
+use catapult_graph::{Graph, Label, VertexId};
+
+/// The common "blank" label carried by unlabeled GUI patterns.
+pub const BLANK: Label = Label(0);
+
+fn cycle(n: usize) -> Graph {
+    let labels = vec![BLANK; n];
+    let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n as u32 - 1, 0));
+    Graph::from_parts(&labels, &edges)
+}
+
+fn chain(edges: usize) -> Graph {
+    let labels = vec![BLANK; edges + 1];
+    let e: Vec<(u32, u32)> = (0..edges as u32).map(|i| (i, i + 1)).collect();
+    Graph::from_parts(&labels, &e)
+}
+
+fn star(leaves: usize) -> Graph {
+    let labels = vec![BLANK; leaves + 1];
+    let e: Vec<(u32, u32)> = (1..=leaves as u32).map(|i| (0, i)).collect();
+    Graph::from_parts(&labels, &e)
+}
+
+/// Two squares sharing an edge (bicyclo fused system, 7 edges).
+fn fused_squares() -> Graph {
+    Graph::from_parts(
+        &[BLANK; 6],
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 3)],
+    )
+}
+
+/// Hexagon with a pendant bond (toluene-like skeleton, 7 edges).
+fn hexagon_pendant() -> Graph {
+    let mut g = cycle(6);
+    let v = g.add_vertex(BLANK);
+    g.add_edge(VertexId(0), v).unwrap();
+    g
+}
+
+/// Pentagon fused with a triangle (5 + 3 sharing an edge → 6 edges).
+fn fused_pentagon_triangle() -> Graph {
+    Graph::from_parts(
+        &[BLANK; 6],
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5), (5, 1)],
+    )
+}
+
+/// The simulated PubChem GUI pattern set: 12 unlabeled patterns, sizes
+/// 3–8 edges (rings C3–C8, chains, a branch, fused systems).
+pub fn pubchem_gui_patterns() -> Vec<Graph> {
+    vec![
+        cycle(3),
+        cycle(4),
+        cycle(5),
+        cycle(6),
+        cycle(7),
+        cycle(8),
+        chain(3),
+        chain(4),
+        chain(5),
+        star(3),
+        fused_squares(),
+        hexagon_pendant(),
+    ]
+}
+
+/// The simulated eMolecules GUI pattern set: 6 unlabeled patterns, sizes
+/// 3–8 edges. All ring templates — chemistry sketchers expose ring
+/// systems as canned patterns while chains are drawn bond-by-bond, which
+/// is also what the paper's high eMol missed-percentage (29.4%) implies:
+/// tree-shaped queries find no usable pattern in that panel.
+pub fn emol_gui_patterns() -> Vec<Graph> {
+    vec![
+        cycle(3),
+        cycle(4),
+        cycle(5),
+        cycle(6),
+        cycle(8),
+        fused_pentagon_triangle(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catapult_graph::components::is_connected;
+    use catapult_graph::iso::are_isomorphic;
+
+    #[test]
+    fn pubchem_set_shape() {
+        let pats = pubchem_gui_patterns();
+        assert_eq!(pats.len(), 12);
+        for p in &pats {
+            assert!(is_connected(p));
+            assert!((3..=8).contains(&p.edge_count()), "size {}", p.edge_count());
+            assert!(p.labels().iter().all(|&l| l == BLANK));
+        }
+    }
+
+    #[test]
+    fn emol_set_shape() {
+        let pats = emol_gui_patterns();
+        assert_eq!(pats.len(), 6);
+        for p in &pats {
+            assert!(is_connected(p));
+            assert!((3..=8).contains(&p.edge_count()));
+        }
+    }
+
+    #[test]
+    fn no_duplicates_within_sets() {
+        for pats in [pubchem_gui_patterns(), emol_gui_patterns()] {
+            for i in 0..pats.len() {
+                for j in (i + 1)..pats.len() {
+                    assert!(!are_isomorphic(&pats[i], &pats[j]), "dup at {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_systems_have_cycles() {
+        let f = fused_squares();
+        assert!(f.edge_count() >= f.vertex_count());
+        let g = fused_pentagon_triangle();
+        assert!(g.edge_count() >= g.vertex_count());
+    }
+}

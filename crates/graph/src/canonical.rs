@@ -1,0 +1,272 @@
+//! Canonical forms for labeled free trees (§4.1, Fig. 5).
+//!
+//! Frequent subtrees are represented as canonical strings in two steps:
+//! (1) canonical-tree generation via bottom-up normalization (the AHU tree
+//! isomorphism ordering [1]), and (2) conversion to a breadth-first
+//! canonical string where `$` partitions families of siblings and `#`
+//! terminates the string — exactly the encoding of Fig. 5 (all edges carry
+//! the implicit label `1`).
+//!
+//! Free (unrooted) trees are canonicalized by rooting at their center; for
+//! even-diameter trees with two centers, both rootings are encoded and the
+//! lexicographically smaller token sequence wins.
+//!
+//! **Injectivity note.** Fig. 5 renders a family only for nodes that have
+//! children, which is ambiguous: `A(B(D), C)` and `A(B, C(D))` would both
+//! print `A$1B1C$1D#`. The token stream here therefore emits one `$`
+//! family per BFS node — empty for leaves — with redundant trailing empty
+//! families trimmed; this makes the encoding decodable (hence injective on
+//! isomorphism classes), which the frequent-subtree dedup relies on.
+//! [`CanonicalTree::display_compact`] reproduces the paper's exact (lossy)
+//! rendering for presentation.
+
+use crate::components::{is_tree, tree_centers};
+use crate::graph::{Graph, VertexId};
+use crate::labels::LabelInterner;
+
+/// Token stream of a canonical string.
+///
+/// Tokens are ordered integers so canonical forms compare and hash
+/// cheaply: `SEP` < `END` < any label token.
+pub type CanonTokens = Vec<u32>;
+
+/// The `$` family separator token.
+pub const TOK_SEP: u32 = 0;
+/// The `#` terminator token.
+pub const TOK_END: u32 = 1;
+/// Encode a label id as a token.
+#[inline]
+pub fn label_token(label: crate::labels::Label) -> u32 {
+    label.0 + 2
+}
+
+/// A canonicalized labeled tree.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalTree {
+    /// The breadth-first canonical token stream (Fig. 5 format).
+    pub tokens: CanonTokens,
+}
+
+impl CanonicalTree {
+    /// Render the full (injective) token stream, e.g. `A$1B1C$$1D#`,
+    /// resolving labels through `interner` when possible. Empty families
+    /// appear as consecutive `$`.
+    pub fn display(&self, interner: &LabelInterner) -> String {
+        let mut out = String::new();
+        let mut first = true;
+        for &t in &self.tokens {
+            match t {
+                TOK_SEP => out.push('$'),
+                TOK_END => out.push('#'),
+                _ => {
+                    if !first {
+                        out.push('1'); // implicit edge label
+                    }
+                    let label = crate::labels::Label(t - 2);
+                    out.push_str(&interner.display(label));
+                }
+            }
+            first = false;
+        }
+        out
+    }
+
+    /// Render in the paper's exact Fig. 5 notation (empty families elided),
+    /// e.g. `A$1B1B1B$1C1D$1D$1F1G$1E$1E#`. Lossy: for display only.
+    pub fn display_compact(&self, interner: &LabelInterner) -> String {
+        let mut out = String::new();
+        let mut at_family_start = false;
+        let mut first = true;
+        for &t in &self.tokens {
+            match t {
+                TOK_SEP => at_family_start = true,
+                TOK_END => out.push('#'),
+                _ => {
+                    if at_family_start {
+                        out.push('$');
+                        out.push('1');
+                        at_family_start = false;
+                    } else if !first {
+                        out.push('1');
+                    }
+                    let label = crate::labels::Label(t - 2);
+                    out.push_str(&interner.display(label));
+                }
+            }
+            first = false;
+        }
+        out
+    }
+}
+
+/// Recursive AHU-style subtree encoding used to order children.
+/// Children are sorted by their own encoding, making the result invariant
+/// under sibling permutation.
+fn subtree_encoding(g: &Graph, v: VertexId, parent: Option<VertexId>) -> Vec<u32> {
+    let mut kids: Vec<Vec<u32>> = g
+        .neighbors(v)
+        .iter()
+        .filter(|&&(w, _)| Some(w) != parent)
+        .map(|&(w, _)| subtree_encoding(g, w, Some(v)))
+        .collect();
+    kids.sort_unstable();
+    let mut enc = vec![label_token(g.label(v)), u32::MAX]; // open marker
+    for k in kids {
+        enc.extend(k);
+    }
+    enc.push(u32::MAX - 1); // close marker
+    enc
+}
+
+/// Emit the Fig. 5 breadth-first canonical string for the tree rooted at
+/// `root`, with children visited in canonical (encoding) order.
+fn bfs_tokens(g: &Graph, root: VertexId) -> CanonTokens {
+    let mut tokens = vec![label_token(g.label(root))];
+    // Queue holds (vertex, parent) in BFS order.
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((root, None::<VertexId>));
+    while let Some((v, parent)) = queue.pop_front() {
+        let mut kids: Vec<(Vec<u32>, VertexId)> = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&(w, _)| Some(w) != parent)
+            .map(|&(w, _)| (subtree_encoding(g, w, Some(v)), w))
+            .collect();
+        kids.sort_unstable();
+        // One family per BFS node — empty for leaves — so the stream is
+        // decodable (see the module-level injectivity note).
+        tokens.push(TOK_SEP);
+        for (_, w) in kids {
+            tokens.push(label_token(g.label(w)));
+            queue.push_back((w, Some(v)));
+        }
+    }
+    // Trailing empty families belong to the deepest leaves and carry no
+    // information; trim them for compactness.
+    while tokens.last() == Some(&TOK_SEP) {
+        tokens.pop();
+    }
+    tokens.push(TOK_END);
+    tokens
+}
+
+/// Canonicalize a labeled free tree.
+///
+/// # Panics
+/// Panics if `g` is not a tree (connected, `|E| = |V| - 1`, `|V| ≥ 1`).
+pub fn canonical_tree(g: &Graph) -> CanonicalTree {
+    assert!(is_tree(g), "canonical_tree requires a tree");
+    let tokens = tree_centers(g)
+        .into_iter()
+        .map(|c| bfs_tokens(g, c))
+        .min()
+        .expect("trees have at least one center");
+    CanonicalTree { tokens }
+}
+
+/// Canonical token stream of a tree (convenience wrapper).
+pub fn canonical_tokens(g: &Graph) -> CanonTokens {
+    canonical_tree(g).tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    #[test]
+    fn single_vertex() {
+        let mut g = Graph::new();
+        g.add_vertex(l(7));
+        let c = canonical_tree(&g);
+        assert_eq!(c.tokens, vec![label_token(l(7)), TOK_END]);
+    }
+
+    #[test]
+    fn invariant_under_renumbering() {
+        // Star with center label 0 and leaves 1,2,3 in two different orders.
+        let a = Graph::from_parts(&[l(0), l(1), l(2), l(3)], &[(0, 1), (0, 2), (0, 3)]);
+        let b = Graph::from_parts(&[l(3), l(0), l(1), l(2)], &[(1, 0), (1, 3), (1, 2)]);
+        assert_eq!(canonical_tree(&a), canonical_tree(&b));
+    }
+
+    #[test]
+    fn distinguishes_structures() {
+        // Path of 4 vs star of 4, same labels.
+        let p = Graph::from_parts(&[l(0); 4], &[(0, 1), (1, 2), (2, 3)]);
+        let s = Graph::from_parts(&[l(0); 4], &[(0, 1), (0, 2), (0, 3)]);
+        assert_ne!(canonical_tree(&p), canonical_tree(&s));
+    }
+
+    #[test]
+    fn distinguishes_labels() {
+        let a = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        let b = Graph::from_parts(&[l(0), l(2)], &[(0, 1)]);
+        assert_ne!(canonical_tree(&a), canonical_tree(&b));
+    }
+
+    #[test]
+    fn two_center_path_is_stable() {
+        // Even path: two centers; both orders must give the same result.
+        let a = Graph::from_parts(&[l(0), l(1), l(2), l(3)], &[(0, 1), (1, 2), (2, 3)]);
+        let b = Graph::from_parts(&[l(3), l(2), l(1), l(0)], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(canonical_tree(&a), canonical_tree(&b));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let mut it = LabelInterner::new();
+        let a = it.intern("A");
+        let b = it.intern("B");
+        // A with two B children.
+        let g = Graph::from_parts(&[a, b, b], &[(0, 1), (0, 2)]);
+        let c = canonical_tree(&g);
+        assert_eq!(c.display(&it), "A$1B1B#");
+    }
+
+    #[test]
+    fn paper_figure5_shape() {
+        // Reconstruct the Fig. 5 tree: root A; children B,B,B;
+        // B1 -> {C, D(->E)}, B2 -> {D(->E)}, B3 -> {F, G}.
+        let mut it = LabelInterner::new();
+        let (a, b, c, d, e, f, g_) = (
+            it.intern("A"),
+            it.intern("B"),
+            it.intern("C"),
+            it.intern("D"),
+            it.intern("E"),
+            it.intern("F"),
+            it.intern("G"),
+        );
+        let labels = [a, b, b, b, c, d, d, e, e, f, g_];
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 4), // B1-C
+            (1, 5), // B1-D
+            (5, 7), // D-E
+            (2, 6), // B2-D
+            (6, 8), // D-E
+            (3, 9),  // B3-F
+            (3, 10), // B3-G
+        ];
+        let t = Graph::from_parts(&labels, &edges);
+        let canon = canonical_tree(&t);
+        // The paper's (lossy) Fig. 5 rendering:
+        assert_eq!(canon.display_compact(&it), "A$1B1B1B$1C1D$1D$1F1G$1E$1E#");
+        // The injective stream additionally shows C's empty family:
+        assert_eq!(canon.display(&it), "A$1B1B1B$1C1D$1D$1F1G$$1E$1E#");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a tree")]
+    fn rejects_cycles() {
+        let g = Graph::from_parts(&[l(0); 3], &[(0, 1), (1, 2), (0, 2)]);
+        canonical_tree(&g);
+    }
+}

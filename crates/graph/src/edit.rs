@@ -1,0 +1,346 @@
+//! Explicit graph edit scripts.
+//!
+//! GED (§3.2) is defined as the length of a cheapest edit path; this
+//! module materializes such paths. [`edit_script`] converts a full vertex
+//! mapping (the witness produced by the GED search or the bipartite upper
+//! bound) into a concrete operation sequence whose length equals
+//! [`crate::ged::induced_edit_cost`], and [`apply_edit_script`] replays it
+//! — so tests can verify, end to end, that a claimed distance corresponds
+//! to an executable transformation of one graph into the other.
+
+use crate::ged::induced_edit_cost;
+use crate::graph::{Graph, VertexId};
+use crate::labels::Label;
+
+/// One edit operation. Vertex ids refer to the *source* graph for
+/// deletions/relabels; insertions introduce fresh handles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Delete a source edge.
+    DeleteEdge(VertexId, VertexId),
+    /// Delete a source vertex (must be isolated by prior edge deletions).
+    DeleteVertex(VertexId),
+    /// Change a source vertex's label.
+    Relabel(VertexId, Label),
+    /// Insert a fresh vertex; it is addressed afterwards as `Inserted(k)`
+    /// where `k` counts insertions in script order.
+    InsertVertex(Label),
+    /// Insert an edge between two endpoints (source or inserted).
+    InsertEdge(EditEndpoint, EditEndpoint),
+}
+
+/// An endpoint reference inside a script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditEndpoint {
+    /// A surviving source vertex.
+    Source(VertexId),
+    /// The `k`-th inserted vertex.
+    Inserted(usize),
+}
+
+/// Errors from replaying a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// Referenced vertex does not exist (or was deleted).
+    MissingVertex,
+    /// Deleting a vertex that still has incident edges.
+    VertexNotIsolated,
+    /// Edge operation invalid (absent on delete / duplicate on insert).
+    BadEdge,
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditError::MissingVertex => write!(f, "vertex missing"),
+            EditError::VertexNotIsolated => write!(f, "vertex not isolated"),
+            EditError::BadEdge => write!(f, "invalid edge operation"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Derive an edit script realizing `mapping` (source vertex → target
+/// vertex or `None` = delete; unmatched target vertices are inserted).
+/// The script length equals [`induced_edit_cost`] for the same mapping.
+pub fn edit_script(a: &Graph, b: &Graph, mapping: &[Option<VertexId>]) -> Vec<EditOp> {
+    assert_eq!(mapping.len(), a.vertex_count());
+    let mut script = Vec::new();
+    // target vertex → source preimage.
+    let mut preimage: Vec<Option<VertexId>> = vec![None; b.vertex_count()];
+    for (i, m) in mapping.iter().enumerate() {
+        if let Some(t) = m {
+            preimage[t.index()] = Some(VertexId(i as u32));
+        }
+    }
+    // 1. Delete source edges with no matched target edge.
+    for (_, e) in a.edges() {
+        let keep = matches!(
+            (mapping[e.u.index()], mapping[e.v.index()]),
+            (Some(x), Some(y)) if b.has_edge(x, y)
+        );
+        if !keep {
+            script.push(EditOp::DeleteEdge(e.u, e.v));
+        }
+    }
+    // 2. Delete unmapped source vertices (now isolated).
+    for (i, m) in mapping.iter().enumerate() {
+        if m.is_none() {
+            script.push(EditOp::DeleteVertex(VertexId(i as u32)));
+        }
+    }
+    // 3. Relabel mismatched survivors.
+    for (i, m) in mapping.iter().enumerate() {
+        if let Some(t) = m {
+            if a.label(VertexId(i as u32)) != b.label(*t) {
+                script.push(EditOp::Relabel(VertexId(i as u32), b.label(*t)));
+            }
+        }
+    }
+    // 4. Insert target-only vertices; remember their handles.
+    let mut inserted_handle: Vec<Option<usize>> = vec![None; b.vertex_count()];
+    let mut next_insert = 0usize;
+    for t in b.vertices() {
+        if preimage[t.index()].is_none() {
+            script.push(EditOp::InsertVertex(b.label(t)));
+            inserted_handle[t.index()] = Some(next_insert);
+            next_insert += 1;
+        }
+    }
+    // 5. Insert target edges with no matched source edge.
+    let endpoint = |t: VertexId| -> EditEndpoint {
+        match preimage[t.index()] {
+            Some(src) => EditEndpoint::Source(src),
+            None => EditEndpoint::Inserted(inserted_handle[t.index()].expect("inserted")),
+        }
+    };
+    for (_, e) in b.edges() {
+        let matched = matches!(
+            (preimage[e.u.index()], preimage[e.v.index()]),
+            (Some(x), Some(y)) if a.has_edge(x, y)
+        );
+        if !matched {
+            script.push(EditOp::InsertEdge(endpoint(e.u), endpoint(e.v)));
+        }
+    }
+    debug_assert_eq!(script.len(), induced_edit_cost(a, b, mapping));
+    script
+}
+
+/// Replay a script on `a`, producing the edited graph.
+pub fn apply_edit_script(a: &Graph, script: &[EditOp]) -> Result<Graph, EditError> {
+    // Working state: survivors of `a` (with mutable labels and alive
+    // flags), edge set as pairs, plus inserted vertices.
+    let n = a.vertex_count();
+    let mut alive = vec![true; n];
+    let mut labels: Vec<Label> = a.labels().to_vec();
+    let mut edges: Vec<(usize, usize)> = a
+        .edges()
+        .map(|(_, e)| (e.u.index(), e.v.index()))
+        .collect();
+    let mut inserted: Vec<Label> = Vec::new();
+
+    // Node addressing: source i → slot i; inserted k → slot n + k.
+    let resolve = |ep: &EditEndpoint, alive: &[bool], inserted_len: usize| -> Result<usize, EditError> {
+        match ep {
+            EditEndpoint::Source(v) => {
+                if v.index() >= alive.len() || !alive[v.index()] {
+                    Err(EditError::MissingVertex)
+                } else {
+                    Ok(v.index())
+                }
+            }
+            EditEndpoint::Inserted(k) => {
+                if *k >= inserted_len {
+                    Err(EditError::MissingVertex)
+                } else {
+                    Ok(alive.len() + *k)
+                }
+            }
+        }
+    };
+
+    for op in script {
+        match op {
+            EditOp::DeleteEdge(u, v) => {
+                let (x, y) = (u.index(), v.index());
+                if x >= n || y >= n || !alive[x] || !alive[y] {
+                    return Err(EditError::MissingVertex);
+                }
+                let key = (x.min(y), x.max(y));
+                let pos = edges
+                    .iter()
+                    .position(|&(p, q)| (p.min(q), p.max(q)) == key)
+                    .ok_or(EditError::BadEdge)?;
+                edges.swap_remove(pos);
+            }
+            EditOp::DeleteVertex(v) => {
+                let x = v.index();
+                if x >= n || !alive[x] {
+                    return Err(EditError::MissingVertex);
+                }
+                if edges.iter().any(|&(p, q)| p == x || q == x) {
+                    return Err(EditError::VertexNotIsolated);
+                }
+                alive[x] = false;
+            }
+            EditOp::Relabel(v, l) => {
+                let x = v.index();
+                if x >= n || !alive[x] {
+                    return Err(EditError::MissingVertex);
+                }
+                labels[x] = *l;
+            }
+            EditOp::InsertVertex(l) => inserted.push(*l),
+            EditOp::InsertEdge(pu, pv) => {
+                let x = resolve(pu, &alive, inserted.len())?;
+                let y = resolve(pv, &alive, inserted.len())?;
+                if x == y {
+                    return Err(EditError::BadEdge);
+                }
+                let key = (x.min(y), x.max(y));
+                if edges.iter().any(|&(p, q)| (p.min(q), p.max(q)) == key) {
+                    return Err(EditError::BadEdge);
+                }
+                edges.push(key);
+            }
+        }
+    }
+
+    // Materialize: compact surviving + inserted slots into a fresh graph.
+    let mut slot_to_new: Vec<Option<VertexId>> = vec![None; n + inserted.len()];
+    let mut out = Graph::new();
+    for i in 0..n {
+        if alive[i] {
+            slot_to_new[i] = Some(out.add_vertex(labels[i]));
+        }
+    }
+    for (k, &l) in inserted.iter().enumerate() {
+        slot_to_new[n + k] = Some(out.add_vertex(l));
+    }
+    for &(p, q) in &edges {
+        let (np, nq) = (
+            slot_to_new[p].ok_or(EditError::MissingVertex)?,
+            slot_to_new[q].ok_or(EditError::MissingVertex)?,
+        );
+        out.add_edge(np, nq).map_err(|_| EditError::BadEdge)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ged::ged_upper_bound_mapping;
+    use crate::iso::are_isomorphic;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn path(n: usize) -> Graph {
+        let labels = vec![l(0); n];
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_parts(&labels, &edges)
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let labels = vec![l(0); n];
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        Graph::from_parts(&labels, &edges)
+    }
+
+    #[test]
+    fn identity_mapping_yields_empty_script() {
+        let g = cycle(4);
+        let mapping: Vec<Option<VertexId>> = g.vertices().map(Some).collect();
+        let script = edit_script(&g, &g, &mapping);
+        assert!(script.is_empty());
+        let out = apply_edit_script(&g, &script).unwrap();
+        assert!(are_isomorphic(&out, &g));
+    }
+
+    #[test]
+    fn script_transforms_path_into_cycle() {
+        let a = path(5);
+        let b = cycle(5);
+        let (_, mapping) = ged_upper_bound_mapping(&a, &b);
+        let script = edit_script(&a, &b, &mapping);
+        let out = apply_edit_script(&a, &script).unwrap();
+        assert!(are_isomorphic(&out, &b), "edit path must land on b");
+    }
+
+    #[test]
+    fn script_length_equals_induced_cost() {
+        let a = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let b = Graph::from_parts(&[l(0), l(9), l(2), l(3)], &[(0, 1), (1, 2), (2, 3)]);
+        let (cost, mapping) = ged_upper_bound_mapping(&a, &b);
+        let script = edit_script(&a, &b, &mapping);
+        assert_eq!(script.len(), cost);
+        let out = apply_edit_script(&a, &script).unwrap();
+        assert!(are_isomorphic(&out, &b));
+    }
+
+    #[test]
+    fn deleting_connected_vertex_fails() {
+        let g = path(3);
+        let script = vec![EditOp::DeleteVertex(VertexId(1))];
+        assert_eq!(
+            apply_edit_script(&g, &script).unwrap_err(),
+            EditError::VertexNotIsolated
+        );
+    }
+
+    #[test]
+    fn invalid_ops_are_rejected() {
+        let g = path(3);
+        assert_eq!(
+            apply_edit_script(&g, &[EditOp::DeleteEdge(VertexId(0), VertexId(2))]).unwrap_err(),
+            EditError::BadEdge
+        );
+        assert_eq!(
+            apply_edit_script(
+                &g,
+                &[EditOp::InsertEdge(
+                    EditEndpoint::Source(VertexId(0)),
+                    EditEndpoint::Source(VertexId(1))
+                )]
+            )
+            .unwrap_err(),
+            EditError::BadEdge // duplicate edge
+        );
+        assert_eq!(
+            apply_edit_script(&g, &[EditOp::Relabel(VertexId(9), l(1))]).unwrap_err(),
+            EditError::MissingVertex
+        );
+    }
+
+    #[test]
+    fn random_pairs_round_trip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let mk = |rng: &mut rand::rngs::StdRng| {
+                let n = rng.gen_range(2..6);
+                let mut g = Graph::new();
+                for _ in 0..n {
+                    g.add_vertex(l(rng.gen_range(0..2)));
+                }
+                for i in 1..n as u32 {
+                    let j = rng.gen_range(0..i);
+                    g.add_edge(VertexId(i), VertexId(j)).unwrap();
+                }
+                g
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            let (cost, mapping) = ged_upper_bound_mapping(&a, &b);
+            let script = edit_script(&a, &b, &mapping);
+            assert_eq!(script.len(), cost);
+            let out = apply_edit_script(&a, &script).unwrap();
+            assert!(are_isomorphic(&out, &b));
+        }
+    }
+}

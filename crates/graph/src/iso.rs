@@ -1,0 +1,497 @@
+//! Subgraph isomorphism and graph isomorphism.
+//!
+//! CATAPULT needs subgraph-isomorphism tests in several places: cluster
+//! coverage of candidate patterns against CSGs (§5, using VF2 [14]),
+//! coverage measures `scov`, and the step model of §6.1 (enumerating
+//! non-overlapping pattern embeddings in a query).
+//!
+//! We implement a VF2-style backtracking matcher with label/degree pruning
+//! and a connectivity-aware matching order. The default semantics is
+//! *non-induced* subgraph isomorphism (monomorphism): every pattern edge
+//! must map to a target edge, extra target edges are allowed — the standard
+//! semantics of subgraph search in graph databases [36]. Induced matching
+//! is available via [`MatchOptions::induced`].
+
+use crate::graph::{Graph, VertexId};
+use std::ops::ControlFlow;
+
+/// Options controlling a subgraph isomorphism search.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchOptions {
+    /// Require induced embeddings (pattern non-edges map to target non-edges).
+    pub induced: bool,
+    /// Stop after this many embeddings have been reported.
+    pub max_embeddings: usize,
+    /// Backtracking-node budget; guards pathological inputs. When exhausted
+    /// the search stops early (reported by [`MatchOutcome::complete`]).
+    pub node_budget: u64,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            induced: false,
+            max_embeddings: usize::MAX,
+            node_budget: 10_000_000,
+        }
+    }
+}
+
+/// Result metadata of an embedding enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// Number of embeddings reported to the callback.
+    pub embeddings: usize,
+    /// Whether the search space was exhausted (false if a budget or
+    /// `max_embeddings` cut it short).
+    pub complete: bool,
+}
+
+struct Matcher<'a, F>
+where
+    F: FnMut(&[VertexId]) -> ControlFlow<()>,
+{
+    pattern: &'a Graph,
+    target: &'a Graph,
+    opts: MatchOptions,
+    /// Pattern vertices in matching order.
+    order: Vec<VertexId>,
+    /// For order position i: pattern neighbors of order[i] that appear
+    /// earlier in the order.
+    back_neighbors: Vec<Vec<VertexId>>,
+    /// For induced mode: earlier-ordered pattern vertices NOT adjacent to order[i].
+    back_non_neighbors: Vec<Vec<VertexId>>,
+    /// pattern vertex -> target vertex (or MAX)
+    map: Vec<u32>,
+    /// target vertex used?
+    used: Vec<bool>,
+    nodes: u64,
+    found: usize,
+    callback: F,
+}
+
+const UNMAPPED: u32 = u32::MAX;
+
+/// Compute a connectivity-first matching order: start at the vertex whose
+/// (label rarity in target, degree) makes it most selective, then repeatedly
+/// append the unordered vertex with the most already-ordered neighbors
+/// (ties broken by degree). Disconnected patterns are handled by restarting
+/// at the most selective remaining vertex.
+fn matching_order(pattern: &Graph, target: &Graph) -> Vec<VertexId> {
+    let np = pattern.vertex_count();
+    // Label frequency in target for selectivity.
+    let mut freq = std::collections::HashMap::new();
+    for v in target.vertices() {
+        *freq.entry(target.label(v)).or_insert(0usize) += 1;
+    }
+    let selectivity = |v: VertexId| -> (usize, std::cmp::Reverse<usize>) {
+        (
+            *freq.get(&pattern.label(v)).unwrap_or(&0),
+            std::cmp::Reverse(pattern.degree(v)),
+        )
+    };
+    let mut in_order = vec![false; np];
+    let mut order = Vec::with_capacity(np);
+    while order.len() < np {
+        let start = pattern
+            .vertices()
+            .filter(|v| !in_order[v.index()])
+            .min_by_key(|&v| selectivity(v))
+            .expect("vertices remain");
+        in_order[start.index()] = true;
+        order.push(start);
+        loop {
+            // Most-constrained next: max count of ordered neighbors.
+            let next = pattern
+                .vertices()
+                .filter(|v| !in_order[v.index()])
+                .map(|v| {
+                    let c = pattern
+                        .neighbors(v)
+                        .iter()
+                        .filter(|(w, _)| in_order[w.index()])
+                        .count();
+                    (c, pattern.degree(v), v)
+                })
+                .filter(|&(c, _, _)| c > 0)
+                .max_by_key(|&(c, d, _)| (c, d));
+            match next {
+                Some((_, _, v)) => {
+                    in_order[v.index()] = true;
+                    order.push(v);
+                }
+                None => break, // component exhausted; outer loop restarts
+            }
+        }
+    }
+    order
+}
+
+impl<'a, F> Matcher<'a, F>
+where
+    F: FnMut(&[VertexId]) -> ControlFlow<()>,
+{
+    fn new(pattern: &'a Graph, target: &'a Graph, opts: MatchOptions, callback: F) -> Self {
+        let order = matching_order(pattern, target);
+        let np = pattern.vertex_count();
+        let mut pos = vec![usize::MAX; np];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        let mut back_neighbors = vec![Vec::new(); np];
+        let mut back_non_neighbors = vec![Vec::new(); np];
+        for (i, &v) in order.iter().enumerate() {
+            for &(w, _) in pattern.neighbors(v) {
+                if pos[w.index()] < i {
+                    back_neighbors[i].push(w);
+                }
+            }
+            if opts.induced {
+                for (j, &w) in order.iter().enumerate().take(i) {
+                    let _ = j;
+                    if !pattern.has_edge(v, w) {
+                        back_non_neighbors[i].push(w);
+                    }
+                }
+            }
+        }
+        Matcher {
+            pattern,
+            target,
+            opts,
+            order,
+            back_neighbors,
+            back_non_neighbors,
+            map: vec![UNMAPPED; np],
+            used: vec![false; target.vertex_count()],
+            nodes: 0,
+            found: 0,
+            callback,
+        }
+    }
+
+    fn feasible(&self, depth: usize, pv: VertexId, tv: VertexId) -> bool {
+        if self.used[tv.index()] {
+            return false;
+        }
+        if self.pattern.label(pv) != self.target.label(tv) {
+            return false;
+        }
+        if self.pattern.degree(pv) > self.target.degree(tv) {
+            return false;
+        }
+        for &bn in &self.back_neighbors[depth] {
+            let mapped = VertexId(self.map[bn.index()]);
+            if !self.target.has_edge(mapped, tv) {
+                return false;
+            }
+        }
+        if self.opts.induced {
+            for &nn in &self.back_non_neighbors[depth] {
+                let mapped = VertexId(self.map[nn.index()]);
+                if self.target.has_edge(mapped, tv) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `Break` to stop the whole search.
+    fn descend(&mut self, depth: usize) -> ControlFlow<()> {
+        if depth == self.order.len() {
+            self.found += 1;
+            let embedding: Vec<VertexId> = self.map.iter().map(|&t| VertexId(t)).collect();
+            (self.callback)(&embedding)?;
+            if self.found >= self.opts.max_embeddings {
+                return ControlFlow::Break(());
+            }
+            return ControlFlow::Continue(());
+        }
+        self.nodes += 1;
+        if self.nodes > self.opts.node_budget {
+            return ControlFlow::Break(());
+        }
+        let pv = self.order[depth];
+        if let Some(&anchor) = self.back_neighbors[depth].first() {
+            // Candidates restricted to target-neighbors of the mapped anchor.
+            let mapped = VertexId(self.map[anchor.index()]);
+            let candidates: Vec<VertexId> = self
+                .target
+                .neighbors(mapped)
+                .iter()
+                .map(|&(w, _)| w)
+                .collect();
+            for tv in candidates {
+                if self.feasible(depth, pv, tv) {
+                    self.assign(pv, tv);
+                    self.descend(depth + 1)?;
+                    self.unassign(pv, tv);
+                }
+            }
+        } else {
+            for tv in self.target.vertices() {
+                if self.feasible(depth, pv, tv) {
+                    self.assign(pv, tv);
+                    self.descend(depth + 1)?;
+                    self.unassign(pv, tv);
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    #[inline]
+    fn assign(&mut self, pv: VertexId, tv: VertexId) {
+        self.map[pv.index()] = tv.0;
+        self.used[tv.index()] = true;
+    }
+
+    #[inline]
+    fn unassign(&mut self, pv: VertexId, tv: VertexId) {
+        self.map[pv.index()] = UNMAPPED;
+        self.used[tv.index()] = false;
+    }
+}
+
+/// Quick necessary conditions for `pattern ⊆ target`.
+fn quick_reject(pattern: &Graph, target: &Graph) -> bool {
+    if pattern.vertex_count() > target.vertex_count()
+        || pattern.edge_count() > target.edge_count()
+    {
+        return true;
+    }
+    // Label multiset containment.
+    let mut need = std::collections::HashMap::new();
+    for v in pattern.vertices() {
+        *need.entry(pattern.label(v)).or_insert(0i64) += 1;
+    }
+    for v in target.vertices() {
+        if let Some(c) = need.get_mut(&target.label(v)) {
+            *c -= 1;
+        }
+    }
+    need.values().any(|&c| c > 0)
+}
+
+/// Enumerate embeddings of `pattern` in `target`, invoking `callback` with
+/// each mapping (indexed by pattern vertex id, values are target vertex
+/// ids). Return `ControlFlow::Break(())` from the callback to stop early.
+pub fn for_each_embedding<F>(
+    target: &Graph,
+    pattern: &Graph,
+    opts: MatchOptions,
+    callback: F,
+) -> MatchOutcome
+where
+    F: FnMut(&[VertexId]) -> ControlFlow<()>,
+{
+    if pattern.vertex_count() == 0 {
+        // The empty pattern embeds trivially, once.
+        let mut cb = callback;
+        let _ = cb(&[]);
+        return MatchOutcome {
+            embeddings: 1,
+            complete: true,
+        };
+    }
+    if quick_reject(pattern, target) {
+        return MatchOutcome {
+            embeddings: 0,
+            complete: true,
+        };
+    }
+    let mut m = Matcher::new(pattern, target, opts, callback);
+    let flow = m.descend(0);
+    MatchOutcome {
+        embeddings: m.found,
+        complete: flow == ControlFlow::Continue(()) && m.nodes <= m.opts.node_budget,
+    }
+}
+
+/// Whether `pattern` is subgraph-isomorphic to `target` (non-induced).
+pub fn contains(target: &Graph, pattern: &Graph) -> bool {
+    find_embedding(target, pattern).is_some()
+}
+
+/// Find one embedding of `pattern` in `target` (non-induced), as a mapping
+/// pattern-vertex-id → target-vertex-id.
+pub fn find_embedding(target: &Graph, pattern: &Graph) -> Option<Vec<VertexId>> {
+    let mut result = None;
+    for_each_embedding(
+        target,
+        pattern,
+        MatchOptions {
+            max_embeddings: 1,
+            ..MatchOptions::default()
+        },
+        |emb| {
+            result = Some(emb.to_vec());
+            ControlFlow::Break(())
+        },
+    );
+    result
+}
+
+/// Collect up to `cap` embeddings of `pattern` in `target` (non-induced).
+pub fn embeddings(target: &Graph, pattern: &Graph, cap: usize) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    for_each_embedding(
+        target,
+        pattern,
+        MatchOptions {
+            max_embeddings: cap,
+            ..MatchOptions::default()
+        },
+        |emb| {
+            out.push(emb.to_vec());
+            ControlFlow::Continue(())
+        },
+    );
+    out
+}
+
+/// Exact graph isomorphism test.
+///
+/// Two simple graphs with equal `|V|` and `|E|` are isomorphic iff a
+/// vertex-injective, edge-preserving map exists (the map is then a
+/// bijection and edge counts force edge surjectivity).
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.invariant_signature() != b.invariant_signature() {
+        return false;
+    }
+    contains(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn triangle() -> Graph {
+        Graph::from_parts(&[l(0); 3], &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    fn path(n: usize) -> Graph {
+        let labels = vec![l(0); n];
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_parts(&labels, &edges)
+    }
+
+    #[test]
+    fn triangle_contains_path2_not_vice_versa() {
+        let t = triangle();
+        let p = path(3);
+        assert!(contains(&t, &p));
+        assert!(!contains(&p, &t));
+    }
+
+    #[test]
+    fn self_containment() {
+        let t = triangle();
+        assert!(contains(&t, &t));
+        assert!(are_isomorphic(&t, &t));
+    }
+
+    #[test]
+    fn labels_block_matching() {
+        let a = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        let b = Graph::from_parts(&[l(0), l(2)], &[(0, 1)]);
+        assert!(!contains(&b, &a));
+    }
+
+    #[test]
+    fn induced_vs_monomorphism() {
+        // pattern: path of 3; target: triangle. Non-induced: yes. Induced: no
+        // (the two path endpoints map to adjacent target vertices).
+        let t = triangle();
+        let p = path(3);
+        let non_induced = for_each_embedding(&t, &p, MatchOptions::default(), |_| {
+            ControlFlow::Break(())
+        });
+        assert_eq!(non_induced.embeddings, 1);
+        let induced = for_each_embedding(
+            &t,
+            &p,
+            MatchOptions {
+                induced: true,
+                ..MatchOptions::default()
+            },
+            |_| ControlFlow::Break(()),
+        );
+        assert_eq!(induced.embeddings, 0);
+    }
+
+    #[test]
+    fn counts_all_embeddings_of_edge_in_triangle() {
+        // single labeled edge into unlabeled triangle: 3 edges × 2 directions.
+        let e = path(2);
+        let t = triangle();
+        assert_eq!(embeddings(&t, &e, usize::MAX).len(), 6);
+    }
+
+    #[test]
+    fn embedding_preserves_edges_and_labels() {
+        let t = Graph::from_parts(
+            &[l(0), l(1), l(0), l(2)],
+            &[(0, 1), (1, 2), (2, 3), (0, 3)],
+        );
+        let p = Graph::from_parts(&[l(1), l(0)], &[(0, 1)]);
+        for emb in embeddings(&t, &p, usize::MAX) {
+            assert_eq!(t.label(emb[0]), l(1));
+            assert_eq!(t.label(emb[1]), l(0));
+            assert!(t.has_edge(emb[0], emb[1]));
+        }
+    }
+
+    #[test]
+    fn quick_reject_on_labels() {
+        let p = Graph::from_parts(&[l(9), l(9)], &[(0, 1)]);
+        let t = triangle();
+        assert!(!contains(&t, &p));
+    }
+
+    #[test]
+    fn disconnected_pattern_matches() {
+        // Two isolated labeled edges into a path of 5.
+        let p = Graph::from_parts(&[l(0); 4], &[(0, 1), (2, 3)]);
+        let t = path(5);
+        assert!(contains(&t, &p));
+        // ... but not into a path of 3 (needs 4 distinct vertices).
+        assert!(!contains(&path(3), &p));
+    }
+
+    #[test]
+    fn isomorphism_respects_structure() {
+        let p4 = path(4);
+        let star = Graph::from_parts(&[l(0); 4], &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!are_isomorphic(&p4, &star));
+        let p4b = Graph::from_parts(&[l(0); 4], &[(2, 0), (0, 3), (3, 1)]);
+        assert!(are_isomorphic(&p4, &p4b));
+    }
+
+    #[test]
+    fn max_embeddings_cap() {
+        let e = path(2);
+        let t = triangle();
+        let out = embeddings(&t, &e, 2);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_pattern_embeds_once() {
+        let t = triangle();
+        let out = for_each_embedding(&t, &Graph::new(), MatchOptions::default(), |_| {
+            ControlFlow::Continue(())
+        });
+        assert_eq!(out.embeddings, 1);
+        assert!(out.complete);
+    }
+}

@@ -1,0 +1,169 @@
+//! Interned vertex labels and derived edge labels.
+//!
+//! CATAPULT operates on repositories of small labeled graphs (e.g. chemical
+//! compounds, where vertex labels are element symbols). Labels are interned
+//! once into dense `u32` ids so that graphs themselves store only integers
+//! and label comparisons are O(1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned vertex label.
+///
+/// Obtained from a [`LabelInterner`]. Two `Label`s from the same interner
+/// are equal iff their original strings were equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Raw id as `usize`, for indexing per-label tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The label of an (undirected) edge, derived from its endpoint labels.
+///
+/// Per the paper (§3.2, footnote 5): *"In graphs where only vertices are
+/// labelled, an edge label can be considered as concatenation of labels of
+/// the end vertices."* We store the unordered pair in canonical
+/// (min, max) order so that `(C, O)` and `(O, C)` compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeLabel(pub Label, pub Label);
+
+impl EdgeLabel {
+    /// Canonicalize an endpoint label pair into an edge label.
+    #[inline]
+    pub fn new(a: Label, b: Label) -> Self {
+        if a <= b {
+            EdgeLabel(a, b)
+        } else {
+            EdgeLabel(b, a)
+        }
+    }
+}
+
+impl fmt::Debug for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?},{:?})", self.0, self.1)
+    }
+}
+
+/// String ↔ [`Label`] interner.
+///
+/// A repository shares one interner; datasets, queries, and selected canned
+/// patterns must agree on label ids to be comparable.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    ids: HashMap<String, Label>,
+}
+
+impl LabelInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its stable [`Label`].
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.ids.get(name) {
+            return l;
+        }
+        let l = Label(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Look up an already-interned label without inserting.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.ids.get(name).copied()
+    }
+
+    /// The original string for `label`, if it came from this interner.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Resolve a label to a printable string (falls back to the raw id).
+    pub fn display(&self, label: Label) -> String {
+        self.name(label)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("L{}", label.0))
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(Label, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = LabelInterner::new();
+        let c1 = it.intern("C");
+        let o = it.intern("O");
+        let c2 = it.intern("C");
+        assert_eq!(c1, c2);
+        assert_ne!(c1, o);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut it = LabelInterner::new();
+        let n = it.intern("N");
+        assert_eq!(it.name(n), Some("N"));
+        assert_eq!(it.get("N"), Some(n));
+        assert_eq!(it.get("P"), None);
+        assert_eq!(it.display(Label(99)), "L99");
+    }
+
+    #[test]
+    fn edge_label_is_unordered() {
+        let a = Label(3);
+        let b = Label(7);
+        assert_eq!(EdgeLabel::new(a, b), EdgeLabel::new(b, a));
+        assert_eq!(EdgeLabel::new(a, b).0, a);
+    }
+
+    #[test]
+    fn iter_returns_in_id_order() {
+        let mut it = LabelInterner::new();
+        it.intern("C");
+        it.intern("N");
+        let v: Vec<_> = it.iter().map(|(l, n)| (l.0, n.to_owned())).collect();
+        assert_eq!(v, vec![(0, "C".to_owned()), (1, "N".to_owned())]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Maximum common subgraph (MCS) and maximum *connected* common subgraph
+//! (MCCS), per §2 of the paper.
+//!
+//! Implemented as McGregor-style backtracking [27]: vertices of the smaller
+//! graph are decided in a fixed order — mapped to a label-compatible unused
+//! vertex of the other graph, or skipped — while an upper bound on the
+//! number of still-achievable common edges prunes the search. For MCCS, the
+//! largest connected component of each improving common-edge subgraph is
+//! taken (every connected common subgraph appears as a sub-solution of some
+//! branch, so the enumeration is exhaustive).
+//!
+//! Both problems are NP-complete [36]; a configurable node-expansion budget
+//! bounds the pathological worst case, falling back to the best solution
+//! found (`exact = false`), mirroring the budgeted McGregor implementations
+//! benchmarked in [13].
+
+use crate::graph::{Graph, VertexId};
+
+/// Configuration for an MCS/MCCS computation.
+#[derive(Clone, Copy, Debug)]
+pub struct McsConfig {
+    /// Require the common subgraph to be connected (MCCS, [36]).
+    pub connected: bool,
+    /// Backtracking node budget; the search stops (inexact) when exhausted.
+    pub node_budget: u64,
+}
+
+impl Default for McsConfig {
+    fn default() -> Self {
+        McsConfig {
+            connected: false,
+            node_budget: 500_000,
+        }
+    }
+}
+
+impl McsConfig {
+    /// Config for a maximum connected common subgraph computation.
+    pub fn connected() -> Self {
+        McsConfig {
+            connected: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of an MCS/MCCS computation.
+#[derive(Clone, Debug)]
+pub struct McsResult {
+    /// Matched vertex pairs `(v in g1, v in g2)`.
+    pub pairs: Vec<(VertexId, VertexId)>,
+    /// Size of the common subgraph in edges (the paper's `|G|`).
+    pub edges: usize,
+    /// Whether the search space was exhausted within the node budget.
+    pub exact: bool,
+}
+
+struct Search<'a> {
+    a: &'a Graph, // decided graph (fewer vertices)
+    b: &'a Graph,
+    order: Vec<VertexId>,
+    cfg: McsConfig,
+    map: Vec<u32>,   // a-vertex -> b-vertex or MAX
+    used: Vec<bool>, // b-vertex used
+    score: usize,    // common edges among mapped pairs
+    lost: usize,     // a-edges that can no longer become common
+    best_edges: usize,
+    best_pairs: Vec<(VertexId, VertexId)>,
+    nodes: u64,
+    exhausted_budget: bool,
+    swapped: bool,
+    /// Whether each a-vertex has been decided (mapped or skipped) yet.
+    decided: Vec<bool>,
+}
+
+const UNMAPPED: u32 = u32::MAX;
+
+impl<'a> Search<'a> {
+    /// Edges of `a` incident to `v` whose other endpoint is already decided
+    /// (mapped or skipped), partitioned into (commonable-if-mapped-to,
+    /// lost). For a candidate target `t`: common += matched neighbors whose
+    /// image is adjacent to `t`.
+    fn gain_and_loss(&self, v: VertexId, t: VertexId, decided: &[bool]) -> (usize, usize) {
+        let mut gain = 0;
+        let mut loss = 0;
+        for &(w, _) in self.a.neighbors(v) {
+            if !decided[w.index()] {
+                continue;
+            }
+            let m = self.map[w.index()];
+            if m == UNMAPPED {
+                // Neighbor was skipped: the edge (v,w) was already counted
+                // as lost at skip time (see `loss_on_skip`).
+                continue;
+            } else if self.b.has_edge(VertexId(m), t) {
+                gain += 1;
+            } else {
+                loss += 1;
+            }
+        }
+        (gain, loss)
+    }
+
+    fn loss_on_skip(&self, v: VertexId) -> usize {
+        // Skipping v loses every a-edge incident to v that hasn't already
+        // been scored or lost: i.e. edges to undecided vertices plus edges
+        // to decided-mapped vertices (their commonality was accounted when v
+        // would map; since v skips, they are lost now) — but edges to
+        // decided-*skipped* neighbors were already counted as lost when that
+        // neighbor skipped. We avoid double counting by only counting edges
+        // whose other endpoint is undecided or mapped.
+        self.a.degree(v)
+            - self
+                .a
+                .neighbors(v)
+                .iter()
+                .filter(|&&(w, _)| self.decided_skipped(w))
+                .count()
+    }
+
+    fn decided_skipped(&self, w: VertexId) -> bool {
+        self.decided[w.index()] && self.map[w.index()] == UNMAPPED
+    }
+
+    fn record_leaf(&mut self) {
+        if self.score <= self.best_edges {
+            return;
+        }
+        if !self.cfg.connected {
+            self.best_edges = self.score;
+            self.best_pairs = self.current_pairs();
+            return;
+        }
+        // MCCS: take the largest connected component of the common-edge
+        // subgraph induced by the current mapping.
+        let pairs = self.current_pairs();
+        let (cc_edges, cc_pairs) = largest_common_component(self.a, self.b, &pairs);
+        if cc_edges > self.best_edges {
+            self.best_edges = cc_edges;
+            self.best_pairs = cc_pairs;
+        }
+    }
+
+    fn current_pairs(&self) -> Vec<(VertexId, VertexId)> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m != UNMAPPED)
+            .map(|(i, &m)| (VertexId(i as u32), VertexId(m)))
+            .collect()
+    }
+
+    fn descend(&mut self, depth: usize) {
+        self.nodes += 1;
+        if self.nodes > self.cfg.node_budget {
+            self.exhausted_budget = true;
+            return;
+        }
+        // Bound: total a-edges minus those already lost can still become
+        // common in the best case.
+        let potential = self.a.edge_count() - self.lost;
+        if potential <= self.best_edges {
+            self.record_leaf();
+            return;
+        }
+        if depth == self.order.len() {
+            self.record_leaf();
+            return;
+        }
+        let v = self.order[depth];
+        // Try candidate targets ordered by immediate gain (desc) so good
+        // solutions are found early and the bound tightens.
+        let mut candidates: Vec<(usize, usize, VertexId)> = Vec::new();
+        for t in self.b.vertices() {
+            if self.used[t.index()] || self.b.label(t) != self.a.label(v) {
+                continue;
+            }
+            let (gain, loss) = self.gain_and_loss(v, t, &self.decided);
+            candidates.push((gain, loss, t));
+        }
+        candidates.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        self.decided[v.index()] = true;
+        for (gain, loss, t) in candidates {
+            self.map[v.index()] = t.0;
+            self.used[t.index()] = true;
+            self.score += gain;
+            self.lost += loss;
+            self.descend(depth + 1);
+            self.score -= gain;
+            self.lost -= loss;
+            self.map[v.index()] = UNMAPPED;
+            self.used[t.index()] = false;
+            if self.exhausted_budget {
+                self.decided[v.index()] = false;
+                return;
+            }
+        }
+        // Skip branch.
+        let loss = self.loss_on_skip(v);
+        self.lost += loss;
+        self.descend(depth + 1);
+        self.lost -= loss;
+        self.decided[v.index()] = false;
+    }
+}
+
+// `decided` lives outside the struct init for borrow simplicity.
+impl<'a> Search<'a> {
+    fn run(a: &'a Graph, b: &'a Graph, cfg: McsConfig, swapped: bool) -> McsResult {
+        let mut order: Vec<VertexId> = a.vertices().collect();
+        // Decide high-degree vertices first: they constrain the most edges.
+        order.sort_by_key(|&v| std::cmp::Reverse(a.degree(v)));
+        let mut s = Search {
+            a,
+            b,
+            order,
+            cfg,
+            map: vec![UNMAPPED; a.vertex_count()],
+            used: vec![false; b.vertex_count()],
+            score: 0,
+            lost: 0,
+            best_edges: 0,
+            best_pairs: Vec::new(),
+            nodes: 0,
+            exhausted_budget: false,
+            swapped,
+            decided: vec![false; a.vertex_count()],
+        };
+        s.descend(0);
+        let mut pairs = s.best_pairs;
+        if s.swapped {
+            for p in &mut pairs {
+                *p = (p.1, p.0);
+            }
+        }
+        McsResult {
+            pairs,
+            edges: s.best_edges,
+            exact: !s.exhausted_budget,
+        }
+    }
+}
+
+/// Largest connected component (by edge count) of the common-edge subgraph
+/// induced by `pairs`. Returns `(edge_count, pairs in that component)`.
+fn largest_common_component(
+    a: &Graph,
+    b: &Graph,
+    pairs: &[(VertexId, VertexId)],
+) -> (usize, Vec<(VertexId, VertexId)>) {
+    let k = pairs.len();
+    if k == 0 {
+        return (0, Vec::new());
+    }
+    // Adjacency among pair indices: common edge exists.
+    let mut adj = vec![Vec::new(); k];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let (va, ta) = pairs[i];
+            let (vb, tb) = pairs[j];
+            if a.has_edge(va, vb) && b.has_edge(ta, tb) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let mut seen = vec![false; k];
+    let mut best = (0usize, Vec::new());
+    for start in 0..k {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = vec![start];
+        seen[start] = true;
+        let mut qi = 0;
+        while qi < comp.len() {
+            let x = comp[qi];
+            qi += 1;
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    comp.push(y);
+                }
+            }
+        }
+        // Count edges inside the component.
+        let mut edges = 0;
+        for &x in &comp {
+            edges += adj[x].iter().filter(|y| comp.contains(y)).count();
+        }
+        edges /= 2;
+        if edges > best.0 {
+            best = (edges, comp.iter().map(|&i| pairs[i]).collect());
+        }
+    }
+    best
+}
+
+/// Compute the MCS (or MCCS, per `cfg.connected`) of `g1` and `g2`.
+pub fn mcs(g1: &Graph, g2: &Graph, cfg: McsConfig) -> McsResult {
+    if g1.vertex_count() == 0 || g2.vertex_count() == 0 {
+        return McsResult {
+            pairs: Vec::new(),
+            edges: 0,
+            exact: true,
+        };
+    }
+    if g1.vertex_count() <= g2.vertex_count() {
+        Search::run(g1, g2, cfg, false)
+    } else {
+        Search::run(g2, g1, cfg, true)
+    }
+}
+
+/// `ω_mcs(G1, G2) = |G_mcs| / min(|G1|, |G2|)` with `|G| = |E|` (§2).
+pub fn mcs_similarity(g1: &Graph, g2: &Graph, budget: u64) -> f64 {
+    similarity(g1, g2, McsConfig {
+        connected: false,
+        node_budget: budget,
+    })
+}
+
+/// `ω_mccs(G1, G2) = |G_mccs| / min(|G1|, |G2|)` with `|G| = |E|` (§2).
+pub fn mccs_similarity(g1: &Graph, g2: &Graph, budget: u64) -> f64 {
+    similarity(g1, g2, McsConfig {
+        connected: true,
+        node_budget: budget,
+    })
+}
+
+fn similarity(g1: &Graph, g2: &Graph, cfg: McsConfig) -> f64 {
+    let denom = g1.edge_count().min(g2.edge_count());
+    if denom == 0 {
+        return 0.0;
+    }
+    mcs(g1, g2, cfg).edges as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn path(n: usize) -> Graph {
+        let labels = vec![l(0); n];
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_parts(&labels, &edges)
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let labels = vec![l(0); n];
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        Graph::from_parts(&labels, &edges)
+    }
+
+    #[test]
+    fn identical_graphs() {
+        let g = cycle(5);
+        let r = mcs(&g, &g, McsConfig::default());
+        assert!(r.exact);
+        assert_eq!(r.edges, 5);
+        assert!((mccs_similarity(&g, &g, 500_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_in_cycle() {
+        let p = path(4);
+        let c = cycle(6);
+        let r = mcs(&p, &c, McsConfig::connected());
+        assert!(r.exact);
+        assert_eq!(r.edges, 3); // the whole path embeds
+    }
+
+    #[test]
+    fn mccs_leq_mcs() {
+        // Two triangles joined by nothing vs a graph containing one triangle
+        // and a far edge: MCS can use both pieces, MCCS only one.
+        let g1 = Graph::from_parts(
+            &[l(0); 5],
+            &[(0, 1), (1, 2), (0, 2), (3, 4)], // triangle + edge
+        );
+        let g2 = Graph::from_parts(
+            &[l(0); 6],
+            &[(0, 1), (1, 2), (0, 2), (4, 5)], // triangle + separated edge
+        );
+        let m = mcs(&g1, &g2, McsConfig::default());
+        let c = mcs(&g1, &g2, McsConfig::connected());
+        assert_eq!(m.edges, 4);
+        assert_eq!(c.edges, 3);
+        assert!(c.edges <= m.edges);
+    }
+
+    #[test]
+    fn labels_restrict_common() {
+        let a = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let b = Graph::from_parts(&[l(0), l(1), l(3)], &[(0, 1), (1, 2)]);
+        let r = mcs(&a, &b, McsConfig::default());
+        assert_eq!(r.edges, 1); // only the (0)-(1) edge is common
+    }
+
+    #[test]
+    fn result_is_common_subgraph() {
+        let a = cycle(5);
+        let b = path(5);
+        let r = mcs(&a, &b, McsConfig::connected());
+        assert!(r.exact);
+        assert_eq!(r.edges, 4); // the path of 5 is the MCCS
+        // Verify every claimed common edge is real.
+        let mut count = 0;
+        for i in 0..r.pairs.len() {
+            for j in (i + 1)..r.pairs.len() {
+                let (va, ta) = r.pairs[i];
+                let (vb, tb) = r.pairs[j];
+                if a.has_edge(va, vb) && b.has_edge(ta, tb) {
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, r.edges);
+    }
+
+    #[test]
+    fn empty_graph_similarity() {
+        let mut g = Graph::new();
+        g.add_vertex(l(0));
+        let h = path(3);
+        assert_eq!(mcs_similarity(&g, &h, 1000), 0.0);
+    }
+
+    #[test]
+    fn similarity_symmetry() {
+        let a = cycle(4);
+        let b = path(6);
+        let s1 = mccs_similarity(&a, &b, 500_000);
+        let s2 = mccs_similarity(&b, &a, 500_000);
+        assert!((s1 - s2).abs() < 1e-12);
+        assert!(s1 > 0.0 && s1 <= 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # catapult-mining
+//!
+//! Mining substrates for the CATAPULT reproduction:
+//!
+//! * [`subtree`] — frequent subtree mining ([10], §4.1), the feature
+//!   source for coarse clustering;
+//! * [`facility`] — submodular facility-location selection of subtree
+//!   features (§4.1 + Appendix B);
+//! * [`subgraph`] — frequent subgraph mining, the Exp 9 baseline ("F");
+//! * [`edges`] — labeled-edge statistics (`elw`, `lcov`, top-k edges);
+//! * [`gindex`] — filter–verify subgraph search over the repository (the
+//!   §1 query primitive the interface formulates for).
+
+#![warn(missing_docs)]
+
+pub mod edges;
+pub mod gindex;
+pub mod facility;
+pub mod subgraph;
+pub mod subtree;
+
+pub use edges::EdgeLabelStats;
+pub use gindex::{scan_search, GraphIndex};
+pub use subgraph::{mine_frequent_subgraphs, FrequentSubgraph, SubgraphMinerConfig};
+pub use subtree::{mine_frequent_subtrees, FrequentSubtree, SubtreeMinerConfig};

@@ -1,0 +1,72 @@
+//! Query-log-aware pattern selection — the §3.3 extension.
+//!
+//! CATAPULT is log-oblivious by design (cold-start friendly), but once an
+//! interface has been in production, its query log predicts what users
+//! will formulate next. This example compares an oblivious panel with a
+//! log-aware one on a workload drawn from the same distribution as the
+//! log.
+//!
+//! ```text
+//! cargo run --release --example query_log
+//! ```
+
+use catapult::core::{find_canned_patterns, QueryLog};
+use catapult::prelude::*;
+use catapult::{cluster, csg, datasets, eval};
+use rand::SeedableRng;
+
+fn main() {
+    let db = datasets::generate(&datasets::pubchem_profile(), 150, 71);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+    let clustering =
+        cluster::cluster_graphs(&db.graphs, &cluster::ClusteringConfig::default(), &mut rng);
+    let csgs = csg::build_csgs(&db.graphs, &clustering.clusters);
+
+    // Users have historically queried a narrow slice of the catalogue
+    // (say, one compound family).
+    let family: Vec<Graph> = db.graphs[..20].to_vec();
+    let history = datasets::random_queries(&family, 60, (4, 15), 79);
+    let log = QueryLog::new(history);
+    println!("log: {} recorded queries over a {}-compound family", log.len(), family.len());
+
+    let budget = PatternBudget::new(3, 8, 10).expect("valid budget");
+    let select = |query_log: Option<QueryLog>, seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        find_canned_patterns(
+            &db.graphs,
+            &csgs,
+            &SelectionConfig {
+                budget: budget.clone(),
+                walks: 50,
+                query_log,
+                log_weight: 4.0,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .patterns()
+    };
+    let oblivious = select(None, 83);
+    let aware = select(Some(log), 83);
+
+    // Tomorrow's workload comes from the same family.
+    let future = datasets::random_queries(&family, 80, (4, 15), 89);
+    let ev_obl = eval::WorkloadEvaluation::evaluate(&oblivious, &future);
+    let ev_aware = eval::WorkloadEvaluation::evaluate(&aware, &future);
+    println!(
+        "{:<14} {:>10} {:>8}",
+        "panel", "avg mu", "MP"
+    );
+    for (name, ev) in [("oblivious", &ev_obl), ("log-aware", &ev_aware)] {
+        println!(
+            "{:<14} {:>9.1}% {:>7.1}%",
+            name,
+            ev.mean_reduction() * 100.0,
+            ev.missed_percentage()
+        );
+    }
+    println!(
+        "\nthe boost multiplies Eq. 2 scores by 1 + λ·freq(p); zero-frequency \
+         patterns keep their base score, so cold-start behaviour is unchanged."
+    );
+}

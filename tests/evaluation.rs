@@ -1,0 +1,165 @@
+//! Integration tests of the evaluation stack (step model, GUI simulators,
+//! measures) against the pipeline's outputs — the §6 machinery end to end.
+
+use catapult::prelude::*;
+use catapult::{datasets, eval};
+use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
+
+fn repo() -> datasets::MoleculeDb {
+    datasets::generate(&datasets::pubchem_profile(), 40, 55)
+}
+
+fn catapult_panel(db: &[Graph]) -> Vec<Graph> {
+    let cfg = CatapultConfig {
+        budget: PatternBudget::new(3, 8, 12).unwrap(),
+        walks: 20,
+        ..Default::default()
+    };
+    run_catapult(db, &cfg).patterns()
+}
+
+#[test]
+fn step_p_never_exceeds_edge_at_a_time() {
+    let db = repo();
+    let panel = catapult_panel(&db.graphs);
+    let queries = datasets::random_queries(&db.graphs, 50, (4, 25), 56);
+    for q in &queries {
+        let f = eval::formulate(q, &panel, DEFAULT_EMBEDDING_CAP);
+        assert!(f.steps <= f.steps_edge_at_a_time);
+        assert_eq!(f.steps_edge_at_a_time, eval::step_total(q));
+    }
+}
+
+#[test]
+fn chosen_embeddings_never_overlap() {
+    let db = repo();
+    let panel = catapult_panel(&db.graphs);
+    let queries = datasets::random_queries(&db.graphs, 30, (6, 20), 57);
+    for q in &queries {
+        let f = eval::formulate(q, &panel, DEFAULT_EMBEDDING_CAP);
+        let mut used = std::collections::HashSet::new();
+        for occ in &f.used {
+            for v in &occ.vertices {
+                assert!(used.insert(*v), "vertex {v:?} reused across occurrences");
+            }
+        }
+    }
+}
+
+#[test]
+fn step_accounting_is_consistent() {
+    let db = repo();
+    let panel = catapult_panel(&db.graphs);
+    let queries = datasets::random_queries(&db.graphs, 30, (4, 18), 58);
+    for q in &queries {
+        let f = eval::formulate(q, &panel, DEFAULT_EMBEDDING_CAP);
+        let cov_v: usize = f.used.iter().map(|o| o.vertices.len()).sum();
+        let cov_e: usize = f.used.iter().map(|o| o.edges.len()).sum();
+        assert_eq!(
+            f.steps,
+            f.used.len() + (q.vertex_count() - cov_v) + (q.edge_count() - cov_e)
+        );
+    }
+}
+
+#[test]
+fn gui_relabelling_model_charges_pattern_vertices() {
+    let db = repo();
+    let gui = eval::gui::pubchem_gui_patterns();
+    let queries = datasets::random_queries(&db.graphs, 20, (6, 20), 59);
+    for q in &queries {
+        let f = eval::formulate_unlabeled(q, &gui, DEFAULT_EMBEDDING_CAP);
+        let pattern_vertices: usize = f.used.iter().map(|o| o.vertices.len()).sum();
+        let base = f.used.len()
+            + (q.vertex_count() - pattern_vertices)
+            + (q.edge_count() - f.used.iter().map(|o| o.edges.len()).sum::<usize>());
+        assert_eq!(f.steps, base + pattern_vertices);
+    }
+}
+
+#[test]
+fn data_driven_panel_beats_unlabeled_gui_on_average() {
+    // The robust Exp 3 headline is the eMolecules cell: a data-driven
+    // 6-pattern panel beats the ring-only unlabeled GUI panel (paper avg
+    // μG = 0.18 there; the PubChem cell is a near-tie at 0.03 and is
+    // covered distributionally by the exp3 harness instead).
+    let db = datasets::generate(&datasets::emol_profile(), 60, 55);
+    let cfg = CatapultConfig {
+        budget: PatternBudget::new(3, 8, 6).unwrap(),
+        walks: 40,
+        ..Default::default()
+    };
+    let panel = run_catapult(&db.graphs, &cfg).patterns();
+    let gui = eval::gui::emol_gui_patterns();
+    let queries = datasets::random_queries(&db.graphs, 60, (4, 25), 60);
+    let mut cat_total = 0usize;
+    let mut gui_total = 0usize;
+    let mut cat_wins = 0usize;
+    for q in &queries {
+        let fc = eval::formulate(q, &panel, DEFAULT_EMBEDDING_CAP);
+        let fg = eval::formulate_unlabeled(q, &gui, DEFAULT_EMBEDDING_CAP);
+        cat_total += fc.steps;
+        gui_total += fg.steps;
+        if fc.steps < fg.steps {
+            cat_wins += 1;
+        }
+    }
+    assert!(
+        cat_total < gui_total,
+        "CATAPULT {cat_total} should beat GUI {gui_total}"
+    );
+    assert!(cat_wins >= queries.len() / 4, "too few per-query wins: {cat_wins}");
+}
+
+#[test]
+fn coverage_grows_with_budget() {
+    let db = repo();
+    let small = {
+        let cfg = CatapultConfig {
+            budget: PatternBudget::new(3, 8, 4).unwrap(),
+            walks: 20,
+            ..Default::default()
+        };
+        run_catapult(&db.graphs, &cfg).patterns()
+    };
+    let large = {
+        let cfg = CatapultConfig {
+            budget: PatternBudget::new(3, 8, 16).unwrap(),
+            walks: 20,
+            ..Default::default()
+        };
+        run_catapult(&db.graphs, &cfg).patterns()
+    };
+    let s_small = eval::measures::subgraph_coverage(&small, &db.graphs);
+    let s_large = eval::measures::subgraph_coverage(&large, &db.graphs);
+    assert!(
+        s_large >= s_small - 0.1,
+        "coverage should not collapse with a larger budget ({s_small} → {s_large})"
+    );
+}
+
+#[test]
+fn missed_percentage_bounds() {
+    let db = repo();
+    let queries = datasets::random_queries(&db.graphs, 20, (4, 15), 61);
+    // Empty pattern set misses everything.
+    let none = eval::WorkloadEvaluation::evaluate(&[], &queries);
+    assert_eq!(none.missed_percentage(), 100.0);
+    assert_eq!(none.mean_reduction(), 0.0);
+    // The repository's own graphs as "patterns" would hit nearly all
+    // queries (every query is a subgraph of some data graph).
+    let full = eval::WorkloadEvaluation::evaluate(&db.graphs[..10], &queries);
+    assert!(full.missed_percentage() <= 100.0);
+}
+
+#[test]
+fn simulated_study_is_reproducible_and_ordered() {
+    let db = repo();
+    let panel = catapult_panel(&db.graphs);
+    let q = datasets::random_queries(&db.graphs, 1, (15, 25), 62).remove(0);
+    let f = eval::formulate(&q, &panel, DEFAULT_EMBEDDING_CAP);
+    let a = eval::userstudy::run_cell(&f, &panel, 0, 10, 99);
+    let b = eval::userstudy::run_cell(&f, &panel, 0, 10, 99);
+    assert_eq!(a.mean_qft, b.mean_qft);
+    assert!(a.mean_qft > 0.0);
+}

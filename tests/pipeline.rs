@@ -1,0 +1,163 @@
+//! End-to-end integration tests: the full Algorithm 1 pipeline over
+//! synthetic molecule repositories, checking the paper's structural
+//! guarantees across crate boundaries.
+
+use catapult::prelude::*;
+use catapult::{datasets, eval, graph};
+
+fn small_repo() -> datasets::MoleculeDb {
+    datasets::generate(&datasets::aids_profile(), 40, 1234)
+}
+
+fn run(db: &[Graph], gamma: usize, lo: usize, hi: usize, seed: u64) -> CatapultResult {
+    let cfg = CatapultConfig {
+        budget: PatternBudget::new(lo, hi, gamma).unwrap(),
+        walks: 20,
+        seed,
+        ..Default::default()
+    };
+    run_catapult(db, &cfg)
+}
+
+#[test]
+fn patterns_respect_budget_and_connectivity() {
+    let db = small_repo();
+    let result = run(&db.graphs, 8, 3, 6, 1);
+    let patterns = result.patterns();
+    assert!(!patterns.is_empty());
+    assert!(patterns.len() <= 8);
+    for p in &patterns {
+        assert!((3..=6).contains(&p.edge_count()), "size {}", p.edge_count());
+        assert!(graph::components::is_connected(p));
+    }
+}
+
+#[test]
+fn per_size_quota_holds() {
+    let db = small_repo();
+    let result = run(&db.graphs, 8, 3, 6, 2);
+    // cap = max(8 / 4, 1) = 2 per size
+    for size in 3..=6 {
+        let count = result
+            .patterns()
+            .iter()
+            .filter(|p| p.edge_count() == size)
+            .count();
+        assert!(count <= 2, "{count} patterns of size {size}");
+    }
+}
+
+#[test]
+fn clusters_partition_the_database() {
+    let db = small_repo();
+    let result = run(&db.graphs, 4, 3, 5, 3);
+    let mut seen: Vec<u32> = result
+        .clustering
+        .clusters
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), db.graphs.len(), "clusters must cover D exactly once");
+}
+
+#[test]
+fn every_pattern_embeds_in_some_csg() {
+    let db = small_repo();
+    let result = run(&db.graphs, 6, 3, 6, 4);
+    for p in result.patterns() {
+        assert!(
+            result
+                .csgs
+                .iter()
+                .any(|c| graph::iso::contains(&c.graph, &p)),
+            "selected pattern not contained in any CSG"
+        );
+    }
+}
+
+#[test]
+fn csgs_contain_their_members() {
+    // Containment is checked through the constructive embedding witness
+    // stored at build time (explicit VF2 on 40-vertex label-homogeneous
+    // members is intractable; the witness is exact and O(|V| + |E|)).
+    let db = small_repo();
+    let result = run(&db.graphs, 4, 3, 5, 5);
+    for csg in &result.csgs {
+        assert!(
+            csg.verify_members(&db.graphs),
+            "a CSG member's embedding witness is invalid"
+        );
+    }
+}
+
+#[test]
+fn selected_patterns_are_pairwise_distinct() {
+    let db = small_repo();
+    let result = run(&db.graphs, 10, 3, 8, 6);
+    let pats = result.patterns();
+    for i in 0..pats.len() {
+        for j in (i + 1)..pats.len() {
+            assert!(
+                !graph::iso::are_isomorphic(&pats[i], &pats[j]),
+                "duplicate patterns at {i},{j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let db = small_repo();
+    let a = run(&db.graphs, 6, 3, 6, 7);
+    let b = run(&db.graphs, 6, 3, 6, 7);
+    let sig = |r: &CatapultResult| -> Vec<u64> {
+        r.patterns().iter().map(|p| p.invariant_signature()).collect()
+    };
+    assert_eq!(sig(&a), sig(&b));
+}
+
+#[test]
+fn selection_scores_are_recorded_and_positive() {
+    let db = small_repo();
+    let result = run(&db.graphs, 6, 3, 6, 8);
+    for s in &result.selection.selected {
+        assert!(s.score > 0.0);
+        assert!(s.source_csg < result.csgs.len());
+    }
+}
+
+#[test]
+fn patterns_reduce_formulation_steps_on_their_own_repository() {
+    let db = small_repo();
+    let result = run(&db.graphs, 10, 3, 8, 9);
+    let queries = datasets::random_queries(&db.graphs, 40, (4, 20), 10);
+    let ev = eval::WorkloadEvaluation::evaluate(&result.patterns(), &queries);
+    assert!(
+        ev.mean_reduction() > 0.0,
+        "data-driven patterns must help on their own repository: {}",
+        ev.mean_reduction()
+    );
+    assert!(ev.missed_percentage() < 100.0);
+}
+
+#[test]
+fn sampling_pipeline_still_produces_valid_patterns() {
+    let db = datasets::generate(&datasets::aids_profile(), 60, 77);
+    let cfg = CatapultConfig {
+        budget: PatternBudget::new(3, 6, 6).unwrap(),
+        walks: 15,
+        clustering: ClusteringConfig {
+            sampling: Some(SamplingConfig::default()),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result = run_catapult(&db.graphs, &cfg);
+    for p in result.patterns() {
+        assert!((3..=6).contains(&p.edge_count()));
+        assert!(graph::components::is_connected(&p));
+    }
+}

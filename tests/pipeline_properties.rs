@@ -1,0 +1,158 @@
+//! Property-based tests at pipeline granularity: whatever repository the
+//! generator produces, Algorithm 1's outputs satisfy the Definition 3.1
+//! budget contract and the evaluation stack's invariants.
+
+use catapult::core::incremental::{IncrementalCatapult, IncrementalConfig};
+use catapult::prelude::*;
+use catapult::{cluster, csg, datasets, eval};
+use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn tiny_repo(seed: u64, count: usize) -> Vec<Graph> {
+    datasets::generate(&datasets::emol_profile(), count, seed).graphs
+}
+
+proptest! {
+    // Pipeline runs are moderately expensive: keep the case count small
+    // but the assertions broad.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipeline_contract(seed in 0u64..1000, gamma in 2usize..7, lo in 3usize..5) {
+        let db = tiny_repo(seed, 16);
+        let hi = lo + 3;
+        let cfg = CatapultConfig {
+            budget: PatternBudget::new(lo, hi, gamma).unwrap(),
+            walks: 10,
+            seed,
+            ..Default::default()
+        };
+        let result = run_catapult(&db, &cfg);
+        // Budget contract.
+        prop_assert!(result.patterns().len() <= gamma);
+        for p in result.patterns() {
+            prop_assert!((lo..=hi).contains(&p.edge_count()));
+            prop_assert!(catapult::graph::components::is_connected(&p));
+        }
+        // Clustering is a partition.
+        let mut covered: Vec<u32> =
+            result.clustering.clusters.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        covered.dedup();
+        prop_assert_eq!(covered.len(), db.len());
+        // CSG witnesses are valid.
+        for c in &result.csgs {
+            prop_assert!(c.verify_members(&db));
+        }
+        // Per-size quota.
+        let cap = cfg.budget.per_size_cap();
+        for size in lo..=hi {
+            let n = result
+                .patterns()
+                .iter()
+                .filter(|p| p.edge_count() == size)
+                .count();
+            prop_assert!(n <= cap);
+        }
+    }
+
+    #[test]
+    fn formulation_contract(seed in 0u64..1000) {
+        let db = tiny_repo(seed, 12);
+        let queries = datasets::random_queries(&db, 8, (3, 12), seed ^ 1);
+        let patterns = datasets::random_queries(&db, 4, (3, 6), seed ^ 2);
+        for q in &queries {
+            let f = eval::formulate(q, &patterns, DEFAULT_EMBEDDING_CAP);
+            // Steps bounded by edge-at-a-time; μ in [0, 1].
+            prop_assert!(f.steps <= f.steps_edge_at_a_time);
+            prop_assert!(f.steps >= 1);
+            let mu = f.reduction_ratio();
+            prop_assert!((0.0..=1.0).contains(&mu));
+            // Non-overlap of chosen occurrences.
+            let mut seen = std::collections::HashSet::new();
+            for occ in &f.used {
+                for v in &occ.vertices {
+                    prop_assert!(seen.insert(*v));
+                }
+            }
+            // Replay: the claimed steps are executable and reconstruct q.
+            let session = eval::session::replay(q, &patterns, &f).unwrap();
+            prop_assert_eq!(session.steps(), f.steps);
+            prop_assert!(session.completed(q));
+        }
+    }
+
+    #[test]
+    fn incremental_contract(seed in 0u64..500, batch in 1usize..6) {
+        let db = tiny_repo(seed, 12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let clustering = cluster::cluster_graphs(
+            &db,
+            &cluster::ClusteringConfig {
+                max_cluster_size: 6,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut inc = IncrementalCatapult::new(
+            db.clone(),
+            clustering.clusters,
+            IncrementalConfig {
+                max_cluster_size: 6,
+                selection: SelectionConfig {
+                    budget: PatternBudget::new(3, 5, 3).unwrap(),
+                    walks: 8,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let arrivals = tiny_repo(seed ^ 77, batch);
+        let stats = inc.insert_batch(arrivals);
+        prop_assert_eq!(stats.assigned + stats.outliers, batch);
+        prop_assert_eq!(inc.len(), 12 + batch);
+        // Clusters + pool account for every graph.
+        let clustered: usize = inc.clusters().iter().map(Vec::len).sum();
+        prop_assert_eq!(clustered + inc.pending_outliers(), inc.len());
+        // CSG witnesses stay valid after the update.
+        let db_now: Vec<Graph> = {
+            // IncrementalCatapult owns the db; rebuild the reference copy.
+            let mut all = db.clone();
+            all.extend(tiny_repo(seed ^ 77, batch));
+            all
+        };
+        for c in inc.csgs() {
+            prop_assert!(c.verify_members(&db_now));
+        }
+    }
+
+    #[test]
+    fn basic_patterns_are_supported(seed in 0u64..1000, m in 1usize..8) {
+        let db = tiny_repo(seed, 10);
+        let basics = eval::basic::top_basic_patterns(&db, m);
+        prop_assert!(basics.len() <= m);
+        for b in &basics {
+            prop_assert!(b.pattern.edge_count() <= 2);
+            prop_assert!(b.support >= 1);
+            prop_assert!(eval::basic::verify_support(&db, b));
+        }
+        // Supports are non-increasing.
+        for w in basics.windows(2) {
+            prop_assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn csg_compactness_invariants(seed in 0u64..1000) {
+        let db = tiny_repo(seed, 10);
+        let clusters = vec![(0..5u32).collect::<Vec<_>>(), (5..10u32).collect()];
+        for c in csg::build_csgs(&db, &clusters) {
+            let x1 = c.compactness(0.2);
+            let x2 = c.compactness(0.5);
+            let x3 = c.compactness(0.9);
+            prop_assert!((0.0..=1.0).contains(&x1));
+            prop_assert!(x1 >= x2 && x2 >= x3, "xi must be non-increasing in t");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Replay fuzzing: for many generated repositories, panels, and queries,
+//! the §6.1 step accounting must always correspond to an executable GUI
+//! session that reconstructs the query exactly (see `eval::session`).
+
+use catapult::graph::Graph;
+use catapult::{datasets, eval};
+use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
+
+fn fuzz_one(profile: &datasets::MoleculeProfile, seed: u64) -> (usize, usize) {
+    let db = datasets::generate(profile, 15, seed);
+    let panel: Vec<Graph> = datasets::random_queries(&db.graphs, 5, (3, 7), seed ^ 0xA);
+    let queries = datasets::random_queries(&db.graphs, 12, (3, 18), seed ^ 0xB);
+    let mut replayed = 0;
+    let mut with_patterns = 0;
+    for q in &queries {
+        let f = eval::formulate(q, &panel, DEFAULT_EMBEDDING_CAP);
+        let session = eval::session::replay(q, &panel, &f)
+            .unwrap_or_else(|e| panic!("replay failed (seed {seed}): {e}"));
+        assert_eq!(
+            session.steps(),
+            f.steps,
+            "claimed steps must be executable (seed {seed})"
+        );
+        assert!(
+            session.completed(q),
+            "replay must reconstruct the query (seed {seed})"
+        );
+        replayed += 1;
+        if f.used_any_pattern() {
+            with_patterns += 1;
+        }
+    }
+    (replayed, with_patterns)
+}
+
+#[test]
+fn replay_holds_across_profiles_and_seeds() {
+    let mut total = 0;
+    let mut pattern_cases = 0;
+    for profile in [
+        datasets::aids_profile(),
+        datasets::pubchem_profile(),
+        datasets::emol_profile(),
+    ] {
+        for seed in [1u64, 2, 3, 4] {
+            let (r, p) = fuzz_one(&profile, seed);
+            total += r;
+            pattern_cases += p;
+        }
+    }
+    assert_eq!(total, 3 * 4 * 12);
+    // The fuzz must actually exercise the pattern-drag path, not just
+    // degenerate edge-at-a-time sessions.
+    assert!(
+        pattern_cases > total / 3,
+        "only {pattern_cases}/{total} sessions used patterns"
+    );
+}
+
+#[test]
+fn replay_with_gui_panels_and_blank_labels() {
+    // The unlabeled-panel path: relabel queries, replay on the blank
+    // panel, and confirm the pre-relabel step count matches the session.
+    let db = datasets::generate(&datasets::pubchem_profile(), 15, 77);
+    let gui = eval::gui::pubchem_gui_patterns();
+    let queries = datasets::random_queries(&db.graphs, 10, (4, 15), 78);
+    for q in &queries {
+        let blank = eval::steps::relabel_uniform(q, catapult::graph::Label(0));
+        let pats: Vec<Graph> = gui
+            .iter()
+            .map(|p| eval::steps::relabel_uniform(p, catapult::graph::Label(0)))
+            .collect();
+        let f = eval::formulate(&blank, &pats, DEFAULT_EMBEDDING_CAP);
+        let session = eval::session::replay(&blank, &pats, &f).unwrap();
+        assert_eq!(session.steps(), f.steps);
+        assert!(session.completed(&blank));
+    }
+}
