@@ -1,6 +1,8 @@
 //! Criterion bench for the ablation studies: the selection kernel under
 //! each score variant (`experiments ablations` prints the full tables).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_bench::exp07::prepare;
 use catapult_core::{find_canned_patterns, PatternBudget, ScoreVariant, SelectionConfig};
 use catapult_datasets::{aids_profile, generate};

@@ -2,6 +2,8 @@
 //! strategies. The `experiments exp1` binary prints the figure's rows;
 //! this bench times the underlying kernels.
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_bench::common::harness_clustering;
 use catapult_cluster::{cluster_graphs, ClusteringConfig, SimilarityKind, Strategy};
 use catapult_datasets::{aids_profile, generate};

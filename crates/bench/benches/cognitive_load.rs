@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 10 / Fig. 18: simulated ranking study +
 //! Kendall τ (`experiments exp10` prints the figure's bars).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_eval::cogload::{correlate, exp10_stimuli};
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 5 / Fig. 11: scov/lcov computation for pattern
 //! sets vs top-|P| frequent edges (`experiments exp5` prints the series).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_datasets::{aids_profile, generate, random_queries};
 use catapult_eval::measures::{label_coverage, subgraph_coverage};
 use catapult_mining::EdgeLabelStats;

@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 9 / Fig. 17: frequent-subgraph baseline mining
 //! and selection (`experiments exp9` prints the figure's series).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_bench::exp09::baseline_patterns;
 use catapult_datasets::{aids_profile, generate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 3 (§6.2): labeled CATAPULT formulation vs the
 //! unlabeled-GUI relabelling model (`experiments exp3` prints the rows).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_datasets::{generate, pubchem_profile, random_queries};
 use catapult_eval::gui::pubchem_gui_patterns;
 use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;

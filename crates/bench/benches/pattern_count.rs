@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 7 / Fig. 13: selection cost (PGT) as |P| grows
 //! (`experiments exp7` prints the figure's series).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_bench::exp07::prepare;
 use catapult_core::{find_canned_patterns, PatternBudget, SelectionConfig};
 use catapult_datasets::{aids_profile, generate};
@@ -23,7 +25,7 @@ fn bench_pattern_count(c: &mut Criterion) {
                     &SelectionConfig {
                         budget: PatternBudget::new(3, 8, gamma).unwrap(),
                         walks: 20,
-                            ..Default::default()
+                        ..Default::default()
                     },
                     &mut rng,
                 )

@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 8 / Fig. 14–16: selection cost across the
 //! ηmin / ηmax sweeps (`experiments exp8` prints the figures' series).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_bench::exp07::prepare;
 use catapult_core::{find_canned_patterns, PatternBudget, SelectionConfig};
 use catapult_datasets::{aids_profile, generate};
@@ -27,7 +29,7 @@ fn bench_pattern_size(c: &mut Criterion) {
                         &SelectionConfig {
                             budget: PatternBudget::new(lo, hi, 8).unwrap(),
                             walks: 20,
-                                ..Default::default()
+                            ..Default::default()
                         },
                         &mut rng,
                     )

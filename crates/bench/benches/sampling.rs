@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 2 / Fig. 8–9: pipeline cost with sampling on
 //! and off (`experiments exp2` prints the figures' rows).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_bench::common::harness_clustering;
 use catapult_bench::exp02::harness_sampling;
 use catapult_core::{run_catapult, CatapultConfig, PatternBudget};

@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 6 / Fig. 12: pipeline cost as |D| grows
 //! (`experiments exp6` prints the figure's series).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_bench::common::run_pipeline;
 use catapult_core::PatternBudget;
 use catapult_datasets::{generate, pubchem_profile};

@@ -1,6 +1,8 @@
 //! Criterion bench for Exp 4 / Fig. 10: the simulated QFT model
 //! (`experiments exp4` prints Table 1 / Fig. 10 rows).
 
+// Bench fixtures are fixed, known-valid configurations; fail fast.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult_datasets::{generate, pubchem_profile, random_queries};
 use catapult_eval::formulate;
 use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;

@@ -16,9 +16,7 @@ use crate::exp07::prepare;
 use crate::report::{f2, pct, secs, Report, Table};
 use crate::scale::Scale;
 use catapult_cluster::{cluster_graphs, ClusteringConfig, Strategy};
-use catapult_core::{
-    find_canned_patterns, PatternBudget, QueryLog, ScoreVariant, SelectionConfig,
-};
+use catapult_core::{find_canned_patterns, PatternBudget, QueryLog, ScoreVariant, SelectionConfig};
 use catapult_csg::build_csgs;
 use catapult_datasets::{aids_profile, generate, random_queries};
 use catapult_eval::measures::{mean_cog, mean_diversity};
@@ -69,7 +67,12 @@ pub fn run_score_ablation(scale: Scale) -> Report {
         let sel = find_canned_patterns(&db, &csgs, &cfg, &mut rng);
         let pats = sel.patterns();
         divs.push((variant, mean_diversity(&pats)));
-        table.row(quality_row(format!("{variant:?}"), &pats, &queries, sel.elapsed));
+        table.row(quality_row(
+            format!("{variant:?}"),
+            &pats,
+            &queries,
+            sel.elapsed,
+        ));
     }
     let full_div = divs
         .iter()
@@ -105,12 +108,22 @@ pub fn run_clustering_ablation(scale: Scale) -> Report {
     let queries = random_queries(&db, scale.queries(60), (4, 25), 1202);
     let budget = || PatternBudget::new(3, 8, 12).unwrap();
     let mut table = Table::new(&[
-        "config", "avg_mu", "MP", "div", "cog", "PGT", "xi_0.5", "dist(hybrid)",
+        "config",
+        "avg_mu",
+        "MP",
+        "div",
+        "cog",
+        "PGT",
+        "xi_0.5",
+        "dist(hybrid)",
     ]);
 
     let mut hybrid_reference: Option<Vec<Vec<u32>>> = None;
     for (name, strategy) in [
-        ("hybrid-mccs", Some(Strategy::Hybrid(catapult_cluster::SimilarityKind::Mccs))),
+        (
+            "hybrid-mccs",
+            Some(Strategy::Hybrid(catapult_cluster::SimilarityKind::Mccs)),
+        ),
         ("coarse-only", Some(Strategy::CoarseOnly)),
         ("random-partition", None),
     ] {
@@ -187,7 +200,12 @@ pub fn run_walks_ablation(scale: Scale) -> Report {
             },
             &mut rng,
         );
-        table.row(quality_row(format!("x={walks}"), &sel.patterns(), &queries, sel.elapsed));
+        table.row(quality_row(
+            format!("x={walks}"),
+            &sel.patterns(),
+            &queries,
+            sel.elapsed,
+        ));
     }
     Report {
         id: "ablation3",
@@ -214,7 +232,7 @@ pub fn run_querylog_ablation(scale: Scale) -> Report {
     let mut table = Table::new(&QUALITY_HEADER);
     for (name, log) in [
         ("log-oblivious", None),
-        ("log-aware", Some(QueryLog::new(logged.clone()))),
+        ("log-aware", Some(QueryLog::new(logged))),
     ] {
         let cfg = SelectionConfig {
             budget: PatternBudget::new(3, 8, 12).unwrap(),
@@ -225,7 +243,12 @@ pub fn run_querylog_ablation(scale: Scale) -> Report {
         };
         let mut rng = StdRng::seed_from_u64(1405);
         let sel = find_canned_patterns(&db, &csgs, &cfg, &mut rng);
-        table.row(quality_row(name.into(), &sel.patterns(), &future, sel.elapsed));
+        table.row(quality_row(
+            name.into(),
+            &sel.patterns(),
+            &future,
+            sel.elapsed,
+        ));
     }
     Report {
         id: "ablation4",
@@ -247,7 +270,12 @@ pub fn run_seed_stability(scale: Scale) -> Report {
     let mut table = Table::new(&["seed", "avg_mu", "MP", "div", "cog"]);
     let mut mus = Vec::new();
     for seed in [1u64, 2, 3] {
-        let result = run_pipeline(&db, PatternBudget::new(3, 8, 12).unwrap(), scale.walks(), seed);
+        let result = run_pipeline(
+            &db,
+            PatternBudget::new(3, 8, 12).unwrap(),
+            scale.walks(),
+            seed,
+        );
         let pats = result.patterns();
         let ev = WorkloadEvaluation::evaluate(&pats, &queries);
         mus.push(ev.mean_reduction());

@@ -40,7 +40,11 @@ fn main() {
         match run_experiment(&id, scale) {
             Some(report) => {
                 println!("{report}");
-                println!("[{} completed in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+                println!(
+                    "[{} completed in {:.1}s]\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
             }
             None => {
                 eprintln!("unknown experiment '{id}'");

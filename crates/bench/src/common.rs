@@ -24,7 +24,12 @@ pub fn harness_clustering(max_cluster_size: usize) -> ClusteringConfig {
 }
 
 /// Run the full pipeline with harness defaults for a given budget.
-pub fn run_pipeline(db: &[Graph], budget: PatternBudget, walks: usize, seed: u64) -> CatapultResult {
+pub fn run_pipeline(
+    db: &[Graph],
+    budget: PatternBudget,
+    walks: usize,
+    seed: u64,
+) -> CatapultResult {
     let cfg = CatapultConfig {
         clustering: harness_clustering(20),
         budget,

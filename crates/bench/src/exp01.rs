@@ -48,8 +48,14 @@ pub fn mean_compactness(db: &[Graph], clusters: &[Vec<u32>]) -> [f64; 3] {
 /// Run Exp 1.
 pub fn run(scale: Scale) -> Report {
     let datasets = [
-        ("aids-small", generate(&aids_profile(), scale.size(80), 101).graphs),
-        ("aids-large", generate(&aids_profile(), scale.size(240), 102).graphs),
+        (
+            "aids-small",
+            generate(&aids_profile(), scale.size(80), 101).graphs,
+        ),
+        (
+            "aids-large",
+            generate(&aids_profile(), scale.size(240), 102).graphs,
+        ),
     ];
     let strategies = [
         Strategy::CoarseOnly,

@@ -51,8 +51,14 @@ pub fn harness_sampling(db_size: usize) -> SamplingConfig {
 /// Run Exp 2.
 pub fn run(scale: Scale) -> Report {
     let datasets = [
-        ("small", generate(&aids_profile(), scale.size(80), 201).graphs),
-        ("large", generate(&aids_profile(), scale.size(240), 202).graphs),
+        (
+            "small",
+            generate(&aids_profile(), scale.size(80), 201).graphs,
+        ),
+        (
+            "large",
+            generate(&aids_profile(), scale.size(240), 202).graphs,
+        ),
     ];
     let budget = PatternBudget::paper_default();
     let mut rows = Vec::new();

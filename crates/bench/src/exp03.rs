@@ -106,7 +106,13 @@ pub fn run(scale: Scale) -> Report {
     let q_emol = random_queries(&emol, scale.queries(80), (4, 25), 306);
 
     let rows = vec![
-        compare("PubChem", &pubchem, &pubchem_gui_patterns(), &cat_pub, &q_pub),
+        compare(
+            "PubChem",
+            &pubchem,
+            &pubchem_gui_patterns(),
+            &cat_pub,
+            &q_pub,
+        ),
         compare("eMol", &emol, &emol_gui_patterns(), &cat_emol, &q_emol),
     ];
     into_report(rows)

@@ -137,9 +137,7 @@ fn into_report(rows: Vec<StudyRow>) -> Report {
             .fold(f64::MIN, f64::max);
         let step_red: f64 = sel
             .iter()
-            .map(|r| {
-                (r.gui_result.1 as f64 - r.catapult_result.1 as f64) / r.gui_result.1 as f64
-            })
+            .map(|r| (r.gui_result.1 as f64 - r.catapult_result.1 as f64) / r.gui_result.1 as f64)
             .fold(f64::MIN, f64::max);
         notes.push(format!(
             "{gui}: max QFT reduction {:.0}%, max step reduction {:.0}% (paper: up to 78%/81% PubChem, 74%/75% eMol)",
@@ -167,12 +165,7 @@ mod tests {
 
     #[test]
     fn pick_queries_matches_targets() {
-        let pool = random_queries(
-            &generate(&pubchem_profile(), 30, 1).graphs,
-            100,
-            (5, 40),
-            2,
-        );
+        let pool = random_queries(&generate(&pubchem_profile(), 30, 1).graphs, 100, (5, 40), 2);
         let picked = pick_queries(&pool, &[12, 30]);
         assert_eq!(picked.len(), 2);
         assert!(picked[0].edge_count().abs_diff(12) <= picked[1].edge_count().abs_diff(12));

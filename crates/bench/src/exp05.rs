@@ -29,12 +29,18 @@ pub struct CoverageRow {
 }
 
 /// Measure one dataset across the |P| sweep.
-pub fn sweep(dataset: &'static str, db: &[Graph], ps: &[usize], walks: usize, seed: u64) -> Vec<CoverageRow> {
+pub fn sweep(
+    dataset: &'static str,
+    db: &[Graph],
+    ps: &[usize],
+    walks: usize,
+    seed: u64,
+) -> Vec<CoverageRow> {
     let stats = EdgeLabelStats::from_graphs(db);
     ps.iter()
         .map(|&p| {
-            let pats = run_pipeline(db, PatternBudget::new(3, 12, p).unwrap(), walks, seed)
-                .patterns();
+            let pats =
+                run_pipeline(db, PatternBudget::new(3, 12, p).unwrap(), walks, seed).patterns();
             let edges = stats.top_k_as_patterns(p);
             CoverageRow {
                 dataset,

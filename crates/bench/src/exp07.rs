@@ -11,9 +11,7 @@ use crate::scale::Scale;
 use catapult_cluster::cluster_graphs;
 use catapult_core::{find_canned_patterns, PatternBudget, SelectionConfig};
 use catapult_csg::{build_csgs, Csg};
-use catapult_datasets::{
-    aids_profile, emol_profile, generate, pubchem_profile, random_queries,
-};
+use catapult_datasets::{aids_profile, emol_profile, generate, pubchem_profile, random_queries};
 use catapult_eval::WorkloadEvaluation;
 use catapult_graph::Graph;
 use rand::rngs::StdRng;
@@ -82,17 +80,37 @@ pub fn sweep(
 /// Run Exp 7.
 pub fn run(scale: Scale) -> Report {
     let datasets: Vec<(&'static str, Vec<Graph>)> = vec![
-        ("aids-small", generate(&aids_profile(), scale.size(80), 701).graphs),
-        ("aids-large", generate(&aids_profile(), scale.size(200), 702).graphs),
-        ("pubchem", generate(&pubchem_profile(), scale.size(120), 703).graphs),
-        ("emol", generate(&emol_profile(), scale.size(120), 704).graphs),
+        (
+            "aids-small",
+            generate(&aids_profile(), scale.size(80), 701).graphs,
+        ),
+        (
+            "aids-large",
+            generate(&aids_profile(), scale.size(200), 702).graphs,
+        ),
+        (
+            "pubchem",
+            generate(&pubchem_profile(), scale.size(120), 703).graphs,
+        ),
+        (
+            "emol",
+            generate(&emol_profile(), scale.size(120), 704).graphs,
+        ),
     ];
     let ps = [5usize, 10, 20, 30, 40];
     let mut rows = Vec::new();
     for (i, (name, db)) in datasets.iter().enumerate() {
         let csgs = prepare(db, 710 + i as u64);
         let queries = random_queries(db, scale.queries(60), (4, 25), 720 + i as u64);
-        rows.extend(sweep(name, db, &csgs, &queries, &ps, scale.walks(), 730 + i as u64));
+        rows.extend(sweep(
+            name,
+            db,
+            &csgs,
+            &queries,
+            &ps,
+            scale.walks(),
+            730 + i as u64,
+        ));
     }
     into_report(rows)
 }

@@ -39,6 +39,9 @@ pub struct SizeBoundRow {
     pub cog: f64,
 }
 
+// A measurement row is defined by the full sweep context; bundling the
+// arguments into a struct would only rename the problem.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     sweep: &'static str,
     value: usize,
@@ -50,7 +53,16 @@ fn measure(
     seed: u64,
 ) -> SizeBoundRow {
     let mut rng = StdRng::seed_from_u64(seed);
-    let sel = find_canned_patterns(db, csgs, &SelectionConfig { budget, walks, ..Default::default() }, &mut rng);
+    let sel = find_canned_patterns(
+        db,
+        csgs,
+        &SelectionConfig {
+            budget,
+            walks,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let pats = sel.patterns();
     let ev = WorkloadEvaluation::evaluate(&pats, queries);
     SizeBoundRow {
@@ -132,7 +144,10 @@ fn into_report(rows: Vec<SizeBoundRow>) -> Report {
     if let (Some(lo), Some(hi)) = (maxs.first(), maxs.last()) {
         notes.push(format!(
             "eta_max {} → {}: MP {} → {} (paper: small effect, |MP range| ≤ ~4 points)",
-            lo.value, hi.value, pct(lo.mp), pct(hi.mp)
+            lo.value,
+            hi.value,
+            pct(lo.mp),
+            pct(hi.mp)
         ));
     }
     Report {

@@ -18,7 +18,15 @@
 //! | [`exp09`] | Fig. 17 — frequent-subgraph baseline |
 //! | [`exp10`] | Fig. 18 — cognitive-load measures |
 
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
+// The experiment harness builds fixed, known-valid configurations and
+// synthetic stimuli; failing fast on a bad constant is the desired
+// behavior, so panicking shortcuts are accepted crate-wide here. The
+// no-panic policy targets the library crates (graph/mining/cluster/csg/
+// core), which this crate only drives.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::panic))]
 
 pub mod ablation;
 pub mod common;
@@ -66,5 +74,10 @@ pub const ALL_EXPERIMENTS: [&str; 10] = [
 ];
 
 /// Ablation study ids (extensions beyond the paper's figures).
-pub const ALL_ABLATIONS: [&str; 5] =
-    ["ablation1", "ablation2", "ablation3", "ablation4", "ablation5"];
+pub const ALL_ABLATIONS: [&str; 5] = [
+    "ablation1",
+    "ablation2",
+    "ablation3",
+    "ablation4",
+    "ablation5",
+];

@@ -8,11 +8,11 @@
 //! 4. cluster the vectors with k-means (k-means++ seeds), `k = |D| / N`.
 
 use crate::kmeans::{as_clusters, kmeans, KMeansConfig};
+use catapult_graph::Graph;
 use catapult_mining::facility::select_features;
 use catapult_mining::subtree::{
     feature_matrix, mine_frequent_subtrees, FrequentSubtree, SubtreeMinerConfig,
 };
-use catapult_graph::Graph;
 use rand::Rng;
 
 /// Parameters for coarse clustering.

@@ -70,10 +70,14 @@ fn split_cluster<R: Rng>(
         .map(|&g| similarity(&db[g as usize], &db[seed1 as usize], cfg))
         .collect();
     // Second seed: the most dissimilar graph (deterministic tie-break on id).
+    // Callers split only oversized clusters (`> max_cluster_size ≥ 1`), so
+    // `rest` — and with it `omega1` — is never empty here. `total_cmp`
+    // keeps the selection well-defined even if a similarity turned NaN.
+    #[allow(clippy::expect_used)]
     let (seed2_pos, _) = omega1
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(rest[a.0].cmp(&rest[b.0])))
+        .min_by(|a, b| a.1.total_cmp(b.1).then(rest[a.0].cmp(&rest[b.0])))
         .expect("cluster has at least two members");
     let seed2 = rest[seed2_pos];
 
@@ -180,7 +184,9 @@ mod tests {
 
     #[test]
     fn splits_until_under_threshold() {
-        let db: Vec<Graph> = (0..12).map(|i| if i % 2 == 0 { ring(6) } else { chain(6) }).collect();
+        let db: Vec<Graph> = (0..12)
+            .map(|i| if i % 2 == 0 { ring(6) } else { chain(6) })
+            .collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let cfg = FineConfig {
             max_cluster_size: 4,

@@ -1,0 +1,107 @@
+//! Cluster-assignment invariant validators.
+//!
+//! Clustering bugs (a graph assigned twice, an id past the database, a
+//! "partition" that silently drops members) corrupt every downstream CSG
+//! and pattern score without crashing anything. These validators make the
+//! assignment contract explicit; [`crate::pipeline::cluster_graphs`] runs
+//! them at its exit via [`catapult_graph::debug_invariants!`].
+
+use catapult_graph::InvariantViolation;
+
+/// Check a cluster assignment over a database of `n` graphs:
+///
+/// * every id is in `0..n`;
+/// * no id appears twice (within or across clusters);
+/// * when `require_partition`, the clusters cover all of `0..n`
+///   (sampling-based pipelines cover only the sampled subset, so they
+///   validate with `require_partition = false`).
+pub fn validate_assignment(
+    n: usize,
+    clusters: &[Vec<u32>],
+    require_partition: bool,
+) -> Result<(), InvariantViolation> {
+    let mut seen = vec![false; n];
+    let mut covered = 0usize;
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for &id in cluster {
+            let Some(slot) = seen.get_mut(id as usize) else {
+                return Err(InvariantViolation::new(format!(
+                    "cluster {ci} contains id {id}, outside the database (|D| = {n})"
+                )));
+            };
+            if *slot {
+                return Err(InvariantViolation::new(format!(
+                    "graph {id} is assigned to more than one cluster (second: {ci})"
+                )));
+            }
+            *slot = true;
+            covered += 1;
+        }
+    }
+    if require_partition && covered != n {
+        return Err(InvariantViolation::new(format!(
+            "assignment covers {covered} of {n} graphs but must be a partition"
+        )));
+    }
+    Ok(())
+}
+
+/// Check that every cluster respects the size cap `max_cluster_size`
+/// (Algorithm 3's post-condition; 0 disables the check).
+pub fn validate_cluster_sizes(
+    clusters: &[Vec<u32>],
+    max_cluster_size: usize,
+) -> Result<(), InvariantViolation> {
+    if max_cluster_size == 0 {
+        return Ok(());
+    }
+    for (ci, cluster) in clusters.iter().enumerate() {
+        if cluster.len() > max_cluster_size {
+            return Err(InvariantViolation::new(format!(
+                "cluster {ci} has {} members, above the cap of {max_cluster_size}",
+                cluster.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_partition() {
+        let clusters = vec![vec![0, 2], vec![1, 3, 4]];
+        assert!(validate_assignment(5, &clusters, true).is_ok());
+    }
+
+    #[test]
+    fn accepts_partial_cover_when_allowed() {
+        let clusters = vec![vec![0], vec![3]];
+        assert!(validate_assignment(5, &clusters, false).is_ok());
+        assert!(validate_assignment(5, &clusters, true).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_id() {
+        let clusters = vec![vec![0, 7]];
+        assert!(validate_assignment(5, &clusters, false).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_assignment() {
+        let within = vec![vec![0, 0], vec![1]];
+        assert!(validate_assignment(5, &within, false).is_err());
+        let across = vec![vec![0, 1], vec![1, 2]];
+        assert!(validate_assignment(5, &across, false).is_err());
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        let clusters = vec![vec![0, 1, 2], vec![3]];
+        assert!(validate_cluster_sizes(&clusters, 3).is_ok());
+        assert!(validate_cluster_sizes(&clusters, 2).is_err());
+        assert!(validate_cluster_sizes(&clusters, 0).is_ok());
+    }
+}

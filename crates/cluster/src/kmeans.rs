@@ -112,13 +112,11 @@ pub fn kmeans<R: Rng>(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut R) -> K
         // Assign.
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
+            // `total_cmp` tolerates NaN distances; `unwrap_or(0)` covers the
+            // degenerate k = 0 case without a panicking path.
             let best = (0..centroids.len())
-                .min_by(|&a, &b| {
-                    sq_dist(p, &centroids[a])
-                        .partial_cmp(&sq_dist(p, &centroids[b]))
-                        .unwrap()
-                })
-                .unwrap();
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                .unwrap_or(0);
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;
@@ -150,7 +148,7 @@ pub fn kmeans<R: Rng>(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut R) -> K
                     .iter()
                     .enumerate()
                     .map(|(i, p)| (i, sq_dist(p, &centroids[assignment[i]])))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
                 {
                     centroids[c] = points[i].clone();
                     assignment[i] = c;

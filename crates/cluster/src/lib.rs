@@ -15,10 +15,15 @@
 //! * [`quality`] — misclassification distance (Lemma 4.2 / [29]) and
 //!   intra/inter-cluster similarity summaries.
 
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod coarse;
 pub mod fine;
+pub mod invariants;
 pub mod kmeans;
 pub mod pipeline;
 pub mod quality;

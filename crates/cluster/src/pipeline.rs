@@ -123,8 +123,7 @@ fn mine_features<R: Rng>(
             };
             let potential = mine_frequent_subtrees(&sample, &low_cfg);
             // Recount each potential subtree on the full database at min_fr.
-            let min_count =
-                ((cfg.miner.min_support * db.len() as f64).ceil() as usize).max(1);
+            let min_count = ((cfg.miner.min_support * db.len() as f64).ceil() as usize).max(1);
             let mut confirmed = Vec::new();
             for t in potential {
                 let txs: Vec<u32> = (0..db.len() as u32)
@@ -169,13 +168,9 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
                 coarse_cluster_with_subtrees(db, subtrees, &coarse_cfg, rng);
             // Lazy sampling shrinks oversized clusters before fine clustering.
             let clusters = match &cfg.sampling {
-                Some(s) => lazy_sample_clusters(
-                    &clusters,
-                    db.len(),
-                    cfg.max_cluster_size,
-                    &s.lazy,
-                    rng,
-                ),
+                Some(s) => {
+                    lazy_sample_clusters(&clusters, db.len(), cfg.max_cluster_size, &s.lazy, rng)
+                }
                 None => clusters,
             };
             match cfg.strategy {
@@ -187,6 +182,13 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
             }
         }
     };
+    // Sampling pipelines keep only the sampled subset, so they cannot be
+    // held to the partition contract — membership soundness still applies.
+    catapult_graph::debug_invariants!(crate::invariants::validate_assignment(
+        db.len(),
+        &clusters,
+        cfg.sampling.is_none(),
+    ));
     Clustering {
         clusters,
         features,
@@ -212,7 +214,7 @@ mod tests {
     }
 
     fn db() -> Vec<Graph> {
-        (0..30).map(|i| ring(4 + (i % 3), (i % 2) as u32)).collect()
+        (0..30).map(|i| ring(4 + (i % 3), i % 2)).collect()
     }
 
     #[test]
@@ -283,7 +285,10 @@ mod tests {
     fn paper_names() {
         assert_eq!(Strategy::CoarseOnly.paper_name(), "CC");
         assert_eq!(Strategy::Hybrid(SimilarityKind::Mccs).paper_name(), "mccsH");
-        assert_eq!(Strategy::FineOnly(SimilarityKind::Mcs).paper_name(), "mcsFC");
+        assert_eq!(
+            Strategy::FineOnly(SimilarityKind::Mcs).paper_name(),
+            "mcsFC"
+        );
     }
 
     #[test]

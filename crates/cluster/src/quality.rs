@@ -163,7 +163,14 @@ mod tests {
     #[test]
     fn separation_detects_structure() {
         // Two families: rings of different labels vs chains.
-        let db: Vec<Graph> = vec![ring(6), ring(6), ring(6), chain(6, 1), chain(6, 1), chain(6, 1)];
+        let db: Vec<Graph> = vec![
+            ring(6),
+            ring(6),
+            ring(6),
+            chain(6, 1),
+            chain(6, 1),
+            chain(6, 1),
+        ];
         let clusters = vec![vec![0, 1, 2], vec![3, 4, 5]];
         let r = separation(&db, &clusters, 50_000, 10);
         assert!(r.intra > r.inter, "intra {} vs inter {}", r.intra, r.inter);

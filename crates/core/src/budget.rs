@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn validation() {
         assert_eq!(PatternBudget::new(2, 8, 10), Err(BudgetError::MinTooSmall));
-        assert_eq!(PatternBudget::new(5, 4, 10), Err(BudgetError::EmptySizeRange));
+        assert_eq!(
+            PatternBudget::new(5, 4, 10),
+            Err(BudgetError::EmptySizeRange)
+        );
         assert_eq!(PatternBudget::new(3, 8, 0), Err(BudgetError::ZeroPatterns));
         assert!(PatternBudget::new(3, 8, 12).is_ok());
     }

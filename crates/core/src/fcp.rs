@@ -28,18 +28,23 @@ pub fn edge_frequencies(library: &[Pcp]) -> HashMap<EdgeId, usize> {
 /// the CSG edge ids it uses, or `None` for an empty library. May return a
 /// pattern smaller than requested when the library's connected frequent
 /// region is exhausted.
-pub fn generate_fcp(csg: &Csg, library: &[Pcp], target_edges: usize) -> Option<(Graph, Vec<EdgeId>)> {
+pub fn generate_fcp(
+    csg: &Csg,
+    library: &[Pcp],
+    target_edges: usize,
+) -> Option<(Graph, Vec<EdgeId>)> {
     let freq = edge_frequencies(library);
     if freq.is_empty() || target_edges == 0 {
         return None;
     }
     let g = &csg.graph;
     // Most frequent edge; deterministic tie-break on edge id.
+    // `freq` was checked non-empty above; `?` keeps this selection kernel
+    // free of panicking paths without a reachable early return.
     let first = *freq
         .iter()
         .max_by_key(|&(e, &c)| (c, std::cmp::Reverse(e.0)))
-        .map(|(e, _)| e)
-        .expect("non-empty frequency table");
+        .map(|(e, _)| e)?;
     let mut chosen = vec![first];
     let mut in_pattern = vec![false; g.edge_count()];
     let mut in_vertices = vec![false; g.vertex_count()];

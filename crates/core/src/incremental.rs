@@ -171,6 +171,13 @@ impl IncrementalCatapult {
                 self.clusters.push(c);
             }
         }
+        // Outlier-pool graphs are unclustered by design, so the assignment
+        // covers a subset; soundness (bounds, no double assignment) holds.
+        catapult_graph::debug_invariants!(catapult_cluster::invariants::validate_assignment(
+            self.db.len(),
+            &self.clusters,
+            false,
+        ));
         stats
     }
 
@@ -292,8 +299,14 @@ mod tests {
         let a = inc.refresh_patterns();
         let b = inc.refresh_patterns();
         assert_eq!(
-            a.patterns().iter().map(Graph::invariant_signature).collect::<Vec<_>>(),
-            b.patterns().iter().map(Graph::invariant_signature).collect::<Vec<_>>()
+            a.patterns()
+                .iter()
+                .map(Graph::invariant_signature)
+                .collect::<Vec<_>>(),
+            b.patterns()
+                .iter()
+                .map(Graph::invariant_signature)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -26,7 +26,11 @@
 //! assert_eq!(result.patterns().len(), 1);
 //! ```
 
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod budget;
 pub mod catapult;

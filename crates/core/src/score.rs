@@ -261,7 +261,7 @@ mod tests {
         let p = Graph::from_parts(&[l(0); 3], &[(0, 1), (1, 2)]);
         let near = Graph::from_parts(&[l(0); 3], &[(0, 1), (1, 2), (0, 2)]); // +1 edge
         let far = Graph::from_parts(&[l(9); 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let d = diversity(&p, &[far.clone(), near.clone()]).unwrap();
+        let d = diversity(&p, &[far, near]).unwrap();
         assert_eq!(d, 1.0);
         assert!(diversity(&p, &[]).is_none());
     }
@@ -308,8 +308,14 @@ mod tests {
         let full = pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::Full);
         let no_div =
             pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::NoDiversity);
-        let no_cog =
-            pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::NoCognitiveLoad);
+        let no_cog = pattern_score_variant(
+            &p,
+            &csgs,
+            &cw,
+            &idx,
+            &selected,
+            ScoreVariant::NoCognitiveLoad,
+        );
         let add = pattern_score_variant(&p, &csgs, &cw, &idx, &selected, ScoreVariant::Additive);
         // div(p, selected) = GED to the single edge = 2 → full = no_div × 2.
         assert!((full - no_div * 2.0).abs() < 1e-9);

@@ -155,10 +155,15 @@ pub fn find_canned_patterns<R: Rng>(
                 (s, i)
             })
             .collect();
-        let &(best_score, best_idx) = scored
+        // `candidates` was checked non-empty above, so `scored` has a
+        // maximum; `total_cmp` keeps the greedy argmax well-defined even if
+        // a score degenerated to NaN.
+        let Some(&(best_score, best_idx)) = scored
             .iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
-            .expect("candidates scored");
+            .max_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)))
+        else {
+            break;
+        };
         if best_score <= 0.0 {
             // Nothing covers anything anymore (all weights damped to ~0 or
             // zero-coverage candidates): stop rather than pick noise.
@@ -289,7 +294,8 @@ mod tests {
         // these clusters are homogeneous) into at least one data graph.
         for s in &r.selected {
             assert!(
-                db.iter().any(|g| catapult_graph::iso::contains(g, &s.pattern)),
+                db.iter()
+                    .any(|g| catapult_graph::iso::contains(g, &s.pattern)),
                 "pattern not found in any data graph"
             );
         }
@@ -328,7 +334,7 @@ mod tests {
         let log_cfg = SelectionConfig {
             query_log: Some(crate::querylog::QueryLog::new(chain_queries.clone())),
             log_weight: 10.0,
-            ..base_cfg.clone()
+            ..base_cfg
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(41);
         let with_log = find_canned_patterns(&db, &csgs, &log_cfg, &mut rng);
@@ -360,15 +366,17 @@ mod tests {
             };
             let mut rng = rand::rngs::StdRng::seed_from_u64(43);
             let r = find_canned_patterns(&db, &csgs, &cfg, &mut rng);
-            assert!(!r.selected.is_empty(), "variant {variant:?} selected nothing");
+            assert!(
+                !r.selected.is_empty(),
+                "variant {variant:?} selected nothing"
+            );
         }
     }
 
     #[test]
     fn custom_distribution_is_respected() {
         let (db, csgs) = db_and_csgs();
-        let budget =
-            PatternBudget::with_distribution(3, 6, 6, vec![(3, 2), (5, 1)]).unwrap();
+        let budget = PatternBudget::with_distribution(3, 6, 6, vec![(3, 2), (5, 1)]).unwrap();
         let cfg = SelectionConfig {
             budget,
             walks: 30,
@@ -380,8 +388,20 @@ mod tests {
             let e = s.pattern.edge_count();
             assert!(e == 3 || e == 5, "size {e} has no quota");
         }
-        assert!(r.selected.iter().filter(|s| s.pattern.edge_count() == 3).count() <= 2);
-        assert!(r.selected.iter().filter(|s| s.pattern.edge_count() == 5).count() <= 1);
+        assert!(
+            r.selected
+                .iter()
+                .filter(|s| s.pattern.edge_count() == 3)
+                .count()
+                <= 2
+        );
+        assert!(
+            r.selected
+                .iter()
+                .filter(|s| s.pattern.edge_count() == 5)
+                .count()
+                <= 1
+        );
     }
 
     #[test]

@@ -30,8 +30,7 @@ fn candidate_adjacent_edges(
         .graph
         .edges()
         .filter(|&(eid, e)| {
-            !in_pattern[eid.index()]
-                && (in_vertices[e.u.index()] || in_vertices[e.v.index()])
+            !in_pattern[eid.index()] && (in_vertices[e.u.index()] || in_vertices[e.v.index()])
         })
         .map(|(eid, _)| eid)
         .collect()
@@ -40,11 +39,7 @@ fn candidate_adjacent_edges(
 /// Run one weighted random walk generating a PCP with (up to)
 /// `target_edges` edges. Returns `None` when the CSG has no usable seed
 /// edge (e.g. all weights zero on an empty graph).
-pub fn generate_pcp<R: Rng>(
-    w: &WeightedCsg<'_>,
-    target_edges: usize,
-    rng: &mut R,
-) -> Option<Pcp> {
+pub fn generate_pcp<R: Rng>(w: &WeightedCsg<'_>, target_edges: usize, rng: &mut R) -> Option<Pcp> {
     let seed = w.seed_edge()?;
     if target_edges == 0 {
         return None;

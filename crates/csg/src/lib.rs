@@ -9,7 +9,11 @@
 //! * [`weights`] — cluster weights `cw`, edge-label weights `elw`, and the
 //!   weighted CSGs that drive the §5 random walks.
 
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod idset;
 pub mod mapping;

@@ -8,7 +8,7 @@
 //! vertices, preferring candidates adjacent to already-matched neighbors
 //! (maximizing preserved edges), with deterministic tie-breaking.
 
-use catapult_graph::{Graph, VertexId};
+use catapult_graph::{Graph, InvariantViolation, VertexId};
 
 /// Greedy neighbor-biased mapping of `g`'s vertices onto `closure`'s.
 ///
@@ -27,7 +27,10 @@ pub fn neighbor_biased_mapping(g: &Graph, closure: &Graph) -> Vec<Option<VertexI
     for _ in 0..n {
         // Pick the next undecided vertex: most mapped neighbors, then
         // highest degree, then lowest id.
-        let v = g
+        // Exactly one vertex is decided per iteration of the outer `0..n`
+        // loop, so an undecided vertex always remains; breaking keeps the
+        // mapping heuristic panic-free.
+        let Some(v) = g
             .vertices()
             .filter(|&v| !decided[v.index()])
             .max_by_key(|&v| {
@@ -38,7 +41,9 @@ pub fn neighbor_biased_mapping(g: &Graph, closure: &Graph) -> Vec<Option<VertexI
                     .count();
                 (mapped_nbrs, g.degree(v), std::cmp::Reverse(v.0))
             })
-            .expect("undecided vertices remain");
+        else {
+            break;
+        };
         decided[v.index()] = true;
 
         // Candidate closure vertices: same label, unused; score by number
@@ -50,9 +55,7 @@ pub fn neighbor_biased_mapping(g: &Graph, closure: &Graph) -> Vec<Option<VertexI
                 let preserved = g
                     .neighbors(v)
                     .iter()
-                    .filter(|&&(w, _)| {
-                        mapping[w.index()].is_some_and(|m| closure.has_edge(m, u))
-                    })
+                    .filter(|&&(w, _)| mapping[w.index()].is_some_and(|m| closure.has_edge(m, u)))
                     .count();
                 (preserved, std::cmp::Reverse(u.0), u)
             })
@@ -62,7 +65,46 @@ pub fn neighbor_biased_mapping(g: &Graph, closure: &Graph) -> Vec<Option<VertexI
             used[u.index()] = true;
         }
     }
+    catapult_graph::debug_invariants!(validate_mapping(g, closure, &mapping));
     mapping
+}
+
+/// Check that `mapping` is a well-formed partial embedding of `g` into
+/// `closure`: one entry per `g`-vertex, matched targets in bounds,
+/// injective, and label-preserving.
+pub fn validate_mapping(
+    g: &Graph,
+    closure: &Graph,
+    mapping: &[Option<VertexId>],
+) -> Result<(), InvariantViolation> {
+    if mapping.len() != g.vertex_count() {
+        return Err(InvariantViolation::new(format!(
+            "mapping covers {} of {} source vertices",
+            mapping.len(),
+            g.vertex_count()
+        )));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (i, target) in mapping.iter().enumerate() {
+        let Some(u) = *target else { continue };
+        if u.index() >= closure.vertex_count() {
+            return Err(InvariantViolation::new(format!(
+                "mapping sends v{i} to out-of-bounds {u:?} (closure |V| = {})",
+                closure.vertex_count()
+            )));
+        }
+        if !seen.insert(u) {
+            return Err(InvariantViolation::new(format!(
+                "mapping is not injective: {u:?} is the image of two vertices"
+            )));
+        }
+        if closure.label(u) != g.label(VertexId(i as u32)) {
+            return Err(InvariantViolation::new(format!(
+                "mapping sends v{i} to {u:?} with a different label"
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

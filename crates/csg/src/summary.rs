@@ -11,7 +11,7 @@
 
 use crate::idset::IdSet;
 use crate::mapping::neighbor_biased_mapping;
-use catapult_graph::{EdgeId, Graph, VertexId};
+use catapult_graph::{debug_invariants, EdgeId, Graph, InvariantViolation, VertexId};
 
 /// A cluster summary graph.
 #[derive(Clone, Debug)]
@@ -68,21 +68,26 @@ impl Csg {
                         edge_members[eid.index()].insert(gid);
                     }
                     None => {
-                        let eid = graph.add_edge(a, b).expect("new closure edge");
-                        debug_assert_eq!(eid.index(), edge_members.len());
-                        edge_members.push(IdSet::singleton(gid));
+                        // `find_edge` ruled out a duplicate and the mapping
+                        // is injective (`a != b`), so the insert cannot fail.
+                        if let Ok(eid) = graph.add_edge(a, b) {
+                            debug_assert_eq!(eid.index(), edge_members.len());
+                            edge_members.push(IdSet::singleton(gid));
+                        }
                     }
                 }
             }
             member_images.push(image);
         }
-        Csg {
+        let csg = Csg {
             graph,
             vertex_members,
             edge_members,
             cluster: cluster.to_vec(),
             member_images,
-        }
+        };
+        debug_invariants!(csg.validate(db));
+        csg
     }
 
     /// The stored embedding witness of member `gid` (closure vertex per
@@ -97,21 +102,127 @@ impl Csg {
     /// Verify the stored witnesses: every member's image must be an
     /// injective, label- and edge-preserving map into the closure.
     pub fn verify_members(&self, db: &[Graph]) -> bool {
-        self.cluster.iter().zip(&self.member_images).all(|(&gid, image)| {
-            let g = &db[gid as usize];
+        self.cluster
+            .iter()
+            .zip(&self.member_images)
+            .all(|(&gid, image)| {
+                let g = &db[gid as usize];
+                if image.len() != g.vertex_count() {
+                    return false;
+                }
+                let mut seen = std::collections::HashSet::new();
+                for v in g.vertices() {
+                    let t = image[v.index()];
+                    if !seen.insert(t) || self.graph.label(t) != g.label(v) {
+                        return false;
+                    }
+                }
+                g.edges()
+                    .all(|(_, e)| self.graph.has_edge(image[e.u.index()], image[e.v.index()]))
+            })
+    }
+
+    /// Check every structural invariant of the summary:
+    ///
+    /// * the closure graph itself is well-formed ([`Graph::validate`]);
+    /// * the member-set tables are parallel to the closure's vertex and
+    ///   edge tables, and the witness table is parallel to `cluster`;
+    /// * every id in a member set belongs to `cluster`;
+    /// * every stored witness is an injective, label- and edge-preserving
+    ///   embedding of its member into the closure, and every vertex/edge
+    ///   it touches records that member in its member set.
+    ///
+    /// Run automatically after [`Csg::build`] via
+    /// [`catapult_graph::debug_invariants!`].
+    pub fn validate(&self, db: &[Graph]) -> Result<(), InvariantViolation> {
+        self.graph.validate()?;
+        if self.vertex_members.len() != self.graph.vertex_count() {
+            return Err(InvariantViolation::new(format!(
+                "{} vertex member-sets for {} closure vertices",
+                self.vertex_members.len(),
+                self.graph.vertex_count()
+            )));
+        }
+        if self.edge_members.len() != self.graph.edge_count() {
+            return Err(InvariantViolation::new(format!(
+                "{} edge member-sets for {} closure edges",
+                self.edge_members.len(),
+                self.graph.edge_count()
+            )));
+        }
+        if self.member_images.len() != self.cluster.len() {
+            return Err(InvariantViolation::new(format!(
+                "{} member witnesses for {} cluster members",
+                self.member_images.len(),
+                self.cluster.len()
+            )));
+        }
+        for (what, sets) in [
+            ("vertex", &self.vertex_members),
+            ("edge", &self.edge_members),
+        ] {
+            for (i, set) in sets.iter().enumerate() {
+                if let Some(stranger) = set.iter().find(|id| !self.cluster.contains(id)) {
+                    return Err(InvariantViolation::new(format!(
+                        "{what} {i} member-set contains id {stranger} outside the cluster"
+                    )));
+                }
+            }
+        }
+        for (&gid, image) in self.cluster.iter().zip(&self.member_images) {
+            let Some(g) = db.get(gid as usize) else {
+                return Err(InvariantViolation::new(format!(
+                    "cluster member {gid} is outside the database (|D| = {})",
+                    db.len()
+                )));
+            };
             if image.len() != g.vertex_count() {
-                return false;
+                return Err(InvariantViolation::new(format!(
+                    "witness of member {gid} maps {} of {} vertices",
+                    image.len(),
+                    g.vertex_count()
+                )));
             }
             let mut seen = std::collections::HashSet::new();
             for v in g.vertices() {
                 let t = image[v.index()];
-                if !seen.insert(t) || self.graph.label(t) != g.label(v) {
-                    return false;
+                if t.index() >= self.graph.vertex_count() {
+                    return Err(InvariantViolation::new(format!(
+                        "witness of member {gid} maps {v:?} to out-of-bounds {t:?}"
+                    )));
+                }
+                if !seen.insert(t) {
+                    return Err(InvariantViolation::new(format!(
+                        "witness of member {gid} is not injective at {t:?}"
+                    )));
+                }
+                if self.graph.label(t) != g.label(v) {
+                    return Err(InvariantViolation::new(format!(
+                        "witness of member {gid} changes the label of {v:?}"
+                    )));
+                }
+                if !self.vertex_members[t.index()].contains(gid) {
+                    return Err(InvariantViolation::new(format!(
+                        "closure vertex {t:?} omits member {gid} from its member set"
+                    )));
                 }
             }
-            g.edges()
-                .all(|(_, e)| self.graph.has_edge(image[e.u.index()], image[e.v.index()]))
-        })
+            for (_, e) in g.edges() {
+                let (a, b) = (image[e.u.index()], image[e.v.index()]);
+                let Some(eid) = self.graph.find_edge(a, b) else {
+                    return Err(InvariantViolation::new(format!(
+                        "witness of member {gid} drops edge {:?}-{:?}",
+                        e.u, e.v
+                    )));
+                };
+                if !self.edge_members[eid.index()].contains(gid) {
+                    return Err(InvariantViolation::new(format!(
+                        "closure edge {eid:?} omits member {gid} from its member set"
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of member graphs summarized.
@@ -178,8 +289,7 @@ mod tests {
         // Closure: C,O,S,N; edges C-O{0,1}, C-S{0,1}, O-S{0}, C-N{1}.
         assert_eq!(csg.graph.vertex_count(), 4);
         assert_eq!(csg.graph.edge_count(), 4);
-        let mut by_support: Vec<usize> =
-            csg.edge_members.iter().map(IdSet::len).collect();
+        let mut by_support: Vec<usize> = csg.edge_members.iter().map(IdSet::len).collect();
         by_support.sort_unstable();
         assert_eq!(by_support, vec![1, 1, 2, 2]);
     }
@@ -238,5 +348,51 @@ mod tests {
     fn empty_cluster_panics() {
         let db = fig4_like();
         Csg::build(&db, &[]);
+    }
+
+    #[test]
+    fn validate_accepts_built_csgs() {
+        let db = fig4_like();
+        let csg = Csg::build(&db, &[0, 1]);
+        assert!(csg.validate(&db).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_truncated_member_tables() {
+        let db = fig4_like();
+        let mut csg = Csg::build(&db, &[0, 1]);
+        csg.vertex_members.pop();
+        assert!(csg.validate(&db).is_err(), "missing vertex member-set");
+
+        let mut csg = Csg::build(&db, &[0, 1]);
+        csg.edge_members.pop();
+        assert!(csg.validate(&db).is_err(), "missing edge member-set");
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_witness() {
+        let db = fig4_like();
+        // Point one witness vertex at the wrong (differently labeled)
+        // closure vertex: no longer label-preserving.
+        let mut csg = Csg::build(&db, &[0, 1]);
+        csg.member_images[0][0] = csg.member_images[0][1];
+        assert!(csg.validate(&db).is_err(), "non-injective witness accepted");
+    }
+
+    #[test]
+    fn validate_rejects_stale_member_sets() {
+        let db = fig4_like();
+        let mut csg = Csg::build(&db, &[0, 1]);
+        // Forget that member 0 uses closure vertex 0.
+        csg.vertex_members[0] = IdSet::singleton(1);
+        assert!(csg.validate(&db).is_err(), "stale member set accepted");
+    }
+
+    #[test]
+    fn validate_rejects_foreign_member_ids() {
+        let db = fig4_like();
+        let mut csg = Csg::build(&db, &[0, 1]);
+        csg.edge_members[0].insert(99);
+        assert!(csg.validate(&db).is_err(), "foreign id accepted");
     }
 }

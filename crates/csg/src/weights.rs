@@ -141,7 +141,7 @@ impl<'a> WeightedCsg<'a> {
             .iter()
             .enumerate()
             .filter(|(_, w)| w.is_finite())
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| EdgeId(i as u32))
     }
 

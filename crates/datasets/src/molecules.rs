@@ -254,6 +254,7 @@ impl<'a> Gen<'a> {
                 self.add_chain(&mut g, rng.gen_range(1..=4), rng);
             }
         }
+        catapult_graph::debug_invariants!(g.validate());
         g
     }
 }

@@ -149,7 +149,10 @@ mod tests {
             .iter()
             .filter(|q| support_fraction(&db, q, 200) < 0.2)
             .count();
-        assert!(infrequent >= qs.len() / 4, "too few infrequent: {infrequent}");
+        assert!(
+            infrequent >= qs.len() / 4,
+            "too few infrequent: {infrequent}"
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ mod tests {
         assert_eq!(top[0].support, 2);
         for b in &top {
             assert!(b.pattern.edge_count() <= 2);
-            assert!(verify_support(&db, b), "support mismatch for {:?}", b.pattern);
+            assert!(
+                verify_support(&db, b),
+                "support mismatch for {:?}",
+                b.pattern
+            );
         }
     }
 

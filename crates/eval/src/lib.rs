@@ -16,7 +16,11 @@
 //!   remark);
 //! * [`stats`] — Kendall τ and summary statistics.
 
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod basic;
 pub mod cogload;
@@ -29,4 +33,6 @@ pub mod steps;
 pub mod userstudy;
 
 pub use measures::WorkloadEvaluation;
-pub use steps::{formulate, formulate_unlabeled, formulate_unlabeled_with, step_total, Formulation, RelabelModel};
+pub use steps::{
+    formulate, formulate_unlabeled, formulate_unlabeled_with, step_total, Formulation, RelabelModel,
+};

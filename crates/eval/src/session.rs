@@ -117,7 +117,9 @@ impl Session {
                         return Err(SessionError::UnknownVertex(*v));
                     }
                 }
-                self.canvas.add_edge(*a, *b).map_err(SessionError::BadEdge)?;
+                self.canvas
+                    .add_edge(*a, *b)
+                    .map_err(SessionError::BadEdge)?;
                 Vec::new()
             }
             Action::Relabel(v, l) => {
@@ -128,11 +130,8 @@ impl Session {
                 // design; sessions are small so this is fine).
                 let mut labels: Vec<Label> = self.canvas.labels().to_vec();
                 labels[v.index()] = *l;
-                let edges: Vec<(u32, u32)> = self
-                    .canvas
-                    .edges()
-                    .map(|(_, e)| (e.u.0, e.v.0))
-                    .collect();
+                let edges: Vec<(u32, u32)> =
+                    self.canvas.edges().map(|(_, e)| (e.u.0, e.v.0)).collect();
                 self.canvas = Graph::from_parts(&labels, &edges);
                 Vec::new()
             }
@@ -174,6 +173,8 @@ pub fn replay(
         // vertex i → embedding[i]. We need the specific correspondence:
         // re-find it by matching the dragged pattern onto the query region.
         let p = &panel[occ.pattern];
+        #[allow(clippy::expect_used)]
+        // Occurrences originate from `embeddings`, so re-finding one cannot fail.
         let embedding = crate::steps::occurrence_embedding(query, p, occ)
             .expect("occurrence came from an embedding");
         for (pv, qv) in embedding.iter().enumerate() {
@@ -197,6 +198,9 @@ pub fn replay(
         if covered_edges.contains(&eid.0) {
             continue;
         }
+        // Steps 1-2 placed every query vertex into `image`, so both lookups
+        // succeed for any well-formed formulation.
+        #[allow(clippy::expect_used)]
         let (a, b) = (
             image[e.u.index()].expect("all vertices placed"),
             image[e.v.index()].expect("all vertices placed"),
@@ -260,9 +264,7 @@ mod tests {
     fn errors_do_not_advance_steps() {
         let mut s = Session::new(vec![]);
         assert!(s.apply(Action::DragPattern { pattern: 3 }).is_err());
-        assert!(s
-            .apply(Action::AddEdge(VertexId(0), VertexId(1)))
-            .is_err());
+        assert!(s.apply(Action::AddEdge(VertexId(0), VertexId(1))).is_err());
         assert_eq!(s.steps(), 0);
     }
 

@@ -19,8 +19,8 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
     let mut ties_b = 0i64;
     for i in 0..n {
         for j in (i + 1)..n {
-            let da = a[i].partial_cmp(&a[j]).expect("comparable scores");
-            let db = b[i].partial_cmp(&b[j]).expect("comparable scores");
+            let da = a[i].total_cmp(&a[j]);
+            let db = b[i].total_cmp(&b[j]);
             use std::cmp::Ordering::*;
             match (da, db) {
                 (Equal, Equal) => {}

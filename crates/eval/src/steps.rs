@@ -52,8 +52,7 @@ impl Formulation {
         if self.steps_edge_at_a_time == 0 {
             return 0.0;
         }
-        (self.steps_edge_at_a_time as f64 - self.steps as f64)
-            / self.steps_edge_at_a_time as f64
+        (self.steps_edge_at_a_time as f64 - self.steps as f64) / self.steps_edge_at_a_time as f64
     }
 
     /// Whether any canned pattern was usable at all.
@@ -81,6 +80,9 @@ pub fn occurrences(q: &Graph, patterns: &[Graph], cap: usize) -> Vec<Occurrence>
         for emb in embeddings(q, p, cap) {
             let mut vertices: Vec<VertexId> = emb.clone();
             vertices.sort_unstable();
+            // `embeddings` yields genuine subgraph embeddings, so every
+            // pattern edge has an image edge in the query.
+            #[allow(clippy::expect_used)]
             let mut edges: Vec<u32> = p
                 .edges()
                 .map(|(_, e)| {
@@ -227,8 +229,7 @@ pub fn formulate_unlabeled_with(
         // One extra label-selection step per distinct target label per
         // pattern instance.
         for occ in &f.used {
-            let mut labels: Vec<Label> =
-                occ.vertices.iter().map(|&v| q.label(v)).collect();
+            let mut labels: Vec<Label> = occ.vertices.iter().map(|&v| q.label(v)).collect();
             labels.sort_unstable();
             labels.dedup();
             f.steps += labels.len();
@@ -357,8 +358,10 @@ mod tests {
         // Query: a path with 2 distinct labels; unlabeled 2-edge pattern.
         let q = Graph::from_parts(&[l(1), l(2), l(1)], &[(0, 1), (1, 2)]);
         let pat = relabel_uniform(&q, l(0));
-        let one = formulate_unlabeled_with(&q, std::slice::from_ref(&pat), 100, RelabelModel::OneStep);
-        let two = formulate_unlabeled_with(&q, std::slice::from_ref(&pat), 100, RelabelModel::TwoStep);
+        let one =
+            formulate_unlabeled_with(&q, std::slice::from_ref(&pat), 100, RelabelModel::OneStep);
+        let two =
+            formulate_unlabeled_with(&q, std::slice::from_ref(&pat), 100, RelabelModel::TwoStep);
         assert!(one.used_any_pattern());
         // 2 distinct labels in the instance → exactly 2 extra steps.
         assert_eq!(two.steps, one.steps + 2);

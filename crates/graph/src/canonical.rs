@@ -156,6 +156,9 @@ fn bfs_tokens(g: &Graph, root: VertexId) -> CanonTokens {
 /// Panics if `g` is not a tree (connected, `|E| = |V| - 1`, `|V| ≥ 1`).
 pub fn canonical_tree(g: &Graph) -> CanonicalTree {
     assert!(is_tree(g), "canonical_tree requires a tree");
+    // The `is_tree` assertion above guarantees a non-empty connected graph,
+    // which always has one or two centers.
+    #[allow(clippy::expect_used)]
     let tokens = tree_centers(g)
         .into_iter()
         .map(|c| bfs_tokens(g, c))
@@ -247,11 +250,11 @@ mod tests {
             (0, 1),
             (0, 2),
             (0, 3),
-            (1, 4), // B1-C
-            (1, 5), // B1-D
-            (5, 7), // D-E
-            (2, 6), // B2-D
-            (6, 8), // D-E
+            (1, 4),  // B1-C
+            (1, 5),  // B1-D
+            (5, 7),  // D-E
+            (2, 6),  // B2-D
+            (6, 8),  // D-E
             (3, 9),  // B3-F
             (3, 10), // B3-G
         ];

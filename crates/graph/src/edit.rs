@@ -109,6 +109,9 @@ pub fn edit_script(a: &Graph, b: &Graph, mapping: &[Option<VertexId>]) -> Vec<Ed
         }
     }
     // 5. Insert target edges with no matched source edge.
+    // Step 4 assigned a handle to every unmatched target vertex, so the
+    // `expect` below is unreachable for well-formed preimages.
+    #[allow(clippy::expect_used)]
     let endpoint = |t: VertexId| -> EditEndpoint {
         match preimage[t.index()] {
             Some(src) => EditEndpoint::Source(src),
@@ -135,31 +138,30 @@ pub fn apply_edit_script(a: &Graph, script: &[EditOp]) -> Result<Graph, EditErro
     let n = a.vertex_count();
     let mut alive = vec![true; n];
     let mut labels: Vec<Label> = a.labels().to_vec();
-    let mut edges: Vec<(usize, usize)> = a
-        .edges()
-        .map(|(_, e)| (e.u.index(), e.v.index()))
-        .collect();
+    let mut edges: Vec<(usize, usize)> =
+        a.edges().map(|(_, e)| (e.u.index(), e.v.index())).collect();
     let mut inserted: Vec<Label> = Vec::new();
 
     // Node addressing: source i → slot i; inserted k → slot n + k.
-    let resolve = |ep: &EditEndpoint, alive: &[bool], inserted_len: usize| -> Result<usize, EditError> {
-        match ep {
-            EditEndpoint::Source(v) => {
-                if v.index() >= alive.len() || !alive[v.index()] {
-                    Err(EditError::MissingVertex)
-                } else {
-                    Ok(v.index())
+    let resolve =
+        |ep: &EditEndpoint, alive: &[bool], inserted_len: usize| -> Result<usize, EditError> {
+            match ep {
+                EditEndpoint::Source(v) => {
+                    if v.index() >= alive.len() || !alive[v.index()] {
+                        Err(EditError::MissingVertex)
+                    } else {
+                        Ok(v.index())
+                    }
+                }
+                EditEndpoint::Inserted(k) => {
+                    if *k >= inserted_len {
+                        Err(EditError::MissingVertex)
+                    } else {
+                        Ok(alive.len() + *k)
+                    }
                 }
             }
-            EditEndpoint::Inserted(k) => {
-                if *k >= inserted_len {
-                    Err(EditError::MissingVertex)
-                } else {
-                    Ok(alive.len() + *k)
-                }
-            }
-        }
-    };
+        };
 
     for op in script {
         match op {
@@ -226,6 +228,7 @@ pub fn apply_edit_script(a: &Graph, script: &[EditOp]) -> Result<Graph, EditErro
         );
         out.add_edge(np, nq).map_err(|_| EditError::BadEdge)?;
     }
+    crate::debug_invariants!(out.validate());
     Ok(out)
 }
 

@@ -60,7 +60,9 @@ pub fn parse_graphs(text: &str, interner: &mut LabelInterner) -> Result<Vec<Grap
             continue;
         }
         let mut parts = line.split_whitespace();
-        let kind = parts.next().unwrap();
+        // The line is trimmed and non-empty, so it has a first token; the
+        // `else` arm is unreachable but keeps this parse loop panic-free.
+        let Some(kind) = parts.next() else { continue };
         let err = |message: String| ParseError {
             line: lineno,
             message,

@@ -87,7 +87,7 @@ pub fn induced_edit_cost(a: &Graph, b: &Graph, mapping: &[Option<VertexId>]) -> 
         }
     }
     cost += b_used.iter().filter(|&&u| !u).count(); // vertex insertions
-    // Edge deletions / matches.
+                                                    // Edge deletions / matches.
     for (_, e) in a.edges() {
         match (mapping[e.u.index()], mapping[e.v.index()]) {
             (Some(x), Some(y)) if b.has_edge(x, y) => {}

@@ -4,6 +4,7 @@
 //! *undirected simple graphs with labeled vertices*, connected, with at
 //! least one edge; the size of a graph is its number of edges, `|G| = |E|`.
 
+use crate::invariants::InvariantViolation;
 use crate::labels::{EdgeLabel, Label};
 use std::fmt;
 
@@ -271,7 +272,9 @@ impl Graph {
 
     /// Sorted degree sequence (an isomorphism invariant).
     pub fn degree_sequence(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = (0..self.vertex_count()).map(|i| self.adj[i].len()).collect();
+        let mut v: Vec<usize> = (0..self.vertex_count())
+            .map(|i| self.adj[i].len())
+            .collect();
         v.sort_unstable();
         v
     }
@@ -315,9 +318,13 @@ impl Graph {
         }
         for (_, e) in self.edges() {
             if let (Some(nu), Some(nv)) = (map[e.u.index()], map[e.v.index()]) {
+                // A simple graph visits each vertex pair once, so the new
+                // edge cannot collide.
+                #[allow(clippy::expect_used)]
                 g.add_edge(nu, nv).expect("induced edges are unique");
             }
         }
+        crate::debug_invariants!(g.validate());
         (g, map)
     }
 
@@ -327,14 +334,19 @@ impl Graph {
         let mut g = Graph::new();
         for &eid in edge_ids {
             let e = self.edge(eid);
-            for x in [e.u, e.v] {
-                if map[x.index()].is_none() {
-                    map[x.index()] = Some(g.add_vertex(self.label(x)));
+            let mut intern = |x: VertexId, g: &mut Graph| match map[x.index()] {
+                Some(id) => id,
+                None => {
+                    let id = g.add_vertex(self.label(x));
+                    map[x.index()] = Some(id);
+                    id
                 }
-            }
-            let (nu, nv) = (map[e.u.index()].unwrap(), map[e.v.index()].unwrap());
+            };
+            let nu = intern(e.u, &mut g);
+            let nv = intern(e.v, &mut g);
             let _ = g.add_edge(nu, nv);
         }
+        crate::debug_invariants!(g.validate());
         g
     }
 
@@ -347,11 +359,154 @@ impl Graph {
             g.add_vertex(l);
         }
         for &(a, b) in edges {
+            // Documented contract: fixture input must be valid, and the
+            // panic is this constructor's advertised failure mode.
+            #[allow(clippy::expect_used)]
             g.add_edge(VertexId(a), VertexId(b))
                 .expect("valid fixture edge");
         }
+        crate::debug_invariants!(g.validate());
         g
     }
+
+    /// Check every structural invariant of the representation:
+    ///
+    /// * the label table and the adjacency table agree on `|V|`;
+    /// * every edge's endpoints are in bounds, distinct (no self-loops),
+    ///   and normalised `u <= v`;
+    /// * no duplicate undirected edges;
+    /// * adjacency symmetry: `(w, e)` in `adj[v]` iff `(v, e)` in
+    ///   `adj[w]`, each adjacency entry agrees with the edge table, and
+    ///   every edge is incident to exactly its two endpoints.
+    ///
+    /// `Ok(())` on a well-formed graph; a described [`InvariantViolation`]
+    /// on the first inconsistency found. Run automatically at composite
+    /// mutation sites via [`crate::debug_invariants!`].
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        let n = self.labels.len();
+        if self.adj.len() != n {
+            return Err(InvariantViolation::new(format!(
+                "label table has {n} entries but adjacency table has {}",
+                self.adj.len()
+            )));
+        }
+        let mut seen_pairs = std::collections::HashSet::with_capacity(self.edges.len());
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.u.index() >= n || e.v.index() >= n {
+                return Err(InvariantViolation::new(format!(
+                    "edge {i} ({:?}-{:?}) has an endpoint out of bounds (|V| = {n})",
+                    e.u, e.v
+                )));
+            }
+            if e.u == e.v {
+                return Err(InvariantViolation::new(format!(
+                    "edge {i} is a self-loop on {:?}",
+                    e.u
+                )));
+            }
+            if e.u > e.v {
+                return Err(InvariantViolation::new(format!(
+                    "edge {i} ({:?}-{:?}) is not endpoint-normalised",
+                    e.u, e.v
+                )));
+            }
+            if !seen_pairs.insert((e.u, e.v)) {
+                return Err(InvariantViolation::new(format!(
+                    "duplicate undirected edge {i} ({:?}-{:?})",
+                    e.u, e.v
+                )));
+            }
+        }
+        let mut incidence = vec![0usize; self.edges.len()];
+        for v in 0..n {
+            let vid = VertexId(v as u32);
+            let mut local = std::collections::HashSet::with_capacity(self.adj[v].len());
+            for &(w, eid) in &self.adj[v] {
+                if w.index() >= n {
+                    return Err(InvariantViolation::new(format!(
+                        "adjacency of {vid:?} references out-of-bounds vertex {w:?}"
+                    )));
+                }
+                let Some(&edge) = self.edges.get(eid.index()) else {
+                    return Err(InvariantViolation::new(format!(
+                        "adjacency of {vid:?} references out-of-bounds edge {eid:?}"
+                    )));
+                };
+                if Edge::new(vid, w) != edge {
+                    return Err(InvariantViolation::new(format!(
+                        "adjacency entry ({vid:?}, {w:?}) disagrees with edge table entry \
+                         {eid:?} = {:?}-{:?}",
+                        edge.u, edge.v
+                    )));
+                }
+                if !local.insert(w) {
+                    return Err(InvariantViolation::new(format!(
+                        "vertex {vid:?} lists neighbor {w:?} twice"
+                    )));
+                }
+                incidence[eid.index()] += 1;
+                if !self.adj[w.index()]
+                    .iter()
+                    .any(|&(x, xe)| x == vid && xe == eid)
+                {
+                    return Err(InvariantViolation::new(format!(
+                        "asymmetric adjacency: {vid:?} lists ({w:?}, {eid:?}) but \
+                         {w:?} does not list {vid:?}"
+                    )));
+                }
+            }
+        }
+        if let Some(missing) = incidence.iter().position(|&c| c != 2) {
+            return Err(InvariantViolation::new(format!(
+                "edge e{missing} appears {} times in adjacency lists (expected 2)",
+                incidence[missing]
+            )));
+        }
+        Ok(())
+    }
+
+    /// Corruption helpers for invariant-validator tests. Each method
+    /// deliberately breaks one representation invariant that
+    /// [`Graph::validate`] must detect. Hidden from docs: test-only API.
+    #[doc(hidden)]
+    pub fn corrupt_for_test(&mut self, kind: CorruptionKind) {
+        match kind {
+            CorruptionKind::AsymmetricAdjacency => {
+                // Drop the reverse adjacency entry of the first edge.
+                if let Some(&Edge { u, v }) = self.edges.first() {
+                    self.adj[v.index()].retain(|&(w, _)| w != u);
+                }
+            }
+            CorruptionKind::EdgeOutOfBounds => {
+                let n = self.labels.len() as u32;
+                if let Some(e) = self.edges.first_mut() {
+                    e.v = VertexId(n + 7);
+                }
+            }
+            CorruptionKind::DuplicateEdge => {
+                if let Some(&e) = self.edges.first() {
+                    self.edges.push(e);
+                }
+            }
+            CorruptionKind::LabelTableMismatch => {
+                self.labels.pop();
+            }
+        }
+    }
+}
+
+/// Which invariant [`Graph::corrupt_for_test`] breaks.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Remove one direction of an edge's adjacency entries.
+    AsymmetricAdjacency,
+    /// Point an edge endpoint past the vertex table.
+    EdgeOutOfBounds,
+    /// Append a second copy of an existing edge.
+    DuplicateEdge,
+    /// Shrink the label table below the adjacency table.
+    LabelTableMismatch,
 }
 
 impl fmt::Debug for Graph {
@@ -442,6 +597,42 @@ mod tests {
     fn density_of_path() {
         let g = Graph::from_parts(&[l(0); 4], &[(0, 1), (1, 2), (2, 3)]);
         assert!((g.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_graphs() {
+        assert_eq!(Graph::new().validate(), Ok(()));
+        let g = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_seeded_corruption() {
+        for kind in [
+            CorruptionKind::AsymmetricAdjacency,
+            CorruptionKind::EdgeOutOfBounds,
+            CorruptionKind::DuplicateEdge,
+            CorruptionKind::LabelTableMismatch,
+        ] {
+            let mut g = Graph::from_parts(&[l(0), l(1), l(2)], &[(0, 1), (1, 2)]);
+            g.corrupt_for_test(kind);
+            assert!(
+                g.validate().is_err(),
+                "validate() accepted a graph corrupted with {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_reports_non_normalised_edges() {
+        let mut g = Graph::from_parts(&[l(0), l(1)], &[(0, 1)]);
+        // Swap the stored endpoints: still symmetric, but un-normalised.
+        g.edges[0] = Edge {
+            u: VertexId(1),
+            v: VertexId(0),
+        };
+        let err = g.validate().expect_err("must reject unsorted endpoints");
+        assert!(err.message().contains("normalised"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Debug invariant machinery shared by the whole workspace.
+//!
+//! The NP-hard kernels (VF2, MCS, GED) and the CSG/cluster layers above
+//! them fail *silently* when a structural invariant is broken — a
+//! asymmetric adjacency list or a stale member-id set yields wrong pattern
+//! scores, not a crash. The [`crate::debug_invariants!`] macro makes those
+//! invariants executable: each call site names one or more validator
+//! expressions (returning `Result<(), InvariantViolation>`), and they run
+//! under `cfg(debug_assertions)` or when the `strict-invariants` feature
+//! is enabled — release builds without the feature compile the checks
+//! away entirely.
+//!
+//! Validators live next to the structures they check:
+//! [`crate::Graph::validate`] here, `Csg::validate` in `catapult-csg`, and
+//! `validate_assignment` in `catapult-cluster`.
+
+use std::fmt;
+
+/// A broken structural invariant, with a human-readable description of
+/// what was inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    message: String,
+}
+
+impl InvariantViolation {
+    /// Create a violation with a description of the inconsistency.
+    pub fn new(message: impl Into<String>) -> Self {
+        InvariantViolation {
+            message: message.into(),
+        }
+    }
+
+    /// The description of the inconsistency.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Fail fast when a checked invariant does not hold.
+///
+/// This is the runtime half of [`crate::debug_invariants!`]; call sites
+/// should use the macro, which compiles the check away in plain release
+/// builds.
+#[inline]
+pub fn enforce(result: Result<(), InvariantViolation>, what: &str, file: &str, line: u32) {
+    if let Err(v) = result {
+        // Invariant violations are programming errors in this codebase,
+        // not recoverable conditions: aborting at the mutation site is the
+        // entire point of the validator layer.
+        #[allow(clippy::panic)]
+        {
+            panic!("invariant violated at {file}:{line}: `{what}`: {v}");
+        }
+    }
+}
+
+/// Run one or more invariant validators at a mutation site.
+///
+/// Each argument must evaluate to `Result<(), InvariantViolation>`. The
+/// checks execute only under `cfg(debug_assertions)` or when the calling
+/// crate's `strict-invariants` feature is on; otherwise the expressions
+/// are type-checked but never evaluated.
+///
+/// ```
+/// use catapult_graph::{debug_invariants, Graph, Label};
+/// let g = Graph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+/// debug_invariants!(g.validate());
+/// ```
+#[macro_export]
+macro_rules! debug_invariants {
+    ($($check:expr),+ $(,)?) => {
+        if cfg!(debug_assertions) || cfg!(feature = "strict-invariants") {
+            $($crate::invariants::enforce($check, stringify!($check), file!(), line!());)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_message() {
+        let v = InvariantViolation::new("edge 3 endpoint out of bounds");
+        assert_eq!(v.to_string(), "edge 3 endpoint out of bounds");
+        assert_eq!(v.message(), "edge 3 endpoint out of bounds");
+    }
+
+    #[test]
+    fn enforce_passes_ok() {
+        enforce(Ok(()), "ok-check", file!(), line!());
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn enforce_panics_on_violation() {
+        enforce(
+            Err(InvariantViolation::new("broken")),
+            "bad-check",
+            file!(),
+            line!(),
+        );
+    }
+
+    #[test]
+    fn macro_accepts_multiple_checks() {
+        debug_invariants!(Ok(()), Ok(()));
+    }
+}

@@ -93,11 +93,16 @@ fn matching_order(pattern: &Graph, target: &Graph) -> Vec<VertexId> {
     let mut in_order = vec![false; np];
     let mut order = Vec::with_capacity(np);
     while order.len() < np {
-        let start = pattern
+        // The while-guard (`order.len() < np`) implies an unordered vertex
+        // remains, so the `else` arm is unreachable; breaking keeps this
+        // kernel free of panicking paths.
+        let Some(start) = pattern
             .vertices()
             .filter(|v| !in_order[v.index()])
             .min_by_key(|&v| selectivity(v))
-            .expect("vertices remain");
+        else {
+            break;
+        };
         in_order[start.index()] = true;
         order.push(start);
         loop {
@@ -256,8 +261,7 @@ where
 
 /// Quick necessary conditions for `pattern ⊆ target`.
 fn quick_reject(pattern: &Graph, target: &Graph) -> bool {
-    if pattern.vertex_count() > target.vertex_count()
-        || pattern.edge_count() > target.edge_count()
+    if pattern.vertex_count() > target.vertex_count() || pattern.edge_count() > target.edge_count()
     {
         return true;
     }
@@ -413,9 +417,8 @@ mod tests {
         // (the two path endpoints map to adjacent target vertices).
         let t = triangle();
         let p = path(3);
-        let non_induced = for_each_embedding(&t, &p, MatchOptions::default(), |_| {
-            ControlFlow::Break(())
-        });
+        let non_induced =
+            for_each_embedding(&t, &p, MatchOptions::default(), |_| ControlFlow::Break(()));
         assert_eq!(non_induced.embeddings, 1);
         let induced = for_each_embedding(
             &t,
@@ -439,10 +442,7 @@ mod tests {
 
     #[test]
     fn embedding_preserves_edges_and_labels() {
-        let t = Graph::from_parts(
-            &[l(0), l(1), l(0), l(2)],
-            &[(0, 1), (1, 2), (2, 3), (0, 3)],
-        );
+        let t = Graph::from_parts(&[l(0), l(1), l(0), l(2)], &[(0, 1), (1, 2), (2, 3), (0, 3)]);
         let p = Graph::from_parts(&[l(1), l(0)], &[(0, 1)]);
         for emb in embeddings(&t, &p, usize::MAX) {
             assert_eq!(t.label(emb[0]), l(1));

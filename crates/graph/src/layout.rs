@@ -162,7 +162,7 @@ mod tests {
     fn layout_covers_disconnected_graphs() {
         let g = Graph::from_parts(&[l(0); 4], &[(0, 1), (2, 3)]);
         let lay = circular_layout(&g);
-        let mut pos = lay.position.clone();
+        let mut pos = lay.position;
         pos.sort_unstable();
         assert_eq!(pos, vec![0, 1, 2, 3]);
     }

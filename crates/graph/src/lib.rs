@@ -18,7 +18,11 @@
 //! * [`random`] — random connected subgraphs and weighted sampling;
 //! * [`fmt`] — a gSpan-style text format.
 
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod canonical;
 pub mod components;
@@ -26,6 +30,7 @@ pub mod edit;
 pub mod fmt;
 pub mod ged;
 pub mod graph;
+pub mod invariants;
 pub mod iso;
 pub mod labels;
 pub mod layout;
@@ -34,5 +39,6 @@ pub mod mcs;
 pub mod metrics;
 pub mod random;
 
-pub use graph::{Edge, EdgeId, Graph, GraphError, VertexId};
+pub use graph::{CorruptionKind, Edge, EdgeId, Graph, GraphError, VertexId};
+pub use invariants::InvariantViolation;
 pub use labels::{EdgeLabel, Label, LabelInterner};

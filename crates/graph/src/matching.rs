@@ -168,7 +168,10 @@ mod tests {
                     best = s;
                 }
             });
-            assert!((total - best).abs() < 1e-9, "n={n} total={total} best={best}");
+            assert!(
+                (total - best).abs() < 1e-9,
+                "n={n} total={total} best={best}"
+            );
         }
     }
 

@@ -314,18 +314,26 @@ pub fn mcs(g1: &Graph, g2: &Graph, cfg: McsConfig) -> McsResult {
 
 /// `ω_mcs(G1, G2) = |G_mcs| / min(|G1|, |G2|)` with `|G| = |E|` (§2).
 pub fn mcs_similarity(g1: &Graph, g2: &Graph, budget: u64) -> f64 {
-    similarity(g1, g2, McsConfig {
-        connected: false,
-        node_budget: budget,
-    })
+    similarity(
+        g1,
+        g2,
+        McsConfig {
+            connected: false,
+            node_budget: budget,
+        },
+    )
 }
 
 /// `ω_mccs(G1, G2) = |G_mccs| / min(|G1|, |G2|)` with `|G| = |E|` (§2).
 pub fn mccs_similarity(g1: &Graph, g2: &Graph, budget: u64) -> f64 {
-    similarity(g1, g2, McsConfig {
-        connected: true,
-        node_budget: budget,
-    })
+    similarity(
+        g1,
+        g2,
+        McsConfig {
+            connected: true,
+            node_budget: budget,
+        },
+    )
 }
 
 fn similarity(g1: &Graph, g2: &Graph, cfg: McsConfig) -> f64 {
@@ -410,7 +418,7 @@ mod tests {
         let r = mcs(&a, &b, McsConfig::connected());
         assert!(r.exact);
         assert_eq!(r.edges, 4); // the path of 5 is the MCCS
-        // Verify every claimed common edge is real.
+                                // Verify every claimed common edge is real.
         let mut count = 0;
         for i in 0..r.pairs.len() {
             for j in (i + 1)..r.pairs.len() {

@@ -64,8 +64,7 @@ impl EdgeLabelStats {
     /// The `k` most frequent edge labels (by transaction count, ties broken
     /// by label order for determinism).
     pub fn top_k(&self, k: usize) -> Vec<(EdgeLabel, usize)> {
-        let mut v: Vec<(EdgeLabel, usize)> =
-            self.counts.iter().map(|(&l, &c)| (l, c)).collect();
+        let mut v: Vec<(EdgeLabel, usize)> = self.counts.iter().map(|(&l, &c)| (l, c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
@@ -89,10 +88,7 @@ pub fn edge_pattern(el: EdgeLabel) -> Graph {
 /// Distinct edge labels of a whole pattern set (used for label coverage of
 /// a canned pattern set, §3.2).
 pub fn pattern_set_edge_labels(patterns: &[Graph]) -> Vec<EdgeLabel> {
-    let mut out: Vec<EdgeLabel> = patterns
-        .iter()
-        .flat_map(|p| p.edge_label_set())
-        .collect();
+    let mut out: Vec<EdgeLabel> = patterns.iter().flat_map(|p| p.edge_label_set()).collect();
     out.sort_unstable();
     out.dedup();
     out

@@ -56,7 +56,11 @@ pub fn select_features(all: &[CanonTokens], k: usize, min_gain: f64) -> Vec<usiz
     // Precompute the symmetric similarity matrix once; the candidate sets
     // are small (tens to a few hundreds of subtrees).
     let sim: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| subtree_similarity(&all[i], &all[j])).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| subtree_similarity(&all[i], &all[j]))
+                .collect()
+        })
         .collect();
     let mut best_cover = vec![0.0f64; n]; // max_{j∈sel} σ(i,j)
     let mut selected: Vec<usize> = Vec::new();
@@ -74,7 +78,10 @@ pub fn select_features(all: &[CanonTokens], k: usize, min_gain: f64) -> Vec<usiz
                 best = Some((cand, gain));
             }
         }
-        let (cand, gain) = best.expect("candidates remain");
+        // The while-guard (`selected.len() < k.min(n)`) leaves at least one
+        // unselected candidate, so `best` is always `Some`; breaking keeps
+        // the refinement loop panic-free.
+        let Some((cand, gain)) = best else { break };
         if gain <= min_gain && !selected.is_empty() {
             break;
         }

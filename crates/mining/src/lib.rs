@@ -11,11 +11,15 @@
 //! * [`gindex`] — filter–verify subgraph search over the repository (the
 //!   §1 query primitive the interface formulates for).
 
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod edges;
-pub mod gindex;
 pub mod facility;
+pub mod gindex;
 pub mod subgraph;
 pub mod subtree;
 

@@ -112,8 +112,11 @@ fn extensions(g: &Graph, labels: &[Label]) -> Vec<Graph> {
         for b in (a + 1)..n {
             if !g.has_edge(VertexId(a), VertexId(b)) {
                 let mut h = g.clone();
-                h.add_edge(VertexId(a), VertexId(b)).unwrap();
-                out.push(h);
+                // `has_edge` ruled out a duplicate and `a < b < n` are in
+                // bounds, so the edge insert cannot fail.
+                if h.add_edge(VertexId(a), VertexId(b)).is_ok() {
+                    out.push(h);
+                }
             }
         }
     }
@@ -122,8 +125,10 @@ fn extensions(g: &Graph, labels: &[Label]) -> Vec<Graph> {
         for &l in labels {
             let mut h = g.clone();
             let v = h.add_vertex(l);
-            h.add_edge(VertexId(a), v).unwrap();
-            out.push(h);
+            // `v` is a fresh vertex, so the pendant edge is always new.
+            if h.add_edge(VertexId(a), v).is_ok() {
+                out.push(h);
+            }
         }
     }
     out
@@ -194,9 +199,11 @@ pub fn mine_frequent_subgraphs(db: &[Graph], cfg: &SubgraphMinerConfig) -> Vec<F
 
 fn sort_level(level: &mut [FrequentSubgraph]) {
     level.sort_by(|a, b| {
-        b.support()
-            .cmp(&a.support())
-            .then_with(|| a.graph.invariant_signature().cmp(&b.graph.invariant_signature()))
+        b.support().cmp(&a.support()).then_with(|| {
+            a.graph
+                .invariant_signature()
+                .cmp(&b.graph.invariant_signature())
+        })
     });
 }
 
@@ -283,9 +290,9 @@ mod tests {
             },
         );
         // Triangle support 5/8 = 0.625 < 0.7 → excluded.
-        assert!(mined.iter().all(|f| f.graph.edge_count() < 3
-            || f.graph.vertex_count() > 3
-            || f.support() >= 6));
+        assert!(mined
+            .iter()
+            .all(|f| f.graph.edge_count() < 3 || f.graph.vertex_count() > 3 || f.support() >= 6));
         assert!(!mined
             .iter()
             .any(|f| f.graph.edge_count() == 3 && f.graph.vertex_count() == 3));

@@ -109,10 +109,7 @@ pub fn mine_frequent_subtrees(db: &[Graph], cfg: &SubtreeMinerConfig) -> Vec<Fre
 /// As [`mine_frequent_subtrees`], additionally returning the number of
 /// candidate trees whose support was counted (used by tests and the
 /// sampling experiments).
-pub fn mine_with_counts(
-    db: &[Graph],
-    cfg: &SubtreeMinerConfig,
-) -> (Vec<FrequentSubtree>, usize) {
+pub fn mine_with_counts(db: &[Graph], cfg: &SubtreeMinerConfig) -> (Vec<FrequentSubtree>, usize) {
     let n = db.len();
     let min_count = ((cfg.min_support * n as f64).ceil() as usize).max(1);
     let labels = frequent_labels(db, min_count);
@@ -148,7 +145,10 @@ pub fn mine_with_counts(
                 for &l in &labels {
                     let mut t = parent.tree.clone();
                     let leaf = t.add_vertex(l);
-                    t.add_edge(v, leaf).expect("new leaf edge is unique");
+                    // `leaf` is fresh, so this edge cannot duplicate.
+                    if t.add_edge(v, leaf).is_err() {
+                        continue;
+                    }
                     let canon = canonical_tokens(&t);
                     if next.contains_key(&canon) {
                         continue;
@@ -317,5 +317,4 @@ mod tests {
         let trees = mine_frequent_subtrees(&[], &SubtreeMinerConfig::default());
         assert!(trees.is_empty());
     }
-
 }

@@ -1,0 +1,395 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! The only task today is `lint`: a line-level static-analysis pass that
+//! enforces repo-specific rules `clippy` cannot express:
+//!
+//! 1. **Kernel no-panic** — the NP-hard search kernels (`iso.rs`,
+//!    `mcs.rs`, `ged.rs`, `walk.rs`, `select.rs`) must contain no
+//!    `panic!` or `.unwrap()` outside their `#[cfg(test)]` modules. A
+//!    panic inside a kernel aborts a whole selection run that may be
+//!    hours into a large repository.
+//! 2. **Doc coverage** — every public item in `crates/graph` and
+//!    `crates/core` carries a doc comment (line-level, so it also covers
+//!    items `rustc`'s `missing_docs` skips).
+//! 3. **No float equality in scoring code** — pattern scores are damped
+//!    products of f64 weights; `==`/`!=` against float literals is
+//!    almost always a bug there. Use ranges or `total_cmp`.
+//! 4. **Lint header** — every crate root states where the lint policy
+//!    lives so readers do not have to guess.
+//!
+//! Exit status is non-zero when any rule fires; CI runs this next to
+//! `cargo clippy`.
+
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files holding the search kernels (rule 1).
+const KERNEL_FILES: &[&str] = &[
+    "crates/graph/src/iso.rs",
+    "crates/graph/src/mcs.rs",
+    "crates/graph/src/ged.rs",
+    "crates/core/src/walk.rs",
+    "crates/core/src/select.rs",
+];
+
+/// Crates whose public items must be documented line-by-line (rule 2).
+const DOC_COVERED_DIRS: &[&str] = &["crates/graph/src", "crates/core/src"];
+
+/// Files holding f64 scoring arithmetic (rule 3).
+const SCORING_FILES: &[&str] = &[
+    "crates/core/src/score.rs",
+    "crates/core/src/select.rs",
+    "crates/core/src/budget.rs",
+    "crates/csg/src/weights.rs",
+];
+
+/// The agreed crate-root marker line (rule 4).
+const LINT_HEADER: &str = "// Lint policy: see [workspace.lints] in the root Cargo.toml.";
+
+/// Per-line escape hatch: append `// xtask-allow: <rule>` to suppress a
+/// finding after review.
+const ALLOW_MARKER: &str = "xtask-allow:";
+
+#[derive(Debug)]
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint\n  (got {:?})",
+                other.unwrap_or("<nothing>")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+
+    for rel in KERNEL_FILES {
+        check_kernel_no_panic(&root, rel, &mut findings);
+    }
+    for dir in DOC_COVERED_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            check_doc_coverage(&root, &file, &mut findings);
+        }
+    }
+    for rel in SCORING_FILES {
+        check_no_float_eq(&root, rel, &mut findings);
+    }
+    check_lint_headers(&root, &mut findings);
+
+    if findings.is_empty() {
+        println!("xtask lint: ok");
+        ExitCode::SUCCESS
+    } else {
+        let mut report = String::new();
+        for f in &findings {
+            let _ = writeln!(
+                report,
+                "{}:{}: [{}] {}",
+                f.file.display(),
+                f.line,
+                f.rule,
+                f.message
+            );
+        }
+        eprint!("{report}");
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Locate the workspace root: walk up from CWD until `Cargo.toml` with a
+/// `[workspace]` table is found. `cargo xtask` runs from the root, but a
+/// direct `cargo run -p xtask` from a crate directory also works.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// All `.rs` files directly inside `dir` (the crate layouts here are flat).
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Strip a trailing `// ...` comment (naive: ignores `//` inside string
+/// literals, which is fine for flagging — comments never *hide* code).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn allowed(line: &str, rule: &str) -> bool {
+    line.find(ALLOW_MARKER)
+        .is_some_and(|i| line[i + ALLOW_MARKER.len()..].trim().starts_with(rule))
+}
+
+/// Rule 1: no `panic!` / `.unwrap()` in kernel files outside `#[cfg(test)]`.
+fn check_kernel_no_panic(root: &Path, rel: &str, findings: &mut Vec<Finding>) {
+    let path = root.join(rel);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        findings.push(Finding {
+            file: path,
+            line: 0,
+            rule: "kernel-no-panic",
+            message: "kernel file listed in xtask but missing".into(),
+        });
+        return;
+    };
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break; // Test modules sit at the bottom of each kernel file.
+        }
+        if allowed(line, "kernel-no-panic") {
+            continue;
+        }
+        let code = code_part(line);
+        for needle in ["panic!", ".unwrap()"] {
+            if code.contains(needle) {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: i + 1,
+                    rule: "kernel-no-panic",
+                    message: format!("`{needle}` in a search kernel outside #[cfg(test)]"),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 2: public items in the covered crates carry a doc comment.
+fn check_doc_coverage(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    const ITEM_KINDS: &[&str] = &[
+        "fn ", "struct ", "enum ", "trait ", "const ", "type ", "mod ",
+    ];
+    for (i, raw) in lines.iter().enumerate() {
+        let line = raw.trim_start();
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break; // Items below are test-only.
+        }
+        let Some(rest) = line.strip_prefix("pub ") else {
+            continue;
+        };
+        if !ITEM_KINDS.iter().any(|k| rest.starts_with(k)) {
+            continue;
+        }
+        if allowed(raw, "doc-coverage") {
+            continue;
+        }
+        // Walk upwards over attributes and macro-generated spacing to find
+        // the item's doc comment.
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let above = lines[j].trim_start();
+            if above.starts_with("///") || above.starts_with("#[doc") {
+                documented = true;
+                break;
+            }
+            if above.starts_with("#[") || above.starts_with("#!") {
+                continue; // attribute stack between doc and item
+            }
+            break;
+        }
+        // `pub mod x;` counts as documented when `x.rs` opens with `//!`
+        // inner docs — the same shape rustc's `missing_docs` accepts.
+        if !documented {
+            if let Some(name) = rest.strip_prefix("mod ").and_then(|m| m.strip_suffix(';')) {
+                documented = path
+                    .parent()
+                    .map(|dir| dir.join(format!("{name}.rs")))
+                    .and_then(|p| std::fs::read_to_string(p).ok())
+                    .is_some_and(|text| {
+                        text.lines()
+                            .find(|l| !l.trim().is_empty())
+                            .is_some_and(|l| l.trim_start().starts_with("//!"))
+                    });
+            }
+        }
+        if !documented {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "doc-coverage",
+                message: format!("undocumented public item: `{}`", line.trim_end()),
+            });
+        }
+    }
+    let _ = root; // paths are already absolute; kept for signature symmetry
+}
+
+/// Rule 3: no `==` / `!=` against float literals in scoring code.
+fn check_no_float_eq(root: &Path, rel: &str, findings: &mut Vec<Finding>) {
+    let path = root.join(rel);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        if allowed(line, "float-eq") {
+            continue;
+        }
+        if has_float_eq(code_part(line)) {
+            findings.push(Finding {
+                file: path.clone(),
+                line: i + 1,
+                rule: "float-eq",
+                message: "f64 equality comparison in scoring code (use ranges or total_cmp)".into(),
+            });
+        }
+    }
+}
+
+/// Detect `== <float literal>` or `<float literal> ==` (and `!=`).
+fn has_float_eq(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut k = 0;
+    while let Some(off) = code[k..].find("==").or_else(|| code[k..].find("!=")) {
+        let at = k + off;
+        // Skip `<=`, `>=`, `===`-like sequences and pattern arms (`=>`).
+        let before = bytes[..at].iter().rev().find(|b| !b.is_ascii_whitespace());
+        if matches!(before, Some(b'<' | b'>' | b'=' | b'!')) {
+            k = at + 2;
+            continue;
+        }
+        let lhs_float = code[..at]
+            .trim_end()
+            .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
+            .next()
+            .is_some_and(is_float_literal);
+        let rhs_float = code[at + 2..]
+            .trim_start()
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
+            .next()
+            .is_some_and(is_float_literal);
+        if lhs_float || rhs_float {
+            return true;
+        }
+        k = at + 2;
+    }
+    false
+}
+
+fn is_float_literal(token: &str) -> bool {
+    let token = token.trim_end_matches("f64").trim_end_matches("f32");
+    let Some((int, frac)) = token.split_once('.') else {
+        return false;
+    };
+    !int.is_empty()
+        && int.bytes().all(|b| b.is_ascii_digit() || b == b'_')
+        && frac.bytes().all(|b| b.is_ascii_digit() || b == b'_')
+}
+
+/// Rule 4: every crate root carries the lint-policy header.
+fn check_lint_headers(root: &Path, findings: &mut Vec<Finding>) {
+    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    for dir in ["crates", "shims"] {
+        if let Ok(entries) = std::fs::read_dir(root.join(dir)) {
+            for entry in entries.flatten() {
+                let lib = entry.path().join("src/lib.rs");
+                let main = entry.path().join("src/main.rs");
+                if lib.is_file() {
+                    roots.push(lib);
+                } else if main.is_file() {
+                    roots.push(main);
+                }
+            }
+        }
+    }
+    roots.sort();
+    for path in roots {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if !text.lines().any(|l| l.trim() == LINT_HEADER) {
+            findings.push(Finding {
+                file: path,
+                line: 1,
+                rule: "lint-header",
+                message: format!("crate root is missing the marker line `{LINT_HEADER}`"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_eq_detection() {
+        assert!(has_float_eq("if x == 0.0 {"));
+        assert!(has_float_eq("if 1.5 != y {"));
+        assert!(has_float_eq("a == 2.5f64"));
+        assert!(!has_float_eq("if x <= 0.0 {"));
+        assert!(!has_float_eq("if x >= 1.0 {"));
+        assert!(!has_float_eq("if n == 0 {"));
+        assert!(!has_float_eq("Some(x) => 0.0,"));
+        assert!(!has_float_eq("let y = x * 2.0;"));
+    }
+
+    #[test]
+    fn float_literal_tokens() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("12.5f64"));
+        assert!(!is_float_literal("0"));
+        assert!(!is_float_literal("x0"));
+        assert!(!is_float_literal("v.len"));
+    }
+
+    #[test]
+    fn allow_marker_matches_rule() {
+        assert!(allowed(
+            "let x = a == 0.0; // xtask-allow: float-eq",
+            "float-eq"
+        ));
+        assert!(!allowed(
+            "let x = a == 0.0; // xtask-allow: float-eq",
+            "doc-coverage"
+        ));
+        assert!(!allowed("let x = a == 0.0;", "float-eq"));
+    }
+}

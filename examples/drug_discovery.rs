@@ -10,6 +10,8 @@
 //! cargo run --release --example drug_discovery
 //! ```
 
+// Examples favor brevity: failing fast on a bad input is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult::prelude::*;
 use catapult::{datasets, eval, graph};
 use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
@@ -74,7 +76,11 @@ fn main() {
     let catapult_panel = result.patterns();
     let gui_panel = catapult::eval::gui::pubchem_gui_patterns();
 
-    println!("panel: {} CATAPULT patterns vs {} PubChem-style unlabeled patterns\n", catapult_panel.len(), gui_panel.len());
+    println!(
+        "panel: {} CATAPULT patterns vs {} PubChem-style unlabeled patterns\n",
+        catapult_panel.len(),
+        gui_panel.len()
+    );
 
     let queries = [
         ("TMAD-like", tmad_query(&db.interner)),

@@ -14,6 +14,8 @@
 //! cargo run --release --example incremental
 //! ```
 
+// Examples favor brevity: failing fast on a bad input is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult::core::incremental::{IncrementalCatapult, IncrementalConfig};
 use catapult::prelude::*;
 use catapult::{cluster, datasets, eval, graph};
@@ -67,7 +69,11 @@ fn main() {
         .iter()
         .filter(|p| !patterns_v1.iter().any(|q| graph::iso::are_isomorphic(p, q)))
         .count();
-    println!("panel drift: {}/{} patterns replaced", changed, patterns_v2.len());
+    println!(
+        "panel drift: {}/{} patterns replaced",
+        changed,
+        patterns_v2.len()
+    );
 
     let new_queries = datasets::random_queries(&arrivals.graphs, 60, (4, 20), 61);
     let old_ev = eval::WorkloadEvaluation::evaluate(&patterns_v1, &new_queries);

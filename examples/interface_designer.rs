@@ -10,6 +10,8 @@
 //! cargo run --release --example interface_designer
 //! ```
 
+// Examples favor brevity: failing fast on a bad input is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult::prelude::*;
 use catapult::{cluster, core, csg, datasets, eval};
 use rand::SeedableRng;
@@ -21,11 +23,8 @@ fn main() {
     // Cluster once, reuse the CSGs across every budget the designer tries
     // (clustering is the one-time cost the paper notes in §4.1).
     let mut rng = rand::rngs::StdRng::seed_from_u64(31);
-    let clustering = cluster::cluster_graphs(
-        &db.graphs,
-        &cluster::ClusteringConfig::default(),
-        &mut rng,
-    );
+    let clustering =
+        cluster::cluster_graphs(&db.graphs, &cluster::ClusteringConfig::default(), &mut rng);
     let csgs = csg::build_csgs(&db.graphs, &clustering.clusters);
     println!(
         "repository of {} graphs summarized into {} CSGs in {:.2}s\n",
@@ -51,7 +50,11 @@ fn main() {
         let sel = core::find_canned_patterns(
             &db.graphs,
             &csgs,
-            &SelectionConfig { budget, walks: 50, ..Default::default() },
+            &SelectionConfig {
+                budget,
+                walks: 50,
+                ..Default::default()
+            },
             &mut rng,
         );
         let patterns = sel.patterns();

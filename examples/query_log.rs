@@ -10,6 +10,8 @@
 //! cargo run --release --example query_log
 //! ```
 
+// Examples favor brevity: failing fast on a bad input is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult::core::{find_canned_patterns, QueryLog};
 use catapult::prelude::*;
 use catapult::{cluster, csg, datasets, eval};
@@ -27,7 +29,11 @@ fn main() {
     let family: Vec<Graph> = db.graphs[..20].to_vec();
     let history = datasets::random_queries(&family, 60, (4, 15), 79);
     let log = QueryLog::new(history);
-    println!("log: {} recorded queries over a {}-compound family", log.len(), family.len());
+    println!(
+        "log: {} recorded queries over a {}-compound family",
+        log.len(),
+        family.len()
+    );
 
     let budget = PatternBudget::new(3, 8, 10).expect("valid budget");
     let select = |query_log: Option<QueryLog>, seed: u64| {
@@ -53,10 +59,7 @@ fn main() {
     let future = datasets::random_queries(&family, 80, (4, 15), 89);
     let ev_obl = eval::WorkloadEvaluation::evaluate(&oblivious, &future);
     let ev_aware = eval::WorkloadEvaluation::evaluate(&aware, &future);
-    println!(
-        "{:<14} {:>10} {:>8}",
-        "panel", "avg mu", "MP"
-    );
+    println!("{:<14} {:>10} {:>8}", "panel", "avg mu", "MP");
     for (name, ev) in [("oblivious", &ev_obl), ("log-aware", &ev_aware)] {
         println!(
             "{:<14} {:>9.1}% {:>7.1}%",

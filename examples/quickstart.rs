@@ -4,6 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples favor brevity: failing fast on a bad input is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use catapult::prelude::*;
 use catapult::{datasets, eval, graph};
 

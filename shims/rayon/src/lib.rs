@@ -1,0 +1,84 @@
+//! Offline sequential stand-in for the subset of `rayon` this workspace
+//! uses.
+//!
+//! The build container cannot fetch crates, so the real `rayon` is
+//! unavailable. All call sites use `par_iter()` / `into_par_iter()` as
+//! drop-in parallel versions of ordinary iterator chains; this shim makes
+//! those methods return the *sequential* `std` iterators, preserving
+//! semantics (and determinism) while giving up parallel speedup. Swapping
+//! the real `rayon` back in later is a one-line change in the root
+//! `Cargo.toml`.
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
+
+/// Run two closures (sequentially here; in real rayon, potentially in
+/// parallel) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Drop-in traits mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Iterator type produced by [`Self::into_par_iter`].
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Consume `self` into a (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Iterator type produced by [`Self::par_iter`].
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a reference into `self`).
+        type Item: 'a;
+        /// Iterate `&self` (sequentially).
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        type Item = <&'a C as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u32 = (0u32..10).into_par_iter().sum();
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

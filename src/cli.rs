@@ -51,6 +51,7 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Parsed `--key value` flags.
+#[derive(Debug)]
 pub struct Flags {
     values: HashMap<String, String>,
 }
@@ -220,12 +221,12 @@ pub fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
     Ok(format!(
         "graphs: {}\nedges: min {} / avg {:.1} / max {}\nvertices: min {} / avg {:.1} / max {}\ndistinct edge labels: {}\nvertex labels: {}",
         db.len(),
-        edges.iter().min().unwrap(),
+        edges.iter().min().copied().unwrap_or(0),
         edges.iter().sum::<usize>() as f64 / db.len() as f64,
-        edges.iter().max().unwrap(),
-        vertices.iter().min().unwrap(),
+        edges.iter().max().copied().unwrap_or(0),
+        vertices.iter().min().copied().unwrap_or(0),
         total_v as f64 / db.len() as f64,
-        vertices.iter().max().unwrap(),
+        vertices.iter().max().copied().unwrap_or(0),
         stats.labels().len(),
         label_line,
     ))
@@ -242,7 +243,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "select" => cmd_select(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "stats" => cmd_stats(&flags),
-        other => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     }
 }
 
@@ -275,18 +278,43 @@ mod tests {
         let db_path = tmp("db.txt");
         let pat_path = tmp("patterns.txt");
         let out = run(&args(&[
-            "generate", "--profile", "emol", "--count", "25", "--seed", "3", "--out", &db_path,
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "25",
+            "--seed",
+            "3",
+            "--out",
+            &db_path,
         ]))
         .unwrap();
         assert!(out.contains("wrote"));
         let out = run(&args(&[
-            "select", "--db", &db_path, "--gamma", "4", "--min-size", "3", "--max-size", "5",
-            "--walks", "15", "--out", &pat_path,
+            "select",
+            "--db",
+            &db_path,
+            "--gamma",
+            "4",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+            "--walks",
+            "15",
+            "--out",
+            &pat_path,
         ]))
         .unwrap();
         assert!(out.contains("wrote"));
         let report = run(&args(&[
-            "evaluate", "--db", &db_path, "--patterns", &pat_path, "--queries", "15",
+            "evaluate",
+            "--db",
+            &db_path,
+            "--patterns",
+            &pat_path,
+            "--queries",
+            "15",
         ]))
         .unwrap();
         assert!(report.contains("missed percentage"));
@@ -297,7 +325,13 @@ mod tests {
     fn stats_reports_shape() {
         let db_path = tmp("db_stats.txt");
         run(&args(&[
-            "generate", "--profile", "aids", "--count", "10", "--out", &db_path,
+            "generate",
+            "--profile",
+            "aids",
+            "--count",
+            "10",
+            "--out",
+            &db_path,
         ]))
         .unwrap();
         let report = run(&args(&["stats", "--db", &db_path])).unwrap();
@@ -326,7 +360,13 @@ mod tests {
     fn select_rejects_bad_budget() {
         let db_path = tmp("db2.txt");
         run(&args(&[
-            "generate", "--profile", "emol", "--count", "5", "--out", &db_path,
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "5",
+            "--out",
+            &db_path,
         ]))
         .unwrap();
         let r = run(&args(&["select", "--db", &db_path, "--min-size", "1"]));

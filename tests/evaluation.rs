@@ -1,6 +1,9 @@
 //! Integration tests of the evaluation stack (step model, GUI simulators,
 //! measures) against the pipeline's outputs — the §6 machinery end to end.
 
+// Integration tests may use panicking shortcuts freely; the workspace
+// no-panic policy targets library production code only.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use catapult::prelude::*;
 use catapult::{datasets, eval};
 use catapult_eval::steps::DEFAULT_EMBEDDING_CAP;
@@ -108,7 +111,10 @@ fn data_driven_panel_beats_unlabeled_gui_on_average() {
         cat_total < gui_total,
         "CATAPULT {cat_total} should beat GUI {gui_total}"
     );
-    assert!(cat_wins >= queries.len() / 4, "too few per-query wins: {cat_wins}");
+    assert!(
+        cat_wins >= queries.len() / 4,
+        "too few per-query wins: {cat_wins}"
+    );
 }
 
 #[test]

@@ -4,6 +4,9 @@
 //! the minimum of that cost over *all* mappings. This test enumerates all
 //! mappings for graphs with ≤ 4 vertices and checks the search agrees.
 
+// Integration tests may use panicking shortcuts freely; the workspace
+// no-panic policy targets library production code only.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use catapult::graph::edit::{apply_edit_script, edit_script};
 use catapult::graph::ged::{ged_lower_bound, ged_with_budget, induced_edit_cost};
 use catapult::graph::iso::are_isomorphic;

@@ -1,0 +1,176 @@
+//! Property coverage for the debug invariant validators: randomly built
+//! graphs always validate, random valid edit sequences preserve the
+//! representation invariants, and every validator rejects its seeded
+//! corruption.
+
+// Integration tests may use panicking shortcuts freely; the workspace
+// no-panic policy targets library production code only.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use catapult::cluster::invariants::{validate_assignment, validate_cluster_sizes};
+use catapult::csg::mapping::{neighbor_biased_mapping, validate_mapping};
+use catapult::csg::Csg;
+use catapult::graph::edit::{apply_edit_script, edit_script};
+use catapult::graph::ged::ged_upper_bound_mapping;
+use catapult::graph::{CorruptionKind, Graph, Label, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a connected labeled graph as (labels, tree parents, extra
+/// edge pairs) — same shape as `tests/properties.rs`.
+fn graph_strategy(max_v: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_v).prop_flat_map(move |n| {
+        (
+            prop::collection::vec(0..labels, n),
+            prop::collection::vec(0u32..u32::MAX, n - 1),
+            prop::collection::vec((0..n as u32, 0..n as u32), 0..=n),
+        )
+            .prop_map(move |(ls, parents, extras)| {
+                let mut g = Graph::new();
+                for &l in &ls {
+                    g.add_vertex(Label(l));
+                }
+                for (i, &r) in parents.iter().enumerate() {
+                    let child = (i + 1) as u32;
+                    let parent = r % child;
+                    g.add_edge(VertexId(child), VertexId(parent)).unwrap();
+                }
+                for (a, b) in extras {
+                    if a != b {
+                        let _ = g.add_edge(VertexId(a), VertexId(b));
+                    }
+                }
+                g
+            })
+    })
+}
+
+proptest! {
+    // Every randomly constructed graph satisfies `Graph::validate`.
+    #[test]
+    fn random_graphs_validate(g in graph_strategy(12, 4)) {
+        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+    }
+
+    // Random valid mutation sequences (vertex inserts, edge inserts,
+    // subgraph extraction) preserve the representation invariants.
+    #[test]
+    fn random_edit_sequences_preserve_invariants(
+        g in graph_strategy(10, 3),
+        ops in prop::collection::vec((0u8..3, 0u32..64, 0u32..64), 0..24),
+    ) {
+        let mut g = g;
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    g.add_vertex(Label(a % 4));
+                }
+                1 => {
+                    let n = g.vertex_count() as u32;
+                    let (u, v) = (VertexId(a % n), VertexId(b % n));
+                    if u != v {
+                        let _ = g.ensure_edge(u, v);
+                    }
+                }
+                _ => {
+                    // Replace the graph by one of its induced subgraphs.
+                    let keep: Vec<VertexId> =
+                        g.vertices().filter(|v| (v.0 + a) % 3 != 0).collect();
+                    if keep.len() >= 2 {
+                        let (sub, _) = g.induced_subgraph(&keep);
+                        g = sub;
+                    }
+                }
+            }
+            prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        }
+    }
+
+    // A graph transformed along a computed edit script still validates.
+    #[test]
+    fn edit_scripts_produce_valid_graphs(
+        a in graph_strategy(8, 3),
+        b in graph_strategy(8, 3),
+    ) {
+        let (_, mapping) = ged_upper_bound_mapping(&a, &b);
+        let script = edit_script(&a, &b, &mapping);
+        let out = apply_edit_script(&a, &script).expect("script applies to its source");
+        prop_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    }
+
+    // `Graph::validate` rejects every seeded corruption kind.
+    #[test]
+    fn seeded_graph_corruptions_are_rejected(g in graph_strategy(10, 3)) {
+        for kind in [
+            CorruptionKind::AsymmetricAdjacency,
+            CorruptionKind::EdgeOutOfBounds,
+            CorruptionKind::DuplicateEdge,
+            CorruptionKind::LabelTableMismatch,
+        ] {
+            let mut bad = g.clone();
+            bad.corrupt_for_test(kind);
+            prop_assert!(bad.validate().is_err(), "corruption {kind:?} not caught");
+        }
+    }
+
+    // Round-robin partitions always validate; duplicating or
+    // out-of-bounds ids are always rejected.
+    #[test]
+    fn cluster_assignment_validator(n in 1usize..40, k in 1usize..6) {
+        let mut clusters = vec![Vec::new(); k];
+        for i in 0..n {
+            clusters[i % k].push(i as u32);
+        }
+        prop_assert!(validate_assignment(n, &clusters, true).is_ok());
+        prop_assert!(validate_cluster_sizes(&clusters, n.div_ceil(k)).is_ok());
+
+        let mut dup = clusters.clone();
+        dup[0].push(0);
+        prop_assert!(validate_assignment(n, &dup, false).is_err());
+
+        let mut oob = clusters.clone();
+        oob[0].push(n as u32);
+        prop_assert!(validate_assignment(n, &oob, false).is_err());
+
+        let mut dropped = clusters;
+        dropped[0].clear();
+        prop_assert!(validate_assignment(n, &dropped, true).is_err());
+    }
+
+    // The greedy closure mapping always satisfies its validator, and a
+    // forced non-injective image is rejected.
+    #[test]
+    fn mapping_validator(g in graph_strategy(8, 3), c in graph_strategy(8, 3)) {
+        let mapping = neighbor_biased_mapping(&g, &c);
+        prop_assert!(validate_mapping(&g, &c, &mapping).is_ok());
+
+        // Corrupt: alias two mapped vertices onto the same target.
+        let mapped: Vec<usize> = mapping
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if mapped.len() >= 2 {
+            let mut bad = mapping;
+            bad[mapped[1]] = bad[mapped[0]];
+            prop_assert!(validate_mapping(&g, &c, &bad).is_err());
+        }
+    }
+
+    // Freshly built CSGs validate; truncating a member table or
+    // corrupting a witness image is rejected.
+    #[test]
+    fn csg_validator(db in prop::collection::vec(graph_strategy(8, 3), 1..6)) {
+        let cluster: Vec<u32> = (0..db.len() as u32).collect();
+        let csg = Csg::build(&db, &cluster);
+        prop_assert!(csg.validate(&db).is_ok(), "{:?}", csg.validate(&db));
+
+        let mut truncated = csg.clone();
+        truncated.vertex_members.pop();
+        prop_assert!(truncated.validate(&db).is_err());
+
+        let mut foreign = csg;
+        foreign.cluster[0] = db.len() as u32 + 9;
+        prop_assert!(foreign.validate(&db).is_err());
+    }
+}

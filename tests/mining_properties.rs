@@ -2,6 +2,9 @@
 //! anti-monotonicity, miner/scan agreement, index completeness, and
 //! facility-location bounds on generated repositories.
 
+// Integration tests may use panicking shortcuts freely; the workspace
+// no-panic policy targets library production code only.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use catapult::graph::iso::contains;
 use catapult::graph::Graph;
 use catapult::mining::{

@@ -2,6 +2,9 @@
 //! synthetic molecule repositories, checking the paper's structural
 //! guarantees across crate boundaries.
 
+// Integration tests may use panicking shortcuts freely; the workspace
+// no-panic policy targets library production code only.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use catapult::prelude::*;
 use catapult::{datasets, eval, graph};
 
@@ -60,7 +63,11 @@ fn clusters_partition_the_database() {
         .collect();
     seen.sort_unstable();
     seen.dedup();
-    assert_eq!(seen.len(), db.graphs.len(), "clusters must cover D exactly once");
+    assert_eq!(
+        seen.len(),
+        db.graphs.len(),
+        "clusters must cover D exactly once"
+    );
 }
 
 #[test]
@@ -114,7 +121,10 @@ fn pipeline_is_deterministic() {
     let a = run(&db.graphs, 6, 3, 6, 7);
     let b = run(&db.graphs, 6, 3, 6, 7);
     let sig = |r: &CatapultResult| -> Vec<u64> {
-        r.patterns().iter().map(|p| p.invariant_signature()).collect()
+        r.patterns()
+            .iter()
+            .map(|p| p.invariant_signature())
+            .collect()
     };
     assert_eq!(sig(&a), sig(&b));
 }

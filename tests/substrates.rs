@@ -2,6 +2,9 @@
 //! kernels (VF2, MCS/MCCS, GED, canonical forms) must agree with each
 //! other and with brute force on small inputs.
 
+// Integration tests may use panicking shortcuts freely; the workspace
+// no-panic policy targets library production code only.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use catapult::datasets;
 use catapult::graph::canonical::canonical_tokens;
 use catapult::graph::components::is_tree;
@@ -53,8 +56,7 @@ fn brute_force_contains(target: &Graph, pattern: &Graph) -> bool {
             return true;
         }
         for t in 0..target.vertex_count() {
-            if used[t]
-                || target.label(VertexId(t as u32)) != pattern.label(VertexId(depth as u32))
+            if used[t] || target.label(VertexId(t as u32)) != pattern.label(VertexId(depth as u32))
             {
                 continue;
             }
@@ -128,8 +130,16 @@ fn ged_bound_sandwich_on_random_pairs() {
         let ub = ged_upper_bound(&a, &b);
         let exact = ged_with_budget(&a, &b, 2_000_000);
         assert!(exact.exact, "trial {trial} exceeded budget");
-        assert!(lb <= exact.distance, "trial {trial}: lb {lb} > {}", exact.distance);
-        assert!(exact.distance <= ub, "trial {trial}: {} > ub {ub}", exact.distance);
+        assert!(
+            lb <= exact.distance,
+            "trial {trial}: lb {lb} > {}",
+            exact.distance
+        );
+        assert!(
+            exact.distance <= ub,
+            "trial {trial}: {} > ub {ub}",
+            exact.distance
+        );
         // Symmetry of the exact distance.
         let back = ged_with_budget(&b, &a, 2_000_000);
         assert_eq!(exact.distance, back.distance, "trial {trial} asymmetric");
@@ -201,10 +211,14 @@ fn molecule_generator_feeds_all_substrates() {
     for w in db.graphs.windows(2) {
         let (a, b) = (&w[0], &w[1]);
         let _ = contains(a, b);
-        let m = mcs(a, b, McsConfig {
-            connected: true,
-            node_budget: 5_000,
-        });
+        let m = mcs(
+            a,
+            b,
+            McsConfig {
+                connected: true,
+                node_budget: 5_000,
+            },
+        );
         assert!(m.edges <= a.edge_count().min(b.edge_count()));
         let lb = ged_lower_bound(a, b);
         let ub = ged_upper_bound(a, b);
