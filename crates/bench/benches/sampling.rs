@@ -23,6 +23,7 @@ fn bench_sampling(c: &mut Criterion) {
             budget: PatternBudget::new(3, 6, 6).unwrap(),
             walks: 20,
             seed: 4,
+            ..Default::default()
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(if sampled { "sampled" } else { "no-sampling" }),

@@ -2,7 +2,7 @@
 
 use catapult_cluster::{ClusteringConfig, SimilarityKind, Strategy};
 use catapult_core::{CatapultConfig, CatapultResult, PatternBudget};
-use catapult_graph::Graph;
+use catapult_graph::{Graph, SearchBudget};
 use catapult_mining::subtree::SubtreeMinerConfig;
 
 /// Default small-graph-clustering settings tuned for the harness scale:
@@ -18,7 +18,7 @@ pub fn harness_clustering(max_cluster_size: usize) -> ClusteringConfig {
             max_patterns_per_level: 400,
         },
         max_features: 48,
-        mcs_budget: 30_000,
+        search: SearchBudget::nodes(30_000),
         sampling: None,
     }
 }
@@ -35,6 +35,7 @@ pub fn run_pipeline(
         budget,
         walks,
         seed,
+        ..Default::default()
     };
     catapult_core::run_catapult(db, &cfg)
 }

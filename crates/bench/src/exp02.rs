@@ -74,6 +74,7 @@ pub fn run(scale: Scale) -> Report {
                 budget: budget.clone(),
                 walks: scale.walks(),
                 seed: 204,
+                ..Default::default()
             };
             let result = catapult_core::run_catapult(db, &cfg);
             let ev = WorkloadEvaluation::evaluate(&result.patterns(), &queries);

@@ -5,9 +5,15 @@
 //! graph most dissimilar to it becomes the second seed, and every remaining
 //! graph joins the seed it is more similar to. Newly produced clusters
 //! still exceeding `N` go back on the work list.
+//!
+//! Every MCS/MCCS call runs under the configured [`SearchBudget`] and its
+//! [`Completeness`] is recorded: when a search is cut short, its truncated
+//! common subgraph is *not* treated as the true MCS — the split decision
+//! falls back to an exact label-multiset similarity instead, and the
+//! degradation is surfaced in [`FineOutcome::kernel`].
 
 use catapult_graph::mcs::{mcs, McsConfig};
-use catapult_graph::Graph;
+use catapult_graph::{Graph, SearchBudget, Tally, TallyCounts};
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -21,14 +27,15 @@ pub enum SimilarityKind {
 }
 
 /// Parameters for fine clustering.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FineConfig {
     /// Maximum cluster size `N`.
     pub max_cluster_size: usize,
     /// Similarity measure for seed splitting.
     pub similarity: SimilarityKind,
-    /// Node budget for each MCS/MCCS computation.
-    pub mcs_budget: u64,
+    /// Execution budget for each MCS/MCCS computation (node cap defaulting
+    /// to 100k expansions per search).
+    pub budget: SearchBudget,
 }
 
 impl Default for FineConfig {
@@ -36,21 +43,64 @@ impl Default for FineConfig {
         FineConfig {
             max_cluster_size: 20,
             similarity: SimilarityKind::Mccs,
-            mcs_budget: 100_000,
+            budget: SearchBudget::nodes(DEFAULT_MCS_CAP),
         }
     }
 }
 
-fn similarity(a: &Graph, b: &Graph, cfg: &FineConfig) -> f64 {
+/// Default per-search node cap for fine-clustering MCS/MCCS calls.
+pub const DEFAULT_MCS_CAP: u64 = 100_000;
+
+/// Exact, cheap fallback similarity: vertex-label multiset intersection
+/// over the larger vertex count. Used for split decisions whose MCS/MCCS
+/// search was cut short — a truncated common subgraph systematically
+/// understates similarity, which would bias seed selection toward the
+/// pairs that happened to hit the budget.
+fn label_vector_similarity(a: &Graph, b: &Graph) -> f64 {
+    let denom = a.vertex_count().max(b.vertex_count());
+    if denom == 0 {
+        return 0.0;
+    }
+    let mut la = a.labels().to_vec();
+    let mut lb = b.labels().to_vec();
+    la.sort_unstable();
+    lb.sort_unstable();
+    let (mut i, mut j, mut common) = (0, 0, 0usize);
+    while i < la.len() && j < lb.len() {
+        match la[i].cmp(&lb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common as f64 / denom as f64
+}
+
+/// MCS/MCCS similarity under the configured budget, recording kernel
+/// completeness into `tally`. Exact searches return the paper's
+/// `ω = |G_mcs| / min(|E1|, |E2|)`; degraded searches fall back to
+/// [`label_vector_similarity`] so a truncated MCS is never mistaken for
+/// the true one.
+fn similarity(a: &Graph, b: &Graph, cfg: &FineConfig, tally: &Tally) -> f64 {
     let denom = a.edge_count().min(b.edge_count());
     if denom == 0 {
         return 0.0;
     }
     let mcfg = McsConfig {
         connected: cfg.similarity == SimilarityKind::Mccs,
-        node_budget: cfg.mcs_budget,
+        budget: cfg.budget.with_default_cap(DEFAULT_MCS_CAP),
     };
-    mcs(a, b, mcfg).edges as f64 / denom as f64
+    let r = mcs(a, b, mcfg);
+    tally.record(r.completeness);
+    if r.completeness.is_exact() {
+        r.edges as f64 / denom as f64
+    } else {
+        label_vector_similarity(a, b)
+    }
 }
 
 /// Split one oversized cluster into two by seed dissimilarity
@@ -60,6 +110,7 @@ fn split_cluster<R: Rng>(
     cluster: &[u32],
     cfg: &FineConfig,
     rng: &mut R,
+    tally: &Tally,
 ) -> (Vec<u32>, Vec<u32>) {
     debug_assert!(cluster.len() >= 2);
     let seed1 = cluster[rng.gen_range(0..cluster.len())];
@@ -67,7 +118,7 @@ fn split_cluster<R: Rng>(
     // ω(G, Seed1) for every remaining graph.
     let omega1: Vec<f64> = rest
         .par_iter()
-        .map(|&g| similarity(&db[g as usize], &db[seed1 as usize], cfg))
+        .map(|&g| similarity(&db[g as usize], &db[seed1 as usize], cfg, tally))
         .collect();
     // Second seed: the most dissimilar graph (deterministic tie-break on id).
     // Callers split only oversized clusters (`> max_cluster_size ≥ 1`), so
@@ -89,7 +140,7 @@ fn split_cluster<R: Rng>(
             if g == seed2 {
                 f64::INFINITY
             } else {
-                similarity(&db[g as usize], &db[seed2 as usize], cfg)
+                similarity(&db[g as usize], &db[seed2 as usize], cfg, tally)
             }
         })
         .collect();
@@ -108,17 +159,40 @@ fn split_cluster<R: Rng>(
     (c1, c2)
 }
 
+/// Result of a fine-clustering run: the clusters plus an audit of every
+/// MCS/MCCS kernel call made while splitting.
+#[derive(Clone, Debug)]
+pub struct FineOutcome {
+    /// The final clusters, each at most `max_cluster_size` graphs.
+    pub clusters: Vec<Vec<u32>>,
+    /// Completeness counts over all MCS/MCCS calls; non-exact calls had
+    /// their split decisions made by the label-vector fallback.
+    pub kernel: TallyCounts,
+}
+
 /// Run Algorithm 3: split every cluster larger than `N` until all clusters
 /// fit (or a cluster refuses to shrink, in which case it is cut in half
 /// deterministically to guarantee termination — this only happens when all
-/// members are identical).
+/// members are identical). Unaudited convenience wrapper around
+/// [`fine_cluster_audited`].
 pub fn fine_cluster<R: Rng>(
     db: &[Graph],
     clusters: Vec<Vec<u32>>,
     cfg: &FineConfig,
     rng: &mut R,
 ) -> Vec<Vec<u32>> {
+    fine_cluster_audited(db, clusters, cfg, rng).clusters
+}
+
+/// As [`fine_cluster`], also reporting per-kernel-call completeness.
+pub fn fine_cluster_audited<R: Rng>(
+    db: &[Graph],
+    clusters: Vec<Vec<u32>>,
+    cfg: &FineConfig,
+    rng: &mut R,
+) -> FineOutcome {
     let n = cfg.max_cluster_size;
+    let tally = Tally::new();
     let mut done: Vec<Vec<u32>> = Vec::new();
     let mut work: Vec<Vec<u32>> = Vec::new();
     for c in clusters {
@@ -129,7 +203,7 @@ pub fn fine_cluster<R: Rng>(
         }
     }
     while let Some(cluster) = work.pop() {
-        let (c1, c2) = split_cluster(db, &cluster, cfg, rng);
+        let (c1, c2) = split_cluster(db, &cluster, cfg, rng, &tally);
         for mut c in [c1, c2] {
             if c.len() == cluster.len() {
                 // Degenerate split (all graphs identical): halve by index.
@@ -151,7 +225,10 @@ pub fn fine_cluster<R: Rng>(
         }
     }
     done.sort_by_key(|c| c[0]);
-    done
+    FineOutcome {
+        clusters: done,
+        kernel: tally.counts(),
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +300,54 @@ mod tests {
         let out = fine_cluster(&db, vec![(0..9).collect()], &cfg, &mut rng);
         assert!(out.iter().all(|c| c.len() <= 2));
         assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn exact_run_reports_all_exact_kernels() {
+        let db: Vec<Graph> = (0..12)
+            .map(|i| if i % 2 == 0 { ring(6) } else { chain(6) })
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = FineConfig {
+            max_cluster_size: 4,
+            ..Default::default()
+        };
+        let out = fine_cluster_audited(&db, vec![(0..12).collect()], &cfg, &mut rng);
+        assert!(out.kernel.total() > 0);
+        assert!(out.kernel.all_exact());
+        assert!(out.clusters.iter().all(|c| c.len() <= 4));
+    }
+
+    #[test]
+    fn truncated_mcs_is_surfaced_not_trusted() {
+        // A 2-node MCS budget trips on every non-trivial pair: the audit
+        // must report the degradation, and the partition must still be
+        // valid (fallback similarity decides the splits).
+        let db: Vec<Graph> = (0..12)
+            .map(|i| if i % 2 == 0 { ring(6) } else { chain(6) })
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = FineConfig {
+            max_cluster_size: 4,
+            budget: catapult_graph::SearchBudget::nodes(2),
+            ..Default::default()
+        };
+        let out = fine_cluster_audited(&db, vec![(0..12).collect()], &cfg, &mut rng);
+        assert!(out.kernel.degraded() > 0, "budget trips must be recorded");
+        assert!(out.clusters.iter().all(|c| c.len() <= 4));
+        let mut all: Vec<u32> = out.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn label_fallback_is_exact_and_bounded() {
+        let a = ring(6);
+        let b = chain(4);
+        let s = label_vector_similarity(&a, &b);
+        // 4 common unlabeled vertices over max(6, 4).
+        assert!((s - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(label_vector_similarity(&Graph::new(), &Graph::new()), 0.0);
     }
 
     #[test]

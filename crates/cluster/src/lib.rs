@@ -29,5 +29,5 @@ pub mod pipeline;
 pub mod quality;
 pub mod sampling;
 
-pub use fine::SimilarityKind;
+pub use fine::{FineOutcome, SimilarityKind};
 pub use pipeline::{cluster_graphs, Clustering, ClusteringConfig, SamplingConfig, Strategy};

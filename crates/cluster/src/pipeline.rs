@@ -6,13 +6,13 @@
 //! (`mccsH` / `mcsH`, the paper's recommended configuration).
 
 use crate::coarse::{coarse_cluster_with_subtrees, CoarseConfig, CoarseResult};
-use crate::fine::{fine_cluster, FineConfig, SimilarityKind};
+use crate::fine::{fine_cluster_audited, FineConfig, SimilarityKind};
 use crate::sampling::{
     eager_sample, lazy_sample_clusters, lowered_support, EagerConfig, LazyConfig,
 };
-use catapult_graph::iso::contains;
-use catapult_graph::Graph;
-use catapult_mining::subtree::{mine_frequent_subtrees, FrequentSubtree, SubtreeMinerConfig};
+use catapult_graph::iso::contains_tagged;
+use catapult_graph::{Graph, SearchBudget, Tally, TallyCounts};
+use catapult_mining::subtree::{mine_subtrees, FrequentSubtree, SubtreeMinerConfig};
 use rand::Rng;
 use std::time::{Duration, Instant};
 
@@ -42,7 +42,7 @@ impl Strategy {
 }
 
 /// Full clustering-phase configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusteringConfig {
     /// Strategy to run.
     pub strategy: Strategy,
@@ -52,8 +52,10 @@ pub struct ClusteringConfig {
     pub miner: SubtreeMinerConfig,
     /// Facility-location feature cap.
     pub max_features: usize,
-    /// MCS/MCCS node budget for fine clustering.
-    pub mcs_budget: u64,
+    /// Execution budget shared by the phase's NP-hard kernels: the node
+    /// cap bounds each MCS/MCCS fine-clustering search (default 100k), and
+    /// any deadline/cancellation also stops mining and containment probes.
+    pub search: SearchBudget,
     /// Enable §4.3 sampling (eager + lazy).
     pub sampling: Option<SamplingConfig>,
 }
@@ -74,7 +76,7 @@ impl Default for ClusteringConfig {
             max_cluster_size: 20,
             miner: SubtreeMinerConfig::default(),
             max_features: 64,
-            mcs_budget: 100_000,
+            search: SearchBudget::nodes(100_000),
             sampling: None,
         }
     }
@@ -91,6 +93,11 @@ pub struct Clustering {
     pub features: Vec<FrequentSubtree>,
     /// Wall-clock time of the whole phase.
     pub elapsed: Duration,
+    /// Completeness audit of the mining-stage kernel calls (subtree
+    /// mining + sampling recounts).
+    pub mining: TallyCounts,
+    /// Completeness audit of the fine-clustering MCS/MCCS calls.
+    pub fine: TallyCounts,
 }
 
 impl Clustering {
@@ -102,16 +109,18 @@ impl Clustering {
 
 /// Mine coarse features, honouring eager sampling when configured:
 /// mine on the sample at the lowered support (Lemma 4.4), then recount the
-/// survivors on the full database at the original support.
+/// survivors on the full database at the original support. The returned
+/// [`TallyCounts`] audits every containment probe the stage ran; degraded
+/// probes can only under-count support (lower bounds), never invent it.
 fn mine_features<R: Rng>(
     db: &[Graph],
     cfg: &ClusteringConfig,
     rng: &mut R,
-) -> (Vec<FrequentSubtree>, Vec<u32>) {
+) -> (Vec<FrequentSubtree>, TallyCounts) {
     match &cfg.sampling {
         None => {
-            let trees = mine_frequent_subtrees(db, &cfg.miner);
-            (trees, (0..db.len() as u32).collect())
+            let out = mine_subtrees(db, &cfg.miner, &cfg.search);
+            (out.subtrees, out.kernel)
         }
         Some(s) => {
             let sample_idx = eager_sample(db.len(), &s.eager, rng);
@@ -121,13 +130,21 @@ fn mine_features<R: Rng>(
                 min_support: low,
                 ..cfg.miner
             };
-            let potential = mine_frequent_subtrees(&sample, &low_cfg);
+            let mined = mine_subtrees(&sample, &low_cfg, &cfg.search);
             // Recount each potential subtree on the full database at min_fr.
+            let probe = cfg
+                .search
+                .with_default_cap(catapult_graph::iso::DEFAULT_NODE_CAP);
+            let tally = Tally::new();
             let min_count = ((cfg.miner.min_support * db.len() as f64).ceil() as usize).max(1);
             let mut confirmed = Vec::new();
-            for t in potential {
+            for t in mined.subtrees {
                 let txs: Vec<u32> = (0..db.len() as u32)
-                    .filter(|&i| contains(&db[i as usize], &t.tree))
+                    .filter(|&i| {
+                        let (found, c) = contains_tagged(&db[i as usize], &t.tree, &probe);
+                        tally.record(c);
+                        found
+                    })
                     .collect();
                 if txs.len() >= min_count {
                     confirmed.push(FrequentSubtree {
@@ -136,7 +153,7 @@ fn mine_features<R: Rng>(
                     });
                 }
             }
-            (confirmed, (0..db.len() as u32).collect())
+            (confirmed, mined.kernel.merge(tally.counts()))
         }
     }
 }
@@ -147,7 +164,7 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
     let fine_cfg = |kind| FineConfig {
         max_cluster_size: cfg.max_cluster_size,
         similarity: kind,
-        mcs_budget: cfg.mcs_budget,
+        budget: cfg.search.clone(),
     };
     let coarse_cfg = CoarseConfig {
         max_cluster_size: cfg.max_cluster_size,
@@ -156,14 +173,19 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
         kmeans_iterations: 30,
     };
 
+    let mut mining = TallyCounts::default();
+    let mut fine = TallyCounts::default();
     let (clusters, features) = match cfg.strategy {
         Strategy::FineOnly(kind) => {
             let all: Vec<u32> = (0..db.len() as u32).collect();
             let initial = if all.is_empty() { vec![] } else { vec![all] };
-            (fine_cluster(db, initial, &fine_cfg(kind), rng), Vec::new())
+            let out = fine_cluster_audited(db, initial, &fine_cfg(kind), rng);
+            fine = out.kernel;
+            (out.clusters, Vec::new())
         }
         Strategy::CoarseOnly | Strategy::Hybrid(_) => {
-            let (subtrees, _) = mine_features(db, cfg, rng);
+            let (subtrees, mine_kernel) = mine_features(db, cfg, rng);
+            mining = mine_kernel;
             let CoarseResult { clusters, features } =
                 coarse_cluster_with_subtrees(db, subtrees, &coarse_cfg, rng);
             // Lazy sampling shrinks oversized clusters before fine clustering.
@@ -176,7 +198,9 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
             match cfg.strategy {
                 Strategy::CoarseOnly => (clusters, features),
                 Strategy::Hybrid(kind) => {
-                    (fine_cluster(db, clusters, &fine_cfg(kind), rng), features)
+                    let out = fine_cluster_audited(db, clusters, &fine_cfg(kind), rng);
+                    fine = out.kernel;
+                    (out.clusters, features)
                 }
                 Strategy::FineOnly(_) => unreachable!(),
             }
@@ -193,6 +217,8 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
         clusters,
         features,
         elapsed: start.elapsed(),
+        mining,
+        fine,
     }
 }
 

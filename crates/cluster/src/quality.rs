@@ -7,8 +7,8 @@
 //! similarity summaries used by the ablations to characterize partitions.
 
 use catapult_graph::matching::hungarian;
-use catapult_graph::mcs::mccs_similarity;
-use catapult_graph::Graph;
+use catapult_graph::mcs::mccs_similarity_tagged;
+use catapult_graph::{Graph, SearchBudget, Tally};
 
 /// Misclassification error distance between two clusterings of the same
 /// `n` items: `|D'| / n` where `|D'|` is the minimum number of items
@@ -55,25 +55,33 @@ pub struct SeparationReport {
     pub intra_pairs: usize,
     /// Cross-cluster pairs measured.
     pub inter_pairs: usize,
+    /// Pairs whose MCCS search tripped its budget — their similarity is a
+    /// lower bound, so treat `intra`/`inter` as approximate when nonzero.
+    pub degraded_pairs: usize,
 }
 
 /// Measure cluster separation: all intra-cluster pairs, and up to
-/// `inter_cap` cross-cluster pairs (strided deterministically).
+/// `inter_cap` cross-cluster pairs (strided deterministically). Accepts
+/// any budget convertible to [`SearchBudget`] (a bare `u64` node cap
+/// included) and reports how many pair similarities were degraded.
 pub fn separation(
     db: &[Graph],
     clusters: &[Vec<u32>],
-    mcs_budget: u64,
+    budget: impl Into<SearchBudget>,
     inter_cap: usize,
 ) -> SeparationReport {
+    let budget = budget.into();
+    let tally = Tally::new();
+    let sim = |x: u32, y: u32| {
+        let (s, c) = mccs_similarity_tagged(&db[x as usize], &db[y as usize], &budget);
+        tally.record(c);
+        s
+    };
     let mut intra = Vec::new();
     for c in clusters {
         for i in 0..c.len() {
             for j in (i + 1)..c.len() {
-                intra.push(mccs_similarity(
-                    &db[c[i] as usize],
-                    &db[c[j] as usize],
-                    mcs_budget,
-                ));
+                intra.push(sim(c[i], c[j]));
             }
         }
     }
@@ -85,11 +93,7 @@ pub fn separation(
                 if inter.len() >= inter_cap {
                     break 'outer;
                 }
-                inter.push(mccs_similarity(
-                    &db[x as usize],
-                    &db[y as usize],
-                    mcs_budget,
-                ));
+                inter.push(sim(x, y));
             }
         }
     }
@@ -105,6 +109,7 @@ pub fn separation(
         inter: mean(&inter),
         intra_pairs: intra.len(),
         inter_pairs: inter.len(),
+        degraded_pairs: tally.counts().degraded() as usize,
     }
 }
 
@@ -172,9 +177,18 @@ mod tests {
             chain(6, 1),
         ];
         let clusters = vec![vec![0, 1, 2], vec![3, 4, 5]];
-        let r = separation(&db, &clusters, 50_000, 10);
+        let r = separation(&db, &clusters, 50_000u64, 10);
         assert!(r.intra > r.inter, "intra {} vs inter {}", r.intra, r.inter);
         assert_eq!(r.intra_pairs, 6);
         assert!(r.inter_pairs > 0);
+        assert_eq!(r.degraded_pairs, 0, "generous budget must stay exact");
+    }
+
+    #[test]
+    fn separation_reports_degraded_pairs() {
+        let db: Vec<Graph> = vec![ring(6), ring(6), chain(6, 1), chain(6, 1)];
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        let r = separation(&db, &clusters, SearchBudget::nodes(1), 10);
+        assert!(r.degraded_pairs > 0, "1-node budget must trip");
     }
 }

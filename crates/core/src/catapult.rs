@@ -15,10 +15,11 @@
 //! pattern-generation time, PGT).
 
 use crate::budget::PatternBudget;
+use crate::report::PipelineReport;
 use crate::select::{find_canned_patterns, SelectionConfig, SelectionResult};
 use catapult_cluster::{cluster_graphs, Clustering, ClusteringConfig};
 use catapult_csg::{build_csgs, Csg};
-use catapult_graph::Graph;
+use catapult_graph::{Graph, SearchBudget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -34,6 +35,11 @@ pub struct CatapultConfig {
     pub walks: usize,
     /// RNG seed (the whole pipeline is deterministic given the seed).
     pub seed: u64,
+    /// Global execution budget overlaid on every stage: an explicit node
+    /// cap overrides the per-stage defaults, and its deadline/cancellation
+    /// reaches mining, clustering, and the greedy selection loop. Leave
+    /// unbounded for the per-stage defaults (and an exact run).
+    pub search: SearchBudget,
 }
 
 impl Default for CatapultConfig {
@@ -43,6 +49,7 @@ impl Default for CatapultConfig {
             budget: PatternBudget::paper_default(),
             walks: 100,
             seed: 0xCA7A_9017,
+            search: SearchBudget::unbounded(),
         }
     }
 }
@@ -73,23 +80,39 @@ impl CatapultResult {
     pub fn pattern_generation_time(&self) -> Duration {
         self.selection.elapsed
     }
+
+    /// The per-stage completeness audit of the whole run.
+    pub fn report(&self) -> &PipelineReport {
+        &self.selection.report
+    }
 }
 
 /// Run Algorithm 1 end to end over `db`.
 pub fn run_catapult(db: &[Graph], cfg: &CatapultConfig) -> CatapultResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let clustering = cluster_graphs(db, &cfg.clustering, &mut rng);
+    let clustering_cfg = ClusteringConfig {
+        // The global budget overrides the clustering stage's own settings
+        // where explicit; stage defaults apply otherwise.
+        search: cfg.search.overlay(&cfg.clustering.search),
+        ..cfg.clustering.clone()
+    };
+    let clustering = cluster_graphs(db, &clustering_cfg, &mut rng);
     let csgs = build_csgs(db, &clustering.clusters);
-    let selection = find_canned_patterns(
+    let mut selection = find_canned_patterns(
         db,
         &csgs,
         &SelectionConfig {
             budget: cfg.budget.clone(),
             walks: cfg.walks,
+            search: cfg.search.clone(),
             ..Default::default()
         },
         &mut rng,
     );
+    // Selection only audited its own kernels; splice in the earlier stages
+    // so the report covers the full Algorithm 1 run.
+    selection.report.mining = clustering.mining;
+    selection.report.clustering = clustering.fine;
     CatapultResult {
         selection,
         csgs,
@@ -172,6 +195,40 @@ mod tests {
         let r1 = run_catapult(&db, &cfg);
         let r2 = run_catapult(&db, &cfg);
         assert_eq!(fingerprint(&r1), fingerprint(&r2));
+    }
+
+    #[test]
+    fn happy_path_reports_all_exact() {
+        let db = small_db();
+        let cfg = CatapultConfig {
+            budget: PatternBudget::new(3, 4, 3).unwrap(),
+            walks: 10,
+            ..Default::default()
+        };
+        let r = run_catapult(&db, &cfg);
+        assert!(r.report().all_exact(), "default run must be exact");
+        assert!(r.report().total() > 0, "all stages must be audited");
+        assert!(r.report().mining.total() > 0 || r.report().clustering.total() > 0);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_but_still_returns() {
+        let db = small_db();
+        let cfg = CatapultConfig {
+            budget: PatternBudget::new(3, 4, 3).unwrap(),
+            walks: 10,
+            search: SearchBudget::unbounded()
+                .with_deadline(catapult_graph::Deadline::at(std::time::Instant::now())),
+            ..Default::default()
+        };
+        let r = run_catapult(&db, &cfg);
+        // Patterns selected (possibly none) must still conform to the
+        // budget, and the report must name at least one degraded stage.
+        for p in r.patterns() {
+            assert!((3..=4).contains(&p.edge_count()));
+        }
+        assert!(!r.report().all_exact());
+        assert!(!r.report().degraded_stages().is_empty());
     }
 
     #[test]

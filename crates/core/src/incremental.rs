@@ -17,8 +17,8 @@
 use crate::select::{find_canned_patterns, SelectionConfig, SelectionResult};
 use catapult_cluster::fine::{fine_cluster, FineConfig};
 use catapult_csg::Csg;
-use catapult_graph::mcs::mccs_similarity;
-use catapult_graph::Graph;
+use catapult_graph::mcs::mccs_similarity_tagged;
+use catapult_graph::{Graph, SearchBudget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,8 +27,12 @@ use rand::SeedableRng;
 pub struct IncrementalConfig {
     /// Minimum MCCS similarity to join an existing cluster.
     pub assignment_threshold: f64,
-    /// MCS node budget per assignment probe.
-    pub mcs_budget: u64,
+    /// Execution budget per assignment MCCS probe (and for maturing the
+    /// outlier pool). A degraded probe under-estimates similarity, so an
+    /// arrival may pool as an outlier instead of joining a cluster —
+    /// sound, just conservative; [`UpdateStats::degraded_probes`] counts
+    /// how often that happened.
+    pub search: SearchBudget,
     /// Maximum cluster size `N`; also the outlier-pool trigger.
     pub max_cluster_size: usize,
     /// Selection settings used on refresh.
@@ -41,7 +45,7 @@ impl Default for IncrementalConfig {
     fn default() -> Self {
         IncrementalConfig {
             assignment_threshold: 0.5,
-            mcs_budget: 20_000,
+            search: SearchBudget::nodes(20_000),
             max_cluster_size: 20,
             selection: SelectionConfig::default(),
             seed: 0x1AC_u64,
@@ -60,6 +64,9 @@ pub struct UpdateStats {
     pub rebuilt_csgs: usize,
     /// New clusters created from the outlier pool.
     pub new_clusters: usize,
+    /// Assignment MCCS probes that tripped their budget (their similarity
+    /// is a lower bound).
+    pub degraded_probes: usize,
 }
 
 /// A maintained CATAPULT instance: repository + clustering + CSGs, with
@@ -114,19 +121,24 @@ impl IncrementalCatapult {
     }
 
     /// Assign one graph to the most similar cluster, if any clears the
-    /// threshold.
-    fn assign(&self, g: &Graph) -> Option<usize> {
+    /// threshold. Also returns how many similarity probes were degraded.
+    fn assign(&self, g: &Graph) -> (Option<usize>, usize) {
         let mut best: Option<(usize, f64)> = None;
+        let mut degraded = 0;
         for (i, c) in self.csgs.iter().enumerate() {
-            let sim = mccs_similarity(g, &c.graph, self.cfg.mcs_budget);
+            let (sim, completeness) = mccs_similarity_tagged(g, &c.graph, &self.cfg.search);
+            if !completeness.is_exact() {
+                degraded += 1;
+            }
             if best.is_none_or(|(_, s)| sim > s) {
                 best = Some((i, sim));
             }
         }
-        match best {
+        let chosen = match best {
             Some((i, s)) if s >= self.cfg.assignment_threshold => Some(i),
             _ => None,
-        }
+        };
+        (chosen, degraded)
     }
 
     /// Insert a batch of graphs, updating clusters and CSGs.
@@ -135,7 +147,9 @@ impl IncrementalCatapult {
         let mut touched: Vec<usize> = Vec::new();
         for g in batch {
             let id = self.db.len() as u32;
-            match self.assign(&g) {
+            let (assigned, degraded) = self.assign(&g);
+            stats.degraded_probes += degraded;
+            match assigned {
                 Some(c) => {
                     self.clusters[c].push(id);
                     touched.push(c);
@@ -160,7 +174,7 @@ impl IncrementalCatapult {
             let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ self.db.len() as u64);
             let fine_cfg = FineConfig {
                 max_cluster_size: self.cfg.max_cluster_size,
-                mcs_budget: self.cfg.mcs_budget,
+                budget: self.cfg.search.clone(),
                 ..Default::default()
             };
             let pool = std::mem::take(&mut self.outlier_pool);

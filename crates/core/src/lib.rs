@@ -37,6 +37,7 @@ pub mod catapult;
 pub mod fcp;
 pub mod incremental;
 pub mod querylog;
+pub mod report;
 pub mod score;
 pub mod select;
 pub mod walk;
@@ -45,6 +46,7 @@ pub use budget::{BudgetError, PatternBudget, SizeCounts, SizeDistribution};
 pub use catapult::{run_catapult, CatapultConfig, CatapultResult};
 pub use incremental::{IncrementalCatapult, IncrementalConfig, UpdateStats};
 pub use querylog::QueryLog;
+pub use report::PipelineReport;
 pub use score::{EdgeLabelIndex, ScoreVariant};
 pub use select::{find_canned_patterns, SelectedPattern, SelectionConfig, SelectionResult};
 

@@ -11,7 +11,7 @@
 //! data-driven patterns (a zero-frequency pattern keeps its base score).
 
 use catapult_graph::iso::{for_each_embedding, MatchOptions};
-use catapult_graph::Graph;
+use catapult_graph::{Graph, SearchBudget};
 use std::ops::ControlFlow;
 
 /// A log of previously formulated subgraph queries.
@@ -57,9 +57,11 @@ impl QueryLog {
             .filter(|q| {
                 let opts = MatchOptions {
                     max_embeddings: 1,
-                    node_budget: LOG_ISO_BUDGET,
+                    budget: SearchBudget::nodes(LOG_ISO_BUDGET),
                     ..MatchOptions::default()
                 };
+                // A tripped probe under-counts the boost factor — it can
+                // only weaken the log bias, never corrupt the base score.
                 for_each_embedding(q, pattern, opts, |_| ControlFlow::Break(())).embeddings > 0
             })
             .count();

@@ -1,0 +1,170 @@
+//! Pipeline-wide completeness reporting.
+//!
+//! Every NP-hard kernel in the pipeline (VF2 isomorphism, MCS/MCCS,
+//! GED, miners) runs under a [`SearchBudget`](catapult_graph::SearchBudget)
+//! and tags its result with a [`Completeness`]. This module aggregates
+//! those tags per stage so callers can see *whether* a selection is exact
+//! and, when it is not, *which stage* degraded and why — instead of
+//! silently trusting truncated searches.
+
+use catapult_graph::{Completeness, TallyCounts};
+
+/// Per-stage completeness audit of one end-to-end pipeline run.
+///
+/// Each field counts kernel invocations in that stage by the
+/// [`Completeness`] they reported. An all-exact report means every search
+/// ran to completion and the output is byte-identical to an unbudgeted
+/// run; any degraded count means the corresponding stage returned
+/// best-so-far results (still valid patterns, possibly not optimal).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Frequent-subtree mining containment probes (support counts are
+    /// lower bounds when degraded).
+    pub mining: TallyCounts,
+    /// Fine-clustering MCS/MCCS searches (degraded pairs fall back to
+    /// label-vector similarity).
+    pub clustering: TallyCounts,
+    /// Selection-time kernels: candidate dedup VF2, ccov probes, and
+    /// diversity GEDs.
+    pub scoring: TallyCounts,
+}
+
+impl PipelineReport {
+    /// A report with no kernel calls recorded yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total kernel invocations across all stages.
+    pub fn total(&self) -> u64 {
+        self.mining.total() + self.clustering.total() + self.scoring.total()
+    }
+
+    /// True when every kernel in every stage ran to completion.
+    pub fn all_exact(&self) -> bool {
+        self.mining.all_exact() && self.clustering.all_exact() && self.scoring.all_exact()
+    }
+
+    /// The worst completeness observed anywhere in the pipeline.
+    pub fn worst(&self) -> Completeness {
+        self.mining
+            .worst()
+            .worst(self.clustering.worst())
+            .worst(self.scoring.worst())
+    }
+
+    /// Names of the stages that had at least one degraded kernel call, in
+    /// pipeline order.
+    pub fn degraded_stages(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for (name, t) in self.stages() {
+            if !t.all_exact() {
+                out.push(name);
+            }
+        }
+        out
+    }
+
+    /// `(stage name, counts)` pairs in pipeline order.
+    pub fn stages(&self) -> [(&'static str, TallyCounts); 3] {
+        [
+            ("mining", self.mining),
+            ("clustering", self.clustering),
+            ("scoring", self.scoring),
+        ]
+    }
+
+    /// Human-readable one-paragraph summary (used by the CLI).
+    pub fn summary(&self) -> String {
+        if self.all_exact() {
+            format!(
+                "all {} kernel searches exact (mining {}, clustering {}, scoring {})",
+                self.total(),
+                self.mining.total(),
+                self.clustering.total(),
+                self.scoring.total(),
+            )
+        } else {
+            let mut lines = vec![format!(
+                "{} of {} kernel searches degraded (worst: {})",
+                self.total() - self.exact_total(),
+                self.total(),
+                self.worst().name(),
+            )];
+            for (name, t) in self.stages() {
+                if !t.all_exact() {
+                    lines.push(format!(
+                        "  {name}: {}/{} degraded ({})",
+                        t.degraded(),
+                        t.total(),
+                        t.worst().name(),
+                    ));
+                }
+            }
+            lines.join("\n")
+        }
+    }
+
+    fn exact_total(&self) -> u64 {
+        self.mining.exact + self.clustering.exact + self.scoring.exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catapult_graph::Tally;
+
+    fn counts(exact: u64, exhausted: u64) -> TallyCounts {
+        let t = Tally::new();
+        for _ in 0..exact {
+            t.record(Completeness::Exact);
+        }
+        for _ in 0..exhausted {
+            t.record(Completeness::BudgetExhausted);
+        }
+        t.counts()
+    }
+
+    #[test]
+    fn empty_report_is_exact() {
+        let r = PipelineReport::new();
+        assert!(r.all_exact());
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.worst(), Completeness::Exact);
+        assert!(r.degraded_stages().is_empty());
+        assert!(r.summary().contains("exact"));
+    }
+
+    #[test]
+    fn degraded_stage_is_named() {
+        let r = PipelineReport {
+            mining: counts(10, 0),
+            clustering: counts(5, 2),
+            scoring: counts(8, 0),
+        };
+        assert!(!r.all_exact());
+        assert_eq!(r.degraded_stages(), vec!["clustering"]);
+        assert_eq!(r.worst(), Completeness::BudgetExhausted);
+        assert_eq!(r.total(), 25);
+        let s = r.summary();
+        assert!(s.contains("clustering"), "summary must name the stage: {s}");
+        assert!(s.contains("budget-exhausted"), "summary must say why: {s}");
+    }
+
+    #[test]
+    fn worst_ranks_across_stages() {
+        let cancelled = {
+            let t = Tally::new();
+            t.record(Completeness::Cancelled);
+            t.counts()
+        };
+        let r = PipelineReport {
+            mining: counts(1, 1),
+            clustering: cancelled,
+            scoring: counts(0, 0),
+        };
+        assert_eq!(r.worst(), Completeness::Cancelled);
+        assert_eq!(r.degraded_stages(), vec!["mining", "clustering"]);
+    }
+}

@@ -16,7 +16,7 @@ use catapult_csg::{ClusterWeights, Csg};
 use catapult_graph::ged::{ged_lower_bound, ged_with_budget};
 use catapult_graph::iso::{for_each_embedding, MatchOptions};
 use catapult_graph::metrics::cognitive_load;
-use catapult_graph::{EdgeLabel, Graph};
+use catapult_graph::{EdgeLabel, Graph, SearchBudget, Tally};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
@@ -92,21 +92,40 @@ impl EdgeLabelIndex {
     }
 }
 
-/// Node budget for each CSG-containment VF2 test (CSGs are small; this is
-/// generous).
-const CCOV_ISO_BUDGET: u64 = 2_000_000;
+/// Default node cap for each CSG-containment VF2 test (CSGs are small;
+/// this is generous). A user [`SearchBudget`] node cap overrides it.
+pub const CCOV_ISO_BUDGET: u64 = 2_000_000;
 
 /// Which CSGs contain `p` (subgraph isomorphism against the closure graph).
+///
+/// Convenience wrapper over [`covering_csgs_audited`] with the default
+/// budget and no audit trail.
 pub fn covering_csgs(pattern: &Graph, csgs: &[Csg]) -> Vec<usize> {
+    covering_csgs_audited(pattern, csgs, &SearchBudget::unbounded(), &Tally::new())
+}
+
+/// [`covering_csgs`] under an explicit [`SearchBudget`], recording each
+/// VF2 probe's [`Completeness`](catapult_graph::Completeness) in `tally`.
+/// A degraded probe may miss a covering CSG (never invents one), so `ccov`
+/// built from it is a lower bound.
+pub fn covering_csgs_audited(
+    pattern: &Graph,
+    csgs: &[Csg],
+    budget: &SearchBudget,
+    tally: &Tally,
+) -> Vec<usize> {
+    let probe = budget.with_default_cap(CCOV_ISO_BUDGET);
     csgs.iter()
         .enumerate()
         .filter(|(_, c)| {
             let opts = MatchOptions {
                 max_embeddings: 1,
-                node_budget: CCOV_ISO_BUDGET,
+                budget: probe.clone(),
                 ..MatchOptions::default()
             };
-            for_each_embedding(&c.graph, pattern, opts, |_| ControlFlow::Break(())).embeddings > 0
+            let out = for_each_embedding(&c.graph, pattern, opts, |_| ControlFlow::Break(()));
+            tally.record(out.completeness);
+            out.embeddings > 0
         })
         .map(|(i, _)| i)
         .collect()
@@ -114,15 +133,26 @@ pub fn covering_csgs(pattern: &Graph, csgs: &[Csg]) -> Vec<usize> {
 
 /// `ccov(p, cw, C) = Σ_i cw_i · I(CSG_i ⊇ p)` (§5).
 pub fn ccov(pattern: &Graph, csgs: &[Csg], cw: &ClusterWeights) -> f64 {
-    covering_csgs(pattern, csgs)
+    ccov_audited(pattern, csgs, cw, &SearchBudget::unbounded(), &Tally::new())
+}
+
+/// [`ccov`] under an explicit budget with a completeness audit trail.
+pub fn ccov_audited(
+    pattern: &Graph,
+    csgs: &[Csg],
+    cw: &ClusterWeights,
+    budget: &SearchBudget,
+    tally: &Tally,
+) -> f64 {
+    covering_csgs_audited(pattern, csgs, budget, tally)
         .into_iter()
         .map(|i| cw.get(i))
         .sum()
 }
 
-/// GED node budget for diversity computations (patterns are ≤ ηmax ≈ 12
-/// edges).
-const DIV_GED_BUDGET: u64 = 50_000;
+/// Default GED node cap for diversity computations (patterns are ≤ ηmax ≈
+/// 12 edges). A user [`SearchBudget`] node cap overrides it.
+pub const DIV_GED_BUDGET: u64 = 50_000;
 
 /// `div(p, P\p) = min_i GED(p, p_i)` with lower-bound pruning (§5):
 /// order selected patterns by ascending `GED_l`, compute exact GEDs in that
@@ -132,9 +162,22 @@ const DIV_GED_BUDGET: u64 = 50_000;
 /// Returns `None` for an empty `selected` set (the first pattern has no
 /// diversity term).
 pub fn diversity(pattern: &Graph, selected: &[Graph]) -> Option<f64> {
+    diversity_audited(pattern, selected, &SearchBudget::unbounded(), &Tally::new())
+}
+
+/// [`diversity`] under an explicit budget with a completeness audit trail.
+/// A tripped GED returns its best upper bound, so a degraded `div` can
+/// only over-estimate the true minimum distance.
+pub fn diversity_audited(
+    pattern: &Graph,
+    selected: &[Graph],
+    budget: &SearchBudget,
+    tally: &Tally,
+) -> Option<f64> {
     if selected.is_empty() {
         return None;
     }
+    let probe = budget.with_default_cap(DIV_GED_BUDGET);
     let mut order: Vec<(usize, usize)> = selected
         .iter()
         .map(|p| ged_lower_bound(pattern, p))
@@ -146,9 +189,10 @@ pub fn diversity(pattern: &Graph, selected: &[Graph]) -> Option<f64> {
         if lb >= best {
             break; // all remaining lower bounds are ≥ best: prune (step c3)
         }
-        let d = ged_with_budget(pattern, &selected[i], DIV_GED_BUDGET).distance;
-        if d < best {
-            best = d;
+        let r = ged_with_budget(pattern, &selected[i], &probe);
+        tally.record(r.completeness);
+        if r.distance < best {
+            best = r.distance;
         }
     }
     Some(best as f64)
@@ -193,7 +237,34 @@ pub fn pattern_score_variant(
     selected: &[Graph],
     variant: ScoreVariant,
 ) -> f64 {
-    let cov = ccov(pattern, csgs, cw);
+    pattern_score_audited(
+        pattern,
+        csgs,
+        cw,
+        index,
+        selected,
+        variant,
+        &SearchBudget::unbounded(),
+        &Tally::new(),
+    )
+}
+
+/// [`pattern_score_variant`] under an explicit [`SearchBudget`], recording
+/// every NP-hard kernel call (ccov VF2 probes, diversity GEDs) in `tally`.
+/// With a degraded tally the score is approximate: `ccov` is a lower bound
+/// and `div` an upper bound.
+#[allow(clippy::too_many_arguments)]
+pub fn pattern_score_audited(
+    pattern: &Graph,
+    csgs: &[Csg],
+    cw: &ClusterWeights,
+    index: &EdgeLabelIndex,
+    selected: &[Graph],
+    variant: ScoreVariant,
+    budget: &SearchBudget,
+    tally: &Tally,
+) -> f64 {
+    let cov = ccov_audited(pattern, csgs, cw, budget, tally);
     let label_cov = index.lcov(pattern);
     let cog = cognitive_load(pattern);
     if cog <= 0.0 {
@@ -201,16 +272,16 @@ pub fn pattern_score_variant(
     }
     match variant {
         ScoreVariant::Full => {
-            let div = diversity(pattern, selected).unwrap_or(1.0);
+            let div = diversity_audited(pattern, selected, budget, tally).unwrap_or(1.0);
             cov * label_cov * div / cog
         }
         ScoreVariant::NoDiversity => cov * label_cov / cog,
         ScoreVariant::NoCognitiveLoad => {
-            let div = diversity(pattern, selected).unwrap_or(1.0);
+            let div = diversity_audited(pattern, selected, budget, tally).unwrap_or(1.0);
             cov * label_cov * div
         }
         ScoreVariant::Additive => {
-            let div = diversity(pattern, selected).unwrap_or(1.0);
+            let div = diversity_audited(pattern, selected, budget, tally).unwrap_or(1.0);
             (cov + label_cov + div / (div + 1.0) + 1.0 / (1.0 + cog)) / 4.0
         }
     }

@@ -10,11 +10,12 @@
 use crate::budget::{PatternBudget, SizeCounts};
 use crate::fcp::generate_fcp;
 use crate::querylog::QueryLog;
-use crate::score::{covering_csgs, pattern_score_variant, EdgeLabelIndex, ScoreVariant};
+use crate::report::PipelineReport;
+use crate::score::{covering_csgs_audited, pattern_score_audited, EdgeLabelIndex, ScoreVariant};
 use crate::walk::generate_library;
 use catapult_csg::{ClusterWeights, Csg, EdgeLabelWeights, WeightedCsg};
-use catapult_graph::iso::are_isomorphic;
-use catapult_graph::Graph;
+use catapult_graph::iso::are_isomorphic_tagged;
+use catapult_graph::{Graph, SearchBudget, Tally};
 use catapult_mining::EdgeLabelStats;
 use rand::Rng;
 use rayon::prelude::*;
@@ -36,6 +37,11 @@ pub struct SelectionConfig {
     pub query_log: Option<QueryLog>,
     /// Strength `λ` of the query-log boost.
     pub log_weight: f64,
+    /// Execution budget shared by selection's NP-hard kernels (dedup VF2,
+    /// ccov probes, diversity GEDs). Its deadline/cancellation also stops
+    /// the greedy loop between iterations, returning the patterns selected
+    /// so far. Per-kernel default node caps apply when unbounded.
+    pub search: SearchBudget,
 }
 
 impl Default for SelectionConfig {
@@ -46,6 +52,7 @@ impl Default for SelectionConfig {
             variant: ScoreVariant::Full,
             query_log: None,
             log_weight: 1.0,
+            search: SearchBudget::unbounded(),
         }
     }
 }
@@ -75,6 +82,10 @@ pub struct SelectionResult {
     pub selected: Vec<SelectedPattern>,
     /// Wall-clock pattern-generation time (the paper's PGT measure).
     pub elapsed: Duration,
+    /// Completeness audit of every NP-hard kernel call. Direct callers
+    /// only see the `scoring` stage populated; [`run_catapult`]
+    /// (crate::catapult::run_catapult) fills in mining and clustering.
+    pub report: PipelineReport,
 }
 
 impl SelectionResult {
@@ -102,8 +113,16 @@ pub fn find_canned_patterns<R: Rng>(
     let mut selected: Vec<SelectedPattern> = Vec::new();
     let mut selected_graphs: Vec<Graph> = Vec::new();
     let mut counts = SizeCounts::new();
+    let scoring = Tally::new();
 
     while selected.len() < budget.gamma() {
+        // A deadline or cancellation stops the greedy loop between
+        // iterations: the patterns chosen so far remain valid and
+        // budget-conforming, and the report records why we stopped early.
+        if let Some(c) = cfg.search.interrupted() {
+            scoring.record(c);
+            break;
+        }
         let sizes = budget.open_sizes(&counts);
         if sizes.is_empty() {
             break;
@@ -128,13 +147,21 @@ pub fn find_canned_patterns<R: Rng>(
             }
         }
         // Drop candidates identical (isomorphic) to an already-selected
-        // pattern — their diversity is 0, so they can never help.
-        candidates.retain(|(c, _)| !selected_graphs.iter().any(|p| are_isomorphic(p, c)));
+        // pattern — their diversity is 0, so they can never help. A
+        // degraded check may let a duplicate through; scoring then gives
+        // it zero diversity, so it is merely wasted work, never a wrong
+        // selection.
+        let iso_eq = |a: &Graph, b: &Graph| {
+            let (eq, c) = are_isomorphic_tagged(a, b, &cfg.search);
+            scoring.record(c);
+            eq
+        };
+        candidates.retain(|(c, _)| !selected_graphs.iter().any(|p| iso_eq(p, c)));
         // Dedup isomorphic candidates proposed by different CSGs (clusters
         // often share motifs); scoring is the expensive part of the loop.
         let mut unique: Vec<(Graph, usize)> = Vec::with_capacity(candidates.len());
         for (c, ci) in candidates {
-            if !unique.iter().any(|(u, _)| are_isomorphic(u, &c)) {
+            if !unique.iter().any(|(u, _)| iso_eq(u, &c)) {
                 unique.push((c, ci));
             }
         }
@@ -147,8 +174,16 @@ pub fn find_canned_patterns<R: Rng>(
             .par_iter()
             .enumerate()
             .map(|(i, (c, _))| {
-                let mut s =
-                    pattern_score_variant(c, csgs, &cw, &index, &selected_graphs, cfg.variant);
+                let mut s = pattern_score_audited(
+                    c,
+                    csgs,
+                    &cw,
+                    &index,
+                    &selected_graphs,
+                    cfg.variant,
+                    &cfg.search,
+                    &scoring,
+                );
                 if let Some(log) = &cfg.query_log {
                     s *= 1.0 + cfg.log_weight * log.pattern_frequency(c);
                 }
@@ -172,7 +207,7 @@ pub fn find_canned_patterns<R: Rng>(
         let (pattern, source_csg) = candidates.swap_remove(best_idx);
         // Damp weights: clusters whose CSG contains the pattern, and the
         // pattern's edge labels (§5, multiplicative weights update).
-        for ci in covering_csgs(&pattern, csgs) {
+        for ci in covering_csgs_audited(&pattern, csgs, &cfg.search, &scoring) {
             cw.damp(ci);
         }
         elw.damp_pattern(&pattern);
@@ -188,6 +223,10 @@ pub fn find_canned_patterns<R: Rng>(
     SelectionResult {
         selected,
         elapsed: start.elapsed(),
+        report: PipelineReport {
+            scoring: scoring.counts(),
+            ..PipelineReport::default()
+        },
     }
 }
 
@@ -195,7 +234,8 @@ pub fn find_canned_patterns<R: Rng>(
 mod tests {
     use super::*;
     use catapult_csg::build_csgs;
-    use catapult_graph::{Label, VertexId};
+    use catapult_graph::iso::are_isomorphic;
+    use catapult_graph::{CancelToken, Label, VertexId};
     use rand::SeedableRng;
 
     fn ring(n: u32, label: u32) -> Graph {
@@ -401,6 +441,43 @@ mod tests {
                 .filter(|s| s.pattern.edge_count() == 5)
                 .count()
                 <= 1
+        );
+    }
+
+    #[test]
+    fn exact_run_reports_all_exact() {
+        let (db, csgs) = db_and_csgs();
+        let cfg = SelectionConfig {
+            budget: PatternBudget::new(3, 5, 4).unwrap(),
+            walks: 30,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = find_canned_patterns(&db, &csgs, &cfg, &mut rng);
+        assert!(r.report.all_exact(), "unbounded run must be exact");
+        assert!(r.report.scoring.total() > 0, "kernels must be audited");
+        assert!(r.report.degraded_stages().is_empty());
+    }
+
+    #[test]
+    fn cancelled_search_stops_greedy_loop_and_is_reported() {
+        let (db, csgs) = db_and_csgs();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = SelectionConfig {
+            budget: PatternBudget::new(3, 5, 4).unwrap(),
+            walks: 30,
+            search: SearchBudget::unbounded().with_cancel(token),
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = find_canned_patterns(&db, &csgs, &cfg, &mut rng);
+        assert!(r.selected.is_empty(), "pre-cancelled run selects nothing");
+        assert_eq!(r.report.degraded_stages(), vec!["scoring"]);
+        assert_eq!(
+            r.report.worst(),
+            catapult_graph::Completeness::Cancelled,
+            "report must say why the loop stopped"
         );
     }
 

@@ -77,6 +77,10 @@ pub fn occurrences(q: &Graph, patterns: &[Graph], cap: usize) -> Vec<Occurrence>
         if p.edge_count() == 0 || p.edge_count() > q.edge_count() {
             continue;
         }
+        // Occurrence mining for step accounting: a tripped enumeration
+        // just misses some pattern placements, inflating step_P slightly
+        // (conservative for the GUI-benefit claims of §6.1).
+        // xtask-allow: consume-completeness
         for emb in embeddings(q, p, cap) {
             let mut vertices: Vec<VertexId> = emb.clone();
             vertices.sort_unstable();

@@ -15,20 +15,38 @@
 //!   [32]): solve a vertex assignment with Hungarian, then charge the exact
 //!   induced edit cost of that vertex mapping (always a valid upper bound).
 //! * [`ged`] — exact depth-first branch-and-bound seeded with the upper
-//!   bound, with a node budget for pathological cases (falls back to the
-//!   best bound found, flagged inexact).
+//!   bound, under a [`SearchBudget`] for pathological cases: on a tripped
+//!   limit it returns the best-known *upper bound*, explicitly flagged via
+//!   [`GedResult::completeness`].
 
+use crate::budget::{BudgetMeter, Completeness, SearchBudget};
 use crate::graph::{Graph, VertexId};
 use crate::labels::Label;
 use crate::matching::hungarian;
 
+/// Default backtracking-node cap for GED searches.
+pub const DEFAULT_NODE_CAP: u64 = 500_000;
+
 /// Result of a GED computation.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// When `completeness` is not [`Completeness::Exact`], `distance` is the
+/// best-known **upper bound** on the true GED (never an underestimate): the
+/// branch-and-bound is seeded with the Riesen–Bunke assignment bound and
+/// only ever replaces it with cheaper complete edit paths, so whatever it
+/// holds when the budget trips is realized by an actual edit sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GedResult {
-    /// The (possibly approximate) edit distance.
+    /// The edit distance — exact, or a valid upper bound (see above).
     pub distance: usize,
-    /// True when the value is the exact GED.
-    pub exact: bool,
+    /// Why the search stopped.
+    pub completeness: Completeness,
+}
+
+impl GedResult {
+    /// Whether `distance` is the exact GED (otherwise it is an upper bound).
+    pub fn is_exact(&self) -> bool {
+        self.completeness.is_exact()
+    }
 }
 
 /// Multiset intersection size of two sorted label lists.
@@ -196,9 +214,7 @@ struct GedSearch<'a> {
     /// Number of B edges with both endpoints used (incremental).
     b_edges_used: usize,
     best: usize,
-    nodes: u64,
-    budget: u64,
-    exhausted: bool,
+    meter: BudgetMeter,
 }
 
 impl<'a> GedSearch<'a> {
@@ -301,9 +317,7 @@ impl<'a> GedSearch<'a> {
     }
 
     fn descend(&mut self, depth: usize, g: usize) {
-        self.nodes += 1;
-        if self.nodes > self.budget {
-            self.exhausted = true;
+        if self.meter.tick() {
             return;
         }
         if g + self.heuristic(depth) >= self.best {
@@ -336,7 +350,7 @@ impl<'a> GedSearch<'a> {
             self.descend(depth + 1, g + dc);
             self.release_b(t);
             self.mapping[v.index()] = None;
-            if self.exhausted {
+            if self.meter.tripped() {
                 self.rem_a[v_label_id] += 1;
                 return;
             }
@@ -349,14 +363,22 @@ impl<'a> GedSearch<'a> {
 }
 
 /// Exact GED with branch-and-bound (seeded by [`ged_upper_bound`]),
-/// subject to `node_budget`.
-pub fn ged_with_budget(a: &Graph, b: &Graph, node_budget: u64) -> GedResult {
+/// subject to a [`SearchBudget`] (a plain `u64` converts to a node cap).
+///
+/// On a tripped limit the returned distance is the best-known **upper
+/// bound** — the Riesen–Bunke seed or a cheaper complete edit path found
+/// before the trip — and [`GedResult::completeness`] names the limit; it is
+/// never an underestimate. With [`Completeness::Exact`] the value is the
+/// true GED.
+pub fn ged_with_budget(a: &Graph, b: &Graph, budget: impl Into<SearchBudget>) -> GedResult {
     let lb = ged_lower_bound(a, b);
     let ub = ged_upper_bound(a, b);
     if lb == ub {
+        // Bounds meet: the distance is proven without any search (and
+        // without consuming a kernel invocation).
         return GedResult {
             distance: ub,
-            exact: true,
+            completeness: Completeness::Exact,
         };
     }
     let mut order: Vec<VertexId> = a.vertices().collect();
@@ -403,21 +425,22 @@ pub fn ged_with_budget(a: &Graph, b: &Graph, node_budget: u64) -> GedResult {
         b_used_count: 0,
         b_edges_used: 0,
         best: ub + 1, // allow rediscovering ub exactly
-        nodes: 0,
-        budget: node_budget,
-        exhausted: false,
+        meter: BudgetMeter::new(&budget.into()),
     };
     s.descend(0, 0);
+    // `s.best` only holds completed edit paths (or the ub+1 seed), so the
+    // min with `ub` is always a realized upper bound — valid even when the
+    // search was cut short.
     let distance = s.best.min(ub);
     GedResult {
         distance,
-        exact: !s.exhausted,
+        completeness: s.meter.status(),
     }
 }
 
-/// Exact GED with the default node budget (500k expansions).
+/// Exact GED with the default node cap ([`DEFAULT_NODE_CAP`] expansions).
 pub fn ged(a: &Graph, b: &Graph) -> GedResult {
-    ged_with_budget(a, b, 500_000)
+    ged_with_budget(a, b, DEFAULT_NODE_CAP)
 }
 
 #[cfg(test)]
@@ -445,7 +468,7 @@ mod tests {
     fn identical_graphs_distance_zero() {
         let g = cycle(5);
         let r = ged(&g, &g);
-        assert!(r.exact);
+        assert!(r.is_exact());
         assert_eq!(r.distance, 0);
         assert_eq!(ged_lower_bound(&g, &g), 0);
         assert_eq!(ged_upper_bound(&g, &g), 0);
@@ -457,7 +480,7 @@ mod tests {
         let p = path(5);
         let c = cycle(5);
         let r = ged(&p, &c);
-        assert!(r.exact);
+        assert!(r.is_exact());
         assert_eq!(r.distance, 1);
     }
 
@@ -466,7 +489,7 @@ mod tests {
         let a = Graph::from_parts(&[l(0), l(0), l(0)], &[(0, 1), (1, 2)]);
         let b = Graph::from_parts(&[l(0), l(1), l(0)], &[(0, 1), (1, 2)]);
         let r = ged(&a, &b);
-        assert!(r.exact);
+        assert!(r.is_exact());
         assert_eq!(r.distance, 1);
     }
 
@@ -485,7 +508,7 @@ mod tests {
             let lb = ged_lower_bound(a, b);
             let exact = ged(a, b);
             let ub = ged_upper_bound(a, b);
-            assert!(exact.exact);
+            assert!(exact.is_exact());
             assert!(lb <= exact.distance, "lb={lb} d={}", exact.distance);
             assert!(exact.distance <= ub, "d={} ub={ub}", exact.distance);
         }
@@ -497,7 +520,7 @@ mod tests {
         let b = cycle(5);
         let d1 = ged(&a, &b);
         let d2 = ged(&b, &a);
-        assert!(d1.exact && d2.exact);
+        assert!(d1.is_exact() && d2.is_exact());
         assert_eq!(d1.distance, d2.distance);
     }
 
@@ -505,8 +528,71 @@ mod tests {
     fn deletion_and_insertion() {
         // path(3) → path(2): delete one vertex + one edge = 2.
         let r = ged(&path(3), &path(2));
-        assert!(r.exact);
+        assert!(r.is_exact());
         assert_eq!(r.distance, 2);
+    }
+
+    #[test]
+    fn tiny_budget_returns_flagged_upper_bound() {
+        // Cycle(6) vs two disjoint triangles: equal sizes and labels give
+        // lb = 0 < ub, so the search runs; a 1-node budget trips
+        // immediately and the Riesen–Bunke seed is returned, flagged as a
+        // bound.
+        let a = cycle(6);
+        let b = Graph::from_parts(
+            &[l(0); 6],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        );
+        let lb = ged_lower_bound(&a, &b);
+        let ub = ged_upper_bound(&a, &b);
+        assert!(
+            lb < ub,
+            "test premise: bounds must not meet (lb={lb} ub={ub})"
+        );
+        let r = ged_with_budget(&a, &b, 1u64);
+        assert_eq!(r.completeness, Completeness::BudgetExhausted);
+        assert!(!r.is_exact());
+        // The degraded distance is a valid, non-trivial upper bound.
+        let exact = ged_with_budget(&a, &b, 5_000_000u64);
+        assert!(exact.is_exact());
+        assert!(r.distance >= exact.distance);
+        assert!(r.distance <= ub);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_answer() {
+        let a = path(5);
+        let b = cycle(6);
+        let default = ged(&a, &b);
+        let generous = ged_with_budget(&a, &b, 100_000_000u64);
+        assert!(default.is_exact() && generous.is_exact());
+        assert_eq!(default.distance, generous.distance);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        use crate::budget::Deadline;
+        let a = cycle(6);
+        let b = Graph::from_parts(
+            &[l(0); 6],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        );
+        let r = ged_with_budget(
+            &a,
+            &b,
+            SearchBudget::unbounded().with_deadline(Deadline::at(std::time::Instant::now())),
+        );
+        assert_eq!(r.completeness, Completeness::DeadlineExceeded);
+        assert!(r.distance >= ged_lower_bound(&a, &b));
+    }
+
+    #[test]
+    fn meeting_bounds_are_exact_under_zero_budget() {
+        // Identical graphs: lb == ub == 0, proven without search.
+        let g = cycle(5);
+        let r = ged_with_budget(&g, &g, 0u64);
+        assert!(r.is_exact());
+        assert_eq!(r.distance, 0);
     }
 
     #[test]

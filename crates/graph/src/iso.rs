@@ -12,19 +12,26 @@
 //! semantics of subgraph search in graph databases [36]. Induced matching
 //! is available via [`MatchOptions::induced`].
 
+use crate::budget::{BudgetMeter, Completeness, SearchBudget};
 use crate::graph::{Graph, VertexId};
 use std::ops::ControlFlow;
 
+/// Default backtracking-node cap for isomorphism searches; guards
+/// pathological inputs when the caller's [`SearchBudget`] sets no cap.
+pub const DEFAULT_NODE_CAP: u64 = 10_000_000;
+
 /// Options controlling a subgraph isomorphism search.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MatchOptions {
     /// Require induced embeddings (pattern non-edges map to target non-edges).
     pub induced: bool,
-    /// Stop after this many embeddings have been reported.
+    /// Stop after this many embeddings have been reported. Stopping here is
+    /// the caller's choice and still counts as an *exact* outcome.
     pub max_embeddings: usize,
-    /// Backtracking-node budget; guards pathological inputs. When exhausted
-    /// the search stops early (reported by [`MatchOutcome::complete`]).
-    pub node_budget: u64,
+    /// Execution budget. When a limit trips, the search stops early and
+    /// [`MatchOutcome::completeness`] reports why; embeddings found up to
+    /// that point have been reported normally.
+    pub budget: SearchBudget,
 }
 
 impl Default for MatchOptions {
@@ -32,7 +39,7 @@ impl Default for MatchOptions {
         MatchOptions {
             induced: false,
             max_embeddings: usize::MAX,
-            node_budget: 10_000_000,
+            budget: SearchBudget::nodes(DEFAULT_NODE_CAP),
         }
     }
 }
@@ -42,9 +49,18 @@ impl Default for MatchOptions {
 pub struct MatchOutcome {
     /// Number of embeddings reported to the callback.
     pub embeddings: usize,
-    /// Whether the search space was exhausted (false if a budget or
-    /// `max_embeddings` cut it short).
-    pub complete: bool,
+    /// Why the search stopped. [`Completeness::Exact`] means the search
+    /// space was exhausted *or* the caller stopped it on purpose (callback
+    /// `Break`, `max_embeddings` reached); degraded variants mean a budget
+    /// limit cut enumeration short and further embeddings may exist.
+    pub completeness: Completeness,
+}
+
+impl MatchOutcome {
+    /// Whether enumeration was not cut short by a budget limit.
+    pub fn is_exact(&self) -> bool {
+        self.completeness.is_exact()
+    }
 }
 
 struct Matcher<'a, F>
@@ -65,7 +81,7 @@ where
     map: Vec<u32>,
     /// target vertex used?
     used: Vec<bool>,
-    nodes: u64,
+    meter: BudgetMeter,
     found: usize,
     callback: F,
 }
@@ -160,6 +176,7 @@ where
                 }
             }
         }
+        let meter = BudgetMeter::new(&opts.budget);
         Matcher {
             pattern,
             target,
@@ -169,7 +186,7 @@ where
             back_non_neighbors,
             map: vec![UNMAPPED; np],
             used: vec![false; target.vertex_count()],
-            nodes: 0,
+            meter,
             found: 0,
             callback,
         }
@@ -213,8 +230,7 @@ where
             }
             return ControlFlow::Continue(());
         }
-        self.nodes += 1;
-        if self.nodes > self.opts.node_budget {
+        if self.meter.tick() {
             return ControlFlow::Break(());
         }
         let pv = self.order[depth];
@@ -296,26 +312,62 @@ where
         let _ = cb(&[]);
         return MatchOutcome {
             embeddings: 1,
-            complete: true,
+            completeness: Completeness::Exact,
         };
     }
     if quick_reject(pattern, target) {
         return MatchOutcome {
             embeddings: 0,
-            complete: true,
+            completeness: Completeness::Exact,
         };
     }
     let mut m = Matcher::new(pattern, target, opts, callback);
-    let flow = m.descend(0);
+    let _ = m.descend(0);
+    // A `Break` from the callback or the embedding cap leaves the meter
+    // Exact: the caller got everything it asked for. Only a tripped budget
+    // limit (exhaustion / deadline / cancellation) marks the result
+    // degraded.
     MatchOutcome {
         embeddings: m.found,
-        complete: flow == ControlFlow::Continue(()) && m.nodes <= m.opts.node_budget,
+        completeness: m.meter.status(),
     }
 }
 
 /// Whether `pattern` is subgraph-isomorphic to `target` (non-induced).
+///
+/// Runs under the default budget and swallows the completeness tag: a
+/// budget-tripped search reports "not contained" even though an embedding
+/// might exist past the cutoff. Call sites that must distinguish the two
+/// use [`contains_tagged`] (`cargo xtask lint` enforces this outside
+/// tests).
 pub fn contains(target: &Graph, pattern: &Graph) -> bool {
     find_embedding(target, pattern).is_some()
+}
+
+/// Budgeted containment test: whether an embedding of `pattern` was found
+/// in `target`, plus why the search stopped. `(false, Exact)` proves
+/// non-containment; `(false, degraded)` only means no embedding was found
+/// before the budget tripped.
+pub fn contains_tagged(
+    target: &Graph,
+    pattern: &Graph,
+    budget: &SearchBudget,
+) -> (bool, Completeness) {
+    let mut found = false;
+    let out = for_each_embedding(
+        target,
+        pattern,
+        MatchOptions {
+            max_embeddings: 1,
+            budget: budget.with_default_cap(DEFAULT_NODE_CAP),
+            ..MatchOptions::default()
+        },
+        |_| {
+            found = true;
+            ControlFlow::Break(())
+        },
+    );
+    (found, out.completeness)
 }
 
 /// Find one embedding of `pattern` in `target` (non-induced), as a mapping
@@ -360,6 +412,10 @@ pub fn embeddings(target: &Graph, pattern: &Graph, cap: usize) -> Vec<Vec<Vertex
 /// Two simple graphs with equal `|V|` and `|E|` are isomorphic iff a
 /// vertex-injective, edge-preserving map exists (the map is then a
 /// bijection and edge counts force edge surjectivity).
+///
+/// Runs under the default budget and swallows the completeness tag; use
+/// [`are_isomorphic_tagged`] where a budget-tripped "not isomorphic" must
+/// be distinguishable from a proven one.
 pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
     if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
         return false;
@@ -368,6 +424,18 @@ pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
         return false;
     }
     contains(b, a)
+}
+
+/// Budgeted graph isomorphism test: the verdict plus why the underlying
+/// search stopped. Invariant-based rejections are always `Exact`.
+pub fn are_isomorphic_tagged(a: &Graph, b: &Graph, budget: &SearchBudget) -> (bool, Completeness) {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return (false, Completeness::Exact);
+    }
+    if a.invariant_signature() != b.invariant_signature() {
+        return (false, Completeness::Exact);
+    }
+    contains_tagged(b, a, budget)
 }
 
 #[cfg(test)]
@@ -492,6 +560,101 @@ mod tests {
             ControlFlow::Continue(())
         });
         assert_eq!(out.embeddings, 1);
-        assert!(out.complete);
+        assert!(out.is_exact());
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhaustion_with_best_so_far() {
+        // Edge into triangle: 6 embeddings total. A 2-node budget trips
+        // mid-enumeration; whatever was found before the trip is reported.
+        let e = path(2);
+        let t = triangle();
+        let mut seen = 0usize;
+        let out = for_each_embedding(
+            &t,
+            &e,
+            MatchOptions {
+                budget: SearchBudget::nodes(2),
+                ..MatchOptions::default()
+            },
+            |_| {
+                seen += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(out.completeness, Completeness::BudgetExhausted);
+        assert!(out.embeddings > 0, "best-so-far embeddings must survive");
+        assert_eq!(out.embeddings, seen);
+        assert!(out.embeddings < 6);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_enumeration() {
+        let e = path(2);
+        let t = triangle();
+        let unbudgeted = for_each_embedding(&t, &e, MatchOptions::default(), |_| {
+            ControlFlow::Continue(())
+        });
+        let generous = for_each_embedding(
+            &t,
+            &e,
+            MatchOptions {
+                budget: SearchBudget::nodes(1_000_000),
+                ..MatchOptions::default()
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert!(unbudgeted.is_exact() && generous.is_exact());
+        assert_eq!(unbudgeted.embeddings, generous.embeddings);
+        assert_eq!(generous.embeddings, 6);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        use crate::budget::Deadline;
+        let out = for_each_embedding(
+            &triangle(),
+            &path(3),
+            MatchOptions {
+                budget: SearchBudget::unbounded()
+                    .with_deadline(Deadline::at(std::time::Instant::now())),
+                ..MatchOptions::default()
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert_eq!(out.completeness, Completeness::DeadlineExceeded);
+    }
+
+    #[test]
+    fn cancelled_token_reports_cancelled() {
+        use crate::budget::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let out = for_each_embedding(
+            &triangle(),
+            &path(3),
+            MatchOptions {
+                budget: SearchBudget::unbounded().with_cancel(token),
+                ..MatchOptions::default()
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert_eq!(out.completeness, Completeness::Cancelled);
+    }
+
+    #[test]
+    fn tagged_helpers_report_completeness() {
+        let t = triangle();
+        let p = path(3);
+        let (found, c) = contains_tagged(&t, &p, &SearchBudget::unbounded());
+        assert!(found);
+        assert!(c.is_exact());
+        let (iso, c) = are_isomorphic_tagged(&t, &t, &SearchBudget::unbounded());
+        assert!(iso);
+        assert!(c.is_exact());
+        // Quick rejections are exact even under a zero budget.
+        let (iso, c) = are_isomorphic_tagged(&t, &p, &SearchBudget::nodes(0));
+        assert!(!iso);
+        assert!(c.is_exact());
     }
 }

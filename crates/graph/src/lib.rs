@@ -16,7 +16,9 @@
 //! * [`canonical`] — canonical forms for labeled free trees (Fig. 5);
 //! * [`layout`] / [`metrics`] — edge crossings & cognitive-load measures;
 //! * [`random`] — random connected subgraphs and weighted sampling;
-//! * [`fmt`] — a gSpan-style text format.
+//! * [`fmt`] — a gSpan-style text format;
+//! * [`budget`] — shared execution budgets ([`SearchBudget`]) and
+//!   completeness tags ([`Completeness`]) for every NP-hard kernel.
 
 // Lint policy: see [workspace.lints] in the root Cargo.toml.
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@
 // itself forbids; the policy targets production code paths only.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod budget;
 pub mod canonical;
 pub mod components;
 pub mod edit;
@@ -39,6 +42,7 @@ pub mod mcs;
 pub mod metrics;
 pub mod random;
 
+pub use budget::{CancelToken, Completeness, Deadline, SearchBudget, Tally, TallyCounts};
 pub use graph::{CorruptionKind, Edge, EdgeId, Graph, GraphError, VertexId};
 pub use invariants::InvariantViolation;
 pub use labels::{EdgeLabel, Label, LabelInterner};

@@ -9,27 +9,34 @@
 //! taken (every connected common subgraph appears as a sub-solution of some
 //! branch, so the enumeration is exhaustive).
 //!
-//! Both problems are NP-complete [36]; a configurable node-expansion budget
+//! Both problems are NP-complete [36]; a configurable [`SearchBudget`]
 //! bounds the pathological worst case, falling back to the best solution
-//! found (`exact = false`), mirroring the budgeted McGregor implementations
-//! benchmarked in [13].
+//! found so far and tagging the result with why the search stopped
+//! ([`McsResult::completeness`]), mirroring the budgeted McGregor
+//! implementations benchmarked in [13]. A degraded result is a *lower
+//! bound* on the true common-subgraph size.
 
+use crate::budget::{BudgetMeter, Completeness, SearchBudget};
 use crate::graph::{Graph, VertexId};
 
+/// Default backtracking-node cap for MCS/MCCS searches.
+pub const DEFAULT_NODE_CAP: u64 = 500_000;
+
 /// Configuration for an MCS/MCCS computation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct McsConfig {
     /// Require the common subgraph to be connected (MCCS, [36]).
     pub connected: bool,
-    /// Backtracking node budget; the search stops (inexact) when exhausted.
-    pub node_budget: u64,
+    /// Execution budget; on a tripped limit the search stops with the best
+    /// common subgraph found so far (a lower bound on the true MCS).
+    pub budget: SearchBudget,
 }
 
 impl Default for McsConfig {
     fn default() -> Self {
         McsConfig {
             connected: false,
-            node_budget: 500_000,
+            budget: SearchBudget::nodes(DEFAULT_NODE_CAP),
         }
     }
 }
@@ -51,8 +58,17 @@ pub struct McsResult {
     pub pairs: Vec<(VertexId, VertexId)>,
     /// Size of the common subgraph in edges (the paper's `|G|`).
     pub edges: usize,
-    /// Whether the search space was exhausted within the node budget.
-    pub exact: bool,
+    /// Why the search stopped. Non-exact results are the best common
+    /// subgraph found before the budget tripped — a valid common subgraph
+    /// and a lower bound on the true MCS size.
+    pub completeness: Completeness,
+}
+
+impl McsResult {
+    /// Whether the search space was exhausted (the result is the true MCS).
+    pub fn is_exact(&self) -> bool {
+        self.completeness.is_exact()
+    }
 }
 
 struct Search<'a> {
@@ -66,8 +82,7 @@ struct Search<'a> {
     lost: usize,     // a-edges that can no longer become common
     best_edges: usize,
     best_pairs: Vec<(VertexId, VertexId)>,
-    nodes: u64,
-    exhausted_budget: bool,
+    meter: BudgetMeter,
     swapped: bool,
     /// Whether each a-vertex has been decided (mapped or skipped) yet.
     decided: Vec<bool>,
@@ -151,9 +166,12 @@ impl<'a> Search<'a> {
     }
 
     fn descend(&mut self, depth: usize) {
-        self.nodes += 1;
-        if self.nodes > self.cfg.node_budget {
-            self.exhausted_budget = true;
+        if self.meter.tick() {
+            // Keep the best-so-far invariant: the partial mapping on the
+            // stack at the moment the budget trips is itself a valid common
+            // subgraph — record it before unwinding so even very small
+            // budgets return a non-empty result when one was reachable.
+            self.record_leaf();
             return;
         }
         // Bound: total a-edges minus those already lost can still become
@@ -190,7 +208,7 @@ impl<'a> Search<'a> {
             self.lost -= loss;
             self.map[v.index()] = UNMAPPED;
             self.used[t.index()] = false;
-            if self.exhausted_budget {
+            if self.meter.tripped() {
                 self.decided[v.index()] = false;
                 return;
             }
@@ -210,6 +228,7 @@ impl<'a> Search<'a> {
         let mut order: Vec<VertexId> = a.vertices().collect();
         // Decide high-degree vertices first: they constrain the most edges.
         order.sort_by_key(|&v| std::cmp::Reverse(a.degree(v)));
+        let meter = BudgetMeter::new(&cfg.budget);
         let mut s = Search {
             a,
             b,
@@ -221,8 +240,7 @@ impl<'a> Search<'a> {
             lost: 0,
             best_edges: 0,
             best_pairs: Vec::new(),
-            nodes: 0,
-            exhausted_budget: false,
+            meter,
             swapped,
             decided: vec![false; a.vertex_count()],
         };
@@ -236,7 +254,7 @@ impl<'a> Search<'a> {
         McsResult {
             pairs,
             edges: s.best_edges,
-            exact: !s.exhausted_budget,
+            completeness: s.meter.status(),
         }
     }
 }
@@ -302,7 +320,7 @@ pub fn mcs(g1: &Graph, g2: &Graph, cfg: McsConfig) -> McsResult {
         return McsResult {
             pairs: Vec::new(),
             edges: 0,
-            exact: true,
+            completeness: Completeness::Exact,
         };
     }
     if g1.vertex_count() <= g2.vertex_count() {
@@ -313,35 +331,62 @@ pub fn mcs(g1: &Graph, g2: &Graph, cfg: McsConfig) -> McsResult {
 }
 
 /// `ω_mcs(G1, G2) = |G_mcs| / min(|G1|, |G2|)` with `|G| = |E|` (§2).
-pub fn mcs_similarity(g1: &Graph, g2: &Graph, budget: u64) -> f64 {
+///
+/// Swallows the completeness tag (a truncated MCS understates similarity);
+/// call sites that must react to degradation use [`mcs_similarity_tagged`].
+pub fn mcs_similarity(g1: &Graph, g2: &Graph, budget: impl Into<SearchBudget>) -> f64 {
+    mcs_similarity_tagged(g1, g2, budget).0
+}
+
+/// Budgeted `ω_mcs` plus why the underlying search stopped. A non-exact
+/// similarity is a lower bound on the true value.
+pub fn mcs_similarity_tagged(
+    g1: &Graph,
+    g2: &Graph,
+    budget: impl Into<SearchBudget>,
+) -> (f64, Completeness) {
     similarity(
         g1,
         g2,
         McsConfig {
             connected: false,
-            node_budget: budget,
+            budget: budget.into(),
         },
     )
 }
 
 /// `ω_mccs(G1, G2) = |G_mccs| / min(|G1|, |G2|)` with `|G| = |E|` (§2).
-pub fn mccs_similarity(g1: &Graph, g2: &Graph, budget: u64) -> f64 {
+///
+/// Swallows the completeness tag; use [`mccs_similarity_tagged`] where
+/// degradation must be observable.
+pub fn mccs_similarity(g1: &Graph, g2: &Graph, budget: impl Into<SearchBudget>) -> f64 {
+    mccs_similarity_tagged(g1, g2, budget).0
+}
+
+/// Budgeted `ω_mccs` plus why the underlying search stopped. A non-exact
+/// similarity is a lower bound on the true value.
+pub fn mccs_similarity_tagged(
+    g1: &Graph,
+    g2: &Graph,
+    budget: impl Into<SearchBudget>,
+) -> (f64, Completeness) {
     similarity(
         g1,
         g2,
         McsConfig {
             connected: true,
-            node_budget: budget,
+            budget: budget.into(),
         },
     )
 }
 
-fn similarity(g1: &Graph, g2: &Graph, cfg: McsConfig) -> f64 {
+fn similarity(g1: &Graph, g2: &Graph, cfg: McsConfig) -> (f64, Completeness) {
     let denom = g1.edge_count().min(g2.edge_count());
     if denom == 0 {
-        return 0.0;
+        return (0.0, Completeness::Exact);
     }
-    mcs(g1, g2, cfg).edges as f64 / denom as f64
+    let r = mcs(g1, g2, cfg);
+    (r.edges as f64 / denom as f64, r.completeness)
 }
 
 #[cfg(test)]
@@ -370,7 +415,7 @@ mod tests {
     fn identical_graphs() {
         let g = cycle(5);
         let r = mcs(&g, &g, McsConfig::default());
-        assert!(r.exact);
+        assert!(r.is_exact());
         assert_eq!(r.edges, 5);
         assert!((mccs_similarity(&g, &g, 500_000) - 1.0).abs() < 1e-12);
     }
@@ -380,7 +425,7 @@ mod tests {
         let p = path(4);
         let c = cycle(6);
         let r = mcs(&p, &c, McsConfig::connected());
-        assert!(r.exact);
+        assert!(r.is_exact());
         assert_eq!(r.edges, 3); // the whole path embeds
     }
 
@@ -416,7 +461,7 @@ mod tests {
         let a = cycle(5);
         let b = path(5);
         let r = mcs(&a, &b, McsConfig::connected());
-        assert!(r.exact);
+        assert!(r.is_exact());
         assert_eq!(r.edges, 4); // the path of 5 is the MCCS
                                 // Verify every claimed common edge is real.
         let mut count = 0;
@@ -438,6 +483,70 @@ mod tests {
         g.add_vertex(l(0));
         let h = path(3);
         assert_eq!(mcs_similarity(&g, &h, 1000), 0.0);
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhaustion_with_best_so_far() {
+        let g = cycle(6);
+        let r = mcs(
+            &g,
+            &g,
+            McsConfig {
+                connected: false,
+                budget: SearchBudget::nodes(5),
+            },
+        );
+        assert_eq!(r.completeness, Completeness::BudgetExhausted);
+        // The partial mapping live at the budget trip is recorded, so even
+        // a 5-node search returns a non-empty common subgraph...
+        assert!(!r.pairs.is_empty(), "best-so-far pairs must survive");
+        assert!(r.edges > 0);
+        // ... which is a valid lower bound, not the true MCS.
+        assert!(r.edges < 6);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_answer() {
+        let a = cycle(5);
+        let b = path(5);
+        let default = mcs(&a, &b, McsConfig::default());
+        let generous = mcs(
+            &a,
+            &b,
+            McsConfig {
+                connected: false,
+                budget: SearchBudget::nodes(100_000_000),
+            },
+        );
+        assert!(default.is_exact() && generous.is_exact());
+        assert_eq!(default.edges, generous.edges);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        use crate::budget::Deadline;
+        let g = cycle(5);
+        let r = mcs(
+            &g,
+            &g,
+            McsConfig {
+                connected: false,
+                budget: SearchBudget::unbounded()
+                    .with_deadline(Deadline::at(std::time::Instant::now())),
+            },
+        );
+        assert_eq!(r.completeness, Completeness::DeadlineExceeded);
+    }
+
+    #[test]
+    fn tagged_similarity_exposes_degradation() {
+        let g = cycle(6);
+        let (exact_sim, c) = mcs_similarity_tagged(&g, &g, 500_000u64);
+        assert!(c.is_exact());
+        assert!((exact_sim - 1.0).abs() < 1e-12);
+        let (truncated_sim, c) = mcs_similarity_tagged(&g, &g, 5u64);
+        assert_eq!(c, Completeness::BudgetExhausted);
+        assert!(truncated_sim <= exact_sim);
     }
 
     #[test]

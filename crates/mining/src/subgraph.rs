@@ -8,8 +8,8 @@
 //! vertex or cycle-closing edge), deduplicated by graph isomorphism, with
 //! exact support counting restricted to the parent's transactions.
 
-use catapult_graph::iso::{are_isomorphic, contains};
-use catapult_graph::{Graph, Label, VertexId};
+use catapult_graph::iso::{self, are_isomorphic_tagged, contains_tagged};
+use catapult_graph::{Completeness, Graph, Label, SearchBudget, Tally, TallyCounts, VertexId};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -82,11 +82,19 @@ impl IsoDedup {
         }
     }
 
-    /// Returns true if `g` was new (inserted).
-    fn insert(&mut self, g: &Graph) -> bool {
+    /// Returns true if `g` was new (inserted). A degraded isomorphism
+    /// probe (recorded into `tally`) reports "not isomorphic", so under
+    /// budget pressure a duplicate may slip through — sound for mining
+    /// (the duplicate's support is still correct) but not minimal.
+    fn insert(&mut self, g: &Graph, budget: &SearchBudget, tally: &Tally) -> bool {
         let sig = g.invariant_signature();
         let bucket = self.buckets.entry(sig).or_default();
-        if bucket.iter().any(|h| are_isomorphic(h, g)) {
+        let dup = bucket.iter().any(|h| {
+            let (iso, c) = are_isomorphic_tagged(h, g, budget);
+            tally.record(c);
+            iso
+        });
+        if dup {
             return false;
         }
         bucket.push(g.clone());
@@ -94,11 +102,23 @@ impl IsoDedup {
     }
 }
 
-fn count_support(db: &[Graph], candidates: &[u32], pattern: &Graph) -> Vec<u32> {
+/// Support counting under `budget`; degraded probes (recorded in `tally`)
+/// under-count, so the result is a lower bound on true support.
+fn count_support(
+    db: &[Graph],
+    candidates: &[u32],
+    pattern: &Graph,
+    probe: &SearchBudget,
+    tally: &Tally,
+) -> Vec<u32> {
     candidates
         .par_iter()
         .copied()
-        .filter(|&i| contains(&db[i as usize], pattern))
+        .filter(|&i| {
+            let (found, c) = contains_tagged(&db[i as usize], pattern, probe);
+            tally.record(c);
+            found
+        })
         .collect()
 }
 
@@ -134,25 +154,59 @@ fn extensions(g: &Graph, labels: &[Label]) -> Vec<Graph> {
     out
 }
 
+/// Result of a budgeted frequent-subgraph mining run.
+#[derive(Clone, Debug)]
+pub struct SubgraphMiningOutcome {
+    /// The mined frequent subgraphs (sorted by size, then support).
+    pub subgraphs: Vec<FrequentSubgraph>,
+    /// Per-probe completeness of the underlying kernel calls (containment
+    /// and dedup isomorphism checks).
+    pub kernel: TallyCounts,
+    /// Overall completeness; degraded results remain sound but may miss
+    /// frequent patterns or keep an isomorphic duplicate.
+    pub completeness: Completeness,
+}
+
 /// Mine frequent connected subgraphs of size 1..=`cfg.max_edges` edges.
 ///
 /// Output is sorted by (size, descending support) and deterministic.
+/// Unbudgeted convenience wrapper around [`mine_subgraphs`]; completeness
+/// is swallowed.
 pub fn mine_frequent_subgraphs(db: &[Graph], cfg: &SubgraphMinerConfig) -> Vec<FrequentSubgraph> {
+    mine_subgraphs(db, cfg, &SearchBudget::unbounded()).subgraphs
+}
+
+/// Budgeted frequent-subgraph mining: every containment / isomorphism
+/// probe runs under `budget` (per-probe cap defaulting to
+/// [`iso::DEFAULT_NODE_CAP`]); deadline and cancellation are additionally
+/// checked between parents, stopping early with the patterns found so far.
+pub fn mine_subgraphs(
+    db: &[Graph],
+    cfg: &SubgraphMinerConfig,
+    budget: &SearchBudget,
+) -> SubgraphMiningOutcome {
     let n = db.len();
     let min_count = ((cfg.min_support * n as f64).ceil() as usize).max(1);
     let labels = frequent_labels(db, min_count);
     let all: Vec<u32> = (0..n as u32).collect();
+    let tally = Tally::new();
+    let probe = budget.with_default_cap(iso::DEFAULT_NODE_CAP);
+    let mut interrupted = Completeness::Exact;
 
     // Level 1: single edges.
     let mut dedup = IsoDedup::new();
     let mut level: Vec<FrequentSubgraph> = Vec::new();
-    for (ai, &a) in labels.iter().enumerate() {
+    'level1: for (ai, &a) in labels.iter().enumerate() {
         for &b in &labels[ai..] {
+            if let Some(cut) = budget.interrupted() {
+                interrupted = cut;
+                break 'level1;
+            }
             let g = Graph::from_parts(&[a, b], &[(0, 1)]);
-            if !dedup.insert(&g) {
+            if !dedup.insert(&g, &probe, &tally) {
                 continue;
             }
-            let txs = count_support(db, &all, &g);
+            let txs = count_support(db, &all, &g, &probe, &tally);
             if txs.len() >= min_count {
                 level.push(FrequentSubgraph {
                     graph: g,
@@ -164,18 +218,22 @@ pub fn mine_frequent_subgraphs(db: &[Graph], cfg: &SubgraphMinerConfig) -> Vec<F
 
     let mut result: Vec<FrequentSubgraph> = Vec::new();
     let mut size = 1;
-    while !level.is_empty() && size < cfg.max_edges {
+    while !level.is_empty() && size < cfg.max_edges && interrupted.is_exact() {
         sort_level(&mut level);
         level.truncate(cfg.max_patterns_per_level);
         result.extend(level.iter().cloned());
         let mut dedup = IsoDedup::new();
         let mut next: Vec<FrequentSubgraph> = Vec::new();
-        for parent in &level {
+        'grow: for parent in &level {
+            if let Some(cut) = budget.interrupted() {
+                interrupted = cut;
+                break 'grow;
+            }
             for ext in extensions(&parent.graph, &labels) {
-                if !dedup.insert(&ext) {
+                if !dedup.insert(&ext, &probe, &tally) {
                     continue;
                 }
-                let txs = count_support(db, &parent.transactions, &ext);
+                let txs = count_support(db, &parent.transactions, &ext, &probe, &tally);
                 if txs.len() >= min_count {
                     next.push(FrequentSubgraph {
                         graph: ext,
@@ -187,14 +245,22 @@ pub fn mine_frequent_subgraphs(db: &[Graph], cfg: &SubgraphMinerConfig) -> Vec<F
         level = next;
         size += 1;
     }
-    sort_level(&mut level);
-    level.truncate(cfg.max_patterns_per_level);
-    result.extend(level);
+    // Discard an in-flight (partially grown) level on interruption.
+    if interrupted.is_exact() {
+        sort_level(&mut level);
+        level.truncate(cfg.max_patterns_per_level);
+        result.extend(level);
+    }
     result.sort_by(|a, b| {
         (a.graph.edge_count(), std::cmp::Reverse(a.support()))
             .cmp(&(b.graph.edge_count(), std::cmp::Reverse(b.support())))
     });
-    result
+    let kernel = tally.counts();
+    SubgraphMiningOutcome {
+        subgraphs: result,
+        kernel,
+        completeness: kernel.worst().worst(interrupted),
+    }
 }
 
 fn sort_level(level: &mut [FrequentSubgraph]) {
@@ -237,6 +303,7 @@ pub fn select_baseline_patterns(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use catapult_graph::iso::{are_isomorphic, contains};
 
     fn l(x: u32) -> Label {
         Label(x)

@@ -14,8 +14,8 @@
 //! deleting a leaf.
 
 use catapult_graph::canonical::{canonical_tokens, CanonTokens};
-use catapult_graph::iso::contains;
-use catapult_graph::{Graph, Label};
+use catapult_graph::iso::{self, contains_tagged};
+use catapult_graph::{Completeness, Graph, Label, SearchBudget, Tally, TallyCounts};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -88,41 +88,94 @@ fn frequent_labels(db: &[Graph], min_count: usize) -> Vec<Label> {
     out
 }
 
-/// Count the transactions (restricted to `candidates`) containing `tree`.
-fn count_support(db: &[Graph], candidates: &[u32], tree: &Graph) -> Vec<u32> {
+/// Count the transactions (restricted to `candidates`) containing `tree`,
+/// recording each containment probe's completeness into `tally`. A
+/// degraded probe reports "not contained", so under budget pressure the
+/// returned support is a *lower bound* (frequent trees may be missed, but
+/// every reported transaction genuinely contains the tree).
+fn count_support(
+    db: &[Graph],
+    candidates: &[u32],
+    tree: &Graph,
+    probe: &SearchBudget,
+    tally: &Tally,
+) -> Vec<u32> {
     candidates
         .par_iter()
         .copied()
-        .filter(|&i| contains(&db[i as usize], tree))
+        .filter(|&i| {
+            let (found, c) = contains_tagged(&db[i as usize], tree, probe);
+            tally.record(c);
+            found
+        })
         .collect()
+}
+
+/// Result of a budgeted frequent-subtree mining run.
+#[derive(Clone, Debug)]
+pub struct SubtreeMiningOutcome {
+    /// The mined frequent subtrees (sorted by size, then canonical form).
+    pub subtrees: Vec<FrequentSubtree>,
+    /// Number of candidate trees whose support was counted.
+    pub candidates_counted: usize,
+    /// Per-probe completeness of the underlying isomorphism kernel calls.
+    pub kernel: TallyCounts,
+    /// Overall completeness: `Exact` when every support count is exact and
+    /// no level was cut short; otherwise the worst degradation observed.
+    /// Degraded results are still sound (every reported subtree is frequent
+    /// among the transactions listed) but may be incomplete.
+    pub completeness: Completeness,
 }
 
 /// Mine frequent subtrees from `db`.
 ///
 /// Returns subtrees of size 1..=`cfg.max_edges` edges, each with its exact
 /// supporting transaction list. The result is sorted by (size, canonical
-/// form) so output order is deterministic.
+/// form) so output order is deterministic. Unbudgeted convenience wrapper
+/// around [`mine_subtrees`]; completeness is swallowed (under the default
+/// per-probe cap, exact for all realistic inputs).
 pub fn mine_frequent_subtrees(db: &[Graph], cfg: &SubtreeMinerConfig) -> Vec<FrequentSubtree> {
-    mine_with_counts(db, cfg).0
+    mine_subtrees(db, cfg, &SearchBudget::unbounded()).subtrees
 }
 
 /// As [`mine_frequent_subtrees`], additionally returning the number of
 /// candidate trees whose support was counted (used by tests and the
 /// sampling experiments).
 pub fn mine_with_counts(db: &[Graph], cfg: &SubtreeMinerConfig) -> (Vec<FrequentSubtree>, usize) {
+    let out = mine_subtrees(db, cfg, &SearchBudget::unbounded());
+    (out.subtrees, out.candidates_counted)
+}
+
+/// Budgeted frequent-subtree mining: the level-wise pattern-growth miner
+/// with every containment probe under `budget` (per-probe node cap
+/// defaulting to [`iso::DEFAULT_NODE_CAP`]) and deadline/cancellation
+/// checked between candidates, stopping early with the frequent trees
+/// found so far.
+pub fn mine_subtrees(
+    db: &[Graph],
+    cfg: &SubtreeMinerConfig,
+    budget: &SearchBudget,
+) -> SubtreeMiningOutcome {
     let n = db.len();
     let min_count = ((cfg.min_support * n as f64).ceil() as usize).max(1);
     let labels = frequent_labels(db, min_count);
     let mut candidates_counted = 0usize;
+    let tally = Tally::new();
+    let probe = budget.with_default_cap(iso::DEFAULT_NODE_CAP);
+    let mut interrupted = Completeness::Exact;
 
     // Level 1: one-edge trees over frequent label pairs.
     let mut level: Vec<FrequentSubtree> = Vec::new();
     let all: Vec<u32> = (0..n as u32).collect();
-    for (ai, &a) in labels.iter().enumerate() {
+    'level1: for (ai, &a) in labels.iter().enumerate() {
         for &b in &labels[ai..] {
+            if let Some(cut) = budget.interrupted() {
+                interrupted = cut;
+                break 'level1;
+            }
             let tree = Graph::from_parts(&[a, b], &[(0, 1)]);
             candidates_counted += 1;
-            let txs = count_support(db, &all, &tree);
+            let txs = count_support(db, &all, &tree, &probe, &tally);
             if txs.len() >= min_count {
                 level.push(FrequentSubtree {
                     canonical: canonical_tokens(&tree),
@@ -135,12 +188,16 @@ pub fn mine_with_counts(db: &[Graph], cfg: &SubtreeMinerConfig) -> (Vec<Frequent
 
     let mut result: Vec<FrequentSubtree> = Vec::new();
     let mut size = 1;
-    while !level.is_empty() && size < cfg.max_edges {
+    while !level.is_empty() && size < cfg.max_edges && interrupted.is_exact() {
         level.truncate(cfg.max_patterns_per_level);
         result.extend(level.iter().cloned());
         // Grow each tree by one leaf in every position × frequent label.
         let mut next: HashMap<CanonTokens, FrequentSubtree> = HashMap::new();
-        for parent in &level {
+        'grow: for parent in &level {
+            if let Some(cut) = budget.interrupted() {
+                interrupted = cut;
+                break 'grow;
+            }
             for v in parent.tree.vertices() {
                 for &l in &labels {
                     let mut t = parent.tree.clone();
@@ -154,7 +211,7 @@ pub fn mine_with_counts(db: &[Graph], cfg: &SubtreeMinerConfig) -> (Vec<Frequent
                         continue;
                     }
                     candidates_counted += 1;
-                    let txs = count_support(db, &parent.transactions, &t);
+                    let txs = count_support(db, &parent.transactions, &t, &probe, &tally);
                     if txs.len() >= min_count {
                         next.insert(
                             canon.clone(),
@@ -173,18 +230,48 @@ pub fn mine_with_counts(db: &[Graph], cfg: &SubtreeMinerConfig) -> (Vec<Frequent
         level = next;
         size += 1;
     }
-    level.truncate(cfg.max_patterns_per_level);
-    result.extend(level);
+    // On interruption the in-flight level is discarded (its counts may be
+    // partial); everything in `result` plus the last complete level stands.
+    if interrupted.is_exact() {
+        level.truncate(cfg.max_patterns_per_level);
+        result.extend(level);
+    }
     result.sort_by(|a, b| {
         (a.tree.edge_count(), &a.canonical).cmp(&(b.tree.edge_count(), &b.canonical))
     });
-    (result, candidates_counted)
+    let kernel = tally.counts();
+    SubtreeMiningOutcome {
+        subtrees: result,
+        candidates_counted,
+        kernel,
+        completeness: kernel.worst().worst(interrupted),
+    }
 }
 
 /// Binary feature vector of `g` over the mined subtree set: bit `j` is set
 /// iff `g` contains `subtrees[j]` (Algorithm 2, lines 3–10).
 pub fn feature_vector(g: &Graph, subtrees: &[FrequentSubtree]) -> Vec<bool> {
-    subtrees.iter().map(|t| contains(g, &t.tree)).collect()
+    let tally = Tally::new();
+    feature_vector_tagged(g, subtrees, &SearchBudget::unbounded(), &tally)
+}
+
+/// As [`feature_vector`], with each containment probe under `budget` and
+/// its completeness recorded into `tally`. A degraded probe leaves the bit
+/// unset, so degraded feature vectors under-approximate containment.
+pub fn feature_vector_tagged(
+    g: &Graph,
+    subtrees: &[FrequentSubtree],
+    budget: &SearchBudget,
+    tally: &Tally,
+) -> Vec<bool> {
+    subtrees
+        .iter()
+        .map(|t| {
+            let (found, c) = contains_tagged(g, &t.tree, budget);
+            tally.record(c);
+            found
+        })
+        .collect()
 }
 
 /// Feature vectors for a whole database, using the miners' transaction
@@ -204,6 +291,7 @@ pub fn feature_matrix(n: usize, subtrees: &[FrequentSubtree]) -> Vec<Vec<bool>> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use catapult_graph::iso::contains;
     use catapult_graph::VertexId;
 
     fn l(x: u32) -> Label {
@@ -316,5 +404,46 @@ mod tests {
     fn empty_db_yields_nothing() {
         let trees = mine_frequent_subtrees(&[], &SubtreeMinerConfig::default());
         assert!(trees.is_empty());
+    }
+
+    #[test]
+    fn unbudgeted_mining_is_exact_and_matches_wrapper() {
+        let db = db_paths_and_stars();
+        let cfg = SubtreeMinerConfig {
+            min_support: 0.2,
+            max_edges: 3,
+            ..Default::default()
+        };
+        let out = mine_subtrees(&db, &cfg, &SearchBudget::unbounded());
+        assert!(out.completeness.is_exact());
+        assert!(out.kernel.all_exact());
+        assert!(out.kernel.total() > 0);
+        let wrapper = mine_frequent_subtrees(&db, &cfg);
+        assert_eq!(out.subtrees.len(), wrapper.len());
+        for (a, b) in out.subtrees.iter().zip(&wrapper) {
+            assert_eq!(a.canonical, b.canonical);
+            assert_eq!(a.transactions, b.transactions);
+        }
+    }
+
+    #[test]
+    fn cancelled_mining_stops_early_with_sound_partial_result() {
+        use catapult_graph::CancelToken;
+        let db = db_paths_and_stars();
+        let cfg = SubtreeMinerConfig {
+            min_support: 0.2,
+            max_edges: 3,
+            ..Default::default()
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let out = mine_subtrees(&db, &cfg, &SearchBudget::unbounded().with_cancel(token));
+        assert_eq!(out.completeness, Completeness::Cancelled);
+        // Sound: anything reported is genuinely frequent.
+        for t in &out.subtrees {
+            for &i in &t.transactions {
+                assert!(contains(&db[i as usize], &t.tree));
+            }
+        }
     }
 }

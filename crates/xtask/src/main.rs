@@ -16,6 +16,13 @@
 //!    almost always a bug there. Use ranges or `total_cmp`.
 //! 4. **Lint header** — every crate root states where the lint policy
 //!    lives so readers do not have to guess.
+//! 5. **Consume completeness** — library code outside the graph crate
+//!    must not call the completeness-swallowing kernel conveniences
+//!    (`contains`, `are_isomorphic`, `mccs_similarity`, ...). Those drop
+//!    the `Completeness` tag, so a budget- or deadline-degraded search
+//!    would pass silently. Use the `_tagged`/audited variants, or append
+//!    `// xtask-allow: consume-completeness` after review (e.g. when a
+//!    tripped probe only weakens a heuristic, never correctness).
 //!
 //! Exit status is non-zero when any rule fires; CI runs this next to
 //! `cargo clippy`.
@@ -48,6 +55,28 @@ const SCORING_FILES: &[&str] = &[
 
 /// The agreed crate-root marker line (rule 4).
 const LINT_HEADER: &str = "// Lint policy: see [workspace.lints] in the root Cargo.toml.";
+
+/// Completeness-swallowing kernel conveniences (rule 5). Each needle
+/// includes the opening paren so `_tagged` variants never match.
+const SWALLOWING_KERNELS: &[&str] = &[
+    "contains(",
+    "are_isomorphic(",
+    "mcs_similarity(",
+    "mccs_similarity(",
+    "find_embedding(",
+    "embeddings(",
+];
+
+/// Library dirs rule 5 scans: every pipeline consumer of the kernels.
+/// `crates/graph` is excluded — it *defines* the convenience wrappers.
+const COMPLETENESS_COVERED_DIRS: &[&str] = &[
+    "crates/cluster/src",
+    "crates/core/src",
+    "crates/csg/src",
+    "crates/eval/src",
+    "crates/mining/src",
+    "src",
+];
 
 /// Per-line escape hatch: append `// xtask-allow: <rule>` to suppress a
 /// finding after review.
@@ -91,6 +120,11 @@ fn lint() -> ExitCode {
         check_no_float_eq(&root, rel, &mut findings);
     }
     check_lint_headers(&root, &mut findings);
+    for dir in COMPLETENESS_COVERED_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            check_consume_completeness(&file, &mut findings);
+        }
+    }
 
     if findings.is_empty() {
         println!("xtask lint: ok");
@@ -355,6 +389,64 @@ fn check_lint_headers(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule 5: kernel call sites outside tests must consume `Completeness`.
+fn check_consume_completeness(path: &Path, findings: &mut Vec<Finding>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break; // Test modules sit at the bottom of each file.
+        }
+        // The marker may trail the call or sit on the line above it (the
+        // latter survives rustfmt re-wrapping multi-line calls).
+        if allowed(line, "consume-completeness")
+            || (i > 0 && allowed(lines[i - 1], "consume-completeness"))
+        {
+            continue;
+        }
+        if let Some(needle) = swallowed_kernel_call(code_part(line)) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "consume-completeness",
+                message: format!(
+                    "`{}...)` drops the Completeness tag; use the _tagged/audited \
+                     variant or annotate `// xtask-allow: consume-completeness`",
+                    needle
+                ),
+            });
+        }
+    }
+}
+
+/// Find a bare call to a swallowing kernel wrapper on this line.
+///
+/// A match is a finding only when it is a free-function call: a needle
+/// preceded by an identifier character is a different function (for
+/// example `contains_tagged(` never matches, `brute_force_contains(`
+/// is some local helper), a needle preceded by `.` is a method call
+/// (`Vec::contains`, `RangeInclusive::contains`), and a needle preceded
+/// by `fn` is the definition of an unrelated same-named item.
+fn swallowed_kernel_call(code: &str) -> Option<&'static str> {
+    for needle in SWALLOWING_KERNELS {
+        let mut k = 0;
+        while let Some(off) = code[k..].find(needle) {
+            let at = k + off;
+            let before = code[..at].chars().next_back();
+            let part_of_ident = before.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            let method_call = before == Some('.');
+            let definition = code[..at].trim_end().ends_with("fn");
+            if !part_of_ident && !method_call && !definition {
+                return Some(needle);
+            }
+            k = at + needle.len();
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +470,41 @@ mod tests {
         assert!(!is_float_literal("0"));
         assert!(!is_float_literal("x0"));
         assert!(!is_float_literal("v.len"));
+    }
+
+    #[test]
+    fn swallowed_kernel_call_detection() {
+        // Free-function calls to swallowing wrappers are findings.
+        assert_eq!(
+            swallowed_kernel_call("if contains(&g, &p) {"),
+            Some("contains(")
+        );
+        assert_eq!(
+            swallowed_kernel_call("let ok = iso::are_isomorphic(a, b);"),
+            Some("are_isomorphic(")
+        );
+        assert_eq!(
+            swallowed_kernel_call(".filter(|g| contains(g, p))"),
+            Some("contains(")
+        );
+        // `_tagged` variants and other suffixed names consume the tag.
+        assert_eq!(swallowed_kernel_call("contains_tagged(&g, &p, &b)"), None);
+        assert_eq!(
+            swallowed_kernel_call("mccs_similarity_tagged(a, b, &s)"),
+            None
+        );
+        // Different functions sharing the suffix are not kernels.
+        assert_eq!(swallowed_kernel_call("brute_force_contains(&g, &p)"), None);
+        // Method calls are collection/range membership, not kernels.
+        assert_eq!(swallowed_kernel_call("set.contains(&x)"), None);
+        // Definitions of unrelated same-named items are not call sites.
+        assert_eq!(
+            swallowed_kernel_call("pub fn contains(&self, id: u32) -> bool {"),
+            None
+        );
+        assert_eq!(swallowed_kernel_call("(3..=8).contains(&n)"), None);
+        // Field access has no call paren.
+        assert_eq!(swallowed_kernel_call("out.embeddings > 0"), None);
     }
 
     #[test]

@@ -17,9 +17,10 @@ use catapult_core::{run_catapult, CatapultConfig, PatternBudget};
 use catapult_datasets::{aids_profile, emol_profile, generate, pubchem_profile, random_queries};
 use catapult_eval::WorkloadEvaluation;
 use catapult_graph::fmt::{parse_graphs, write_graphs};
-use catapult_graph::{Graph, LabelInterner};
+use catapult_graph::{Deadline, Graph, LabelInterner, SearchBudget};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
 /// CLI errors.
 #[derive(Debug)]
@@ -100,7 +101,8 @@ impl Flags {
 /// Top-level usage text.
 pub const USAGE: &str = "usage: catapult <generate|select|evaluate|stats> [--flags]\n\
   generate --profile aids|pubchem|emol --count N [--seed S] [--out FILE]\n\
-  select   --db FILE [--gamma N] [--min-size A] [--max-size B] [--walks W] [--seed S] [--out FILE]\n\
+  select   --db FILE [--gamma N] [--min-size A] [--max-size B] [--walks W] [--seed S]\n\
+           [--search-budget NODES] [--deadline-ms MS] [--out FILE]\n\
   evaluate --db FILE --patterns FILE [--queries N] [--min-edges A] [--max-edges B] [--seed S]\n\
   stats    --db FILE";
 
@@ -143,21 +145,37 @@ pub fn cmd_select(flags: &Flags) -> Result<String, CliError> {
     let max_size: usize = flags.num("max-size", 12)?;
     let budget = PatternBudget::new(min_size, max_size, gamma)
         .map_err(|e| CliError::Usage(e.to_string()))?;
+    // Execution budget: `--search-budget` caps the nodes each NP-hard
+    // kernel may expand; `--deadline-ms` bounds the whole run's wall
+    // clock. Either alone is fine; unset means per-stage defaults.
+    let mut search = match flags.num::<u64>("search-budget", u64::MAX)? {
+        u64::MAX => SearchBudget::unbounded(),
+        cap => SearchBudget::nodes(cap),
+    };
+    if let Some(ms) = flags.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--deadline-ms got invalid value '{ms}'")))?;
+        search = search.with_deadline(Deadline::from_now(Duration::from_millis(ms)));
+    }
     let cfg = CatapultConfig {
         budget,
         walks: flags.num("walks", 100)?,
         seed: flags.num("seed", 0xCA7A)?,
+        search,
         ..Default::default()
     };
     let result = run_catapult(&db, &cfg);
     let patterns = result.patterns();
     let text = write_graphs(&patterns, &interner);
+    let report = result.report();
     let summary = format!(
-        "% {} patterns selected from {} graphs (clustering {:.2}s, PGT {:.2}s)\n",
+        "% {} patterns selected from {} graphs (clustering {:.2}s, PGT {:.2}s)\n% search: {}\n",
         patterns.len(),
         db.len(),
         result.clustering_time().as_secs_f64(),
-        result.pattern_generation_time().as_secs_f64()
+        result.pattern_generation_time().as_secs_f64(),
+        report.summary().replace('\n', "\n% "),
     );
     emit(flags.get("out"), &format!("{summary}{text}"))
 }
@@ -354,6 +372,84 @@ mod tests {
             run(&args(&["stats", "--db", "/nonexistent/file"])),
             Err(CliError::Io(_))
         ));
+    }
+
+    #[test]
+    fn select_reports_search_completeness() {
+        let db_path = tmp("db_budget.txt");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "20",
+            "--seed",
+            "8",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        // Unconstrained: the report must say the run was exact.
+        let out = run(&args(&[
+            "select",
+            "--db",
+            &db_path,
+            "--gamma",
+            "3",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+            "--walks",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("% search: all"), "missing summary: {out}");
+        assert!(out.contains("exact"), "missing exactness: {out}");
+        // A zero-millisecond deadline degrades but still produces output.
+        let out = run(&args(&[
+            "select",
+            "--db",
+            &db_path,
+            "--gamma",
+            "3",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+            "--walks",
+            "10",
+            "--deadline-ms",
+            "0",
+            "--search-budget",
+            "50000",
+        ]))
+        .unwrap();
+        assert!(out.contains("% search:"), "missing summary: {out}");
+        assert!(out.contains("degraded"), "deadline 0 must degrade: {out}");
+    }
+
+    #[test]
+    fn select_rejects_bad_deadline() {
+        let db_path = tmp("db_bad_deadline.txt");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "5",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        let r = run(&args(&[
+            "select",
+            "--db",
+            &db_path,
+            "--deadline-ms",
+            "soon",
+        ]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
     }
 
     #[test]

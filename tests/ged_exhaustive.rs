@@ -71,7 +71,7 @@ fn search_matches_brute_force_on_tiny_graphs() {
         let a = random_graph(&mut rng, 4, 2);
         let b = random_graph(&mut rng, 4, 2);
         let exact = ged_with_budget(&a, &b, 5_000_000);
-        assert!(exact.exact, "trial {trial} exhausted budget");
+        assert!(exact.is_exact(), "trial {trial} exhausted budget");
         let brute = brute_force_ged(&a, &b);
         assert_eq!(
             exact.distance, brute,

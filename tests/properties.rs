@@ -12,7 +12,7 @@ use catapult::graph::layout::circular_crossings;
 use catapult::graph::mcs::{mccs_similarity, mcs, McsConfig};
 use catapult::graph::metrics::cognitive_load;
 use catapult::graph::random::{random_connected_subgraph, weighted_choice};
-use catapult::graph::{Graph, Label, VertexId};
+use catapult::graph::{Graph, Label, SearchBudget, VertexId};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -117,7 +117,7 @@ proptest! {
         let lb = ged_lower_bound(&a, &b);
         let ub = ged_upper_bound(&a, &b);
         let d = ged_with_budget(&a, &b, 500_000);
-        prop_assume!(d.exact);
+        prop_assume!(d.is_exact());
         prop_assert!(lb <= d.distance);
         prop_assert!(d.distance <= ub);
         let self_d = ged_with_budget(&a, &a, 500_000);
@@ -133,13 +133,13 @@ proptest! {
         let ab = ged_with_budget(&a, &b, 500_000);
         let bc = ged_with_budget(&b, &c, 500_000);
         let ac = ged_with_budget(&a, &c, 500_000);
-        prop_assume!(ab.exact && bc.exact && ac.exact);
+        prop_assume!(ab.is_exact() && bc.is_exact() && ac.is_exact());
         prop_assert!(ac.distance <= ab.distance + bc.distance);
     }
 
     #[test]
     fn mccs_result_is_connected_common_subgraph(a in graph_strategy(6, 2), b in graph_strategy(6, 2)) {
-        let r = mcs(&a, &b, McsConfig { connected: true, node_budget: 100_000 });
+        let r = mcs(&a, &b, McsConfig { connected: true, budget: SearchBudget::nodes(100_000) });
         // Build the common subgraph from the pairs and check connectivity.
         if !r.pairs.is_empty() {
             let mut sub = Graph::new();

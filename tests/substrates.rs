@@ -11,7 +11,7 @@ use catapult::graph::components::is_tree;
 use catapult::graph::ged::{ged_lower_bound, ged_upper_bound, ged_with_budget};
 use catapult::graph::iso::{are_isomorphic, contains, embeddings};
 use catapult::graph::mcs::{mcs, McsConfig};
-use catapult::graph::{Graph, Label, VertexId};
+use catapult::graph::{Graph, Label, SearchBudget, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -129,7 +129,7 @@ fn ged_bound_sandwich_on_random_pairs() {
         let lb = ged_lower_bound(&a, &b);
         let ub = ged_upper_bound(&a, &b);
         let exact = ged_with_budget(&a, &b, 2_000_000);
-        assert!(exact.exact, "trial {trial} exceeded budget");
+        assert!(exact.is_exact(), "trial {trial} exceeded budget");
         assert!(
             lb <= exact.distance,
             "trial {trial}: lb {lb} > {}",
@@ -153,7 +153,7 @@ fn ged_zero_iff_isomorphic() {
         let a = random_graph(&mut rng, 5, 2);
         let b = random_graph(&mut rng, 5, 2);
         let d = ged_with_budget(&a, &b, 2_000_000);
-        assert!(d.exact);
+        assert!(d.is_exact());
         assert_eq!(d.distance == 0, are_isomorphic(&a, &b));
     }
 }
@@ -179,7 +179,7 @@ fn mcs_of_contained_pattern_is_the_pattern() {
         let sub = random_graph(&mut rng, 4, 2);
         if contains(&host, &sub) {
             let m = mcs(&sub, &host, McsConfig::default());
-            assert!(m.exact);
+            assert!(m.is_exact());
             assert_eq!(m.edges, sub.edge_count());
         }
     }
@@ -216,7 +216,7 @@ fn molecule_generator_feeds_all_substrates() {
             b,
             McsConfig {
                 connected: true,
-                node_budget: 5_000,
+                budget: SearchBudget::nodes(5_000),
             },
         );
         assert!(m.edges <= a.edge_count().min(b.edge_count()));
