@@ -1,0 +1,35 @@
+//! Thread-scaling benchmark: `cargo run --release -p catapult-bench --bin
+//! bench_parallel [-- <out.json> [scale] [reps]]`.
+//!
+//! Times the mining and fine-clustering fan-outs with the worker pool
+//! pinned to 1 vs auto-sized, and writes the comparison to
+//! `BENCH_parallel.json` (or the given path). See
+//! [`catapult_bench::parallel`] for what the numbers mean on a
+//! single-core host.
+
+use catapult_bench::parallel;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_parallel.json".into());
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let benches = parallel::run(scale, reps);
+    for b in &benches {
+        println!(
+            "{:<16} seq {:>8.3}s  auto({} threads) {:>8.3}s  speedup {:.2}x",
+            b.workload,
+            b.sequential.as_secs_f64(),
+            b.auto_threads,
+            b.auto.as_secs_f64(),
+            b.speedup(),
+        );
+    }
+    let json = parallel::to_json(&benches);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

@@ -42,6 +42,9 @@ pub fn compare(
     queries: &[Graph],
 ) -> GuiComparison {
     let _ = db;
+    // Parallel audit: both formulations are pure functions of shared `&`
+    // state; ordered collection keeps per-query rows aligned with
+    // `queries` across thread counts.
     let per_query: Vec<(usize, usize, bool, bool)> = queries
         .par_iter()
         .map(|q| {

@@ -1,0 +1,142 @@
+//! Wall-clock comparison of the parallel fan-outs: one worker vs auto.
+//!
+//! Times the two heaviest parallelized stages — frequent-subtree mining
+//! (support counting fans over the transaction list) and fine clustering
+//! (MCS/MCCS similarity fans over cluster members) — once with the pool
+//! pinned to a single worker and once auto-sized. Results land in
+//! `BENCH_parallel.json`.
+//!
+//! The speedup column is only meaningful on a multi-core host: with
+//! `host_threads: 1` the auto pool degenerates to the sequential path
+//! and the ratio hovers around 1.0 (scheduling overhead included) — the
+//! JSON records the host's parallelism precisely so readers can tell
+//! which regime a number came from.
+
+use catapult_cluster::fine::{fine_cluster_audited, FineConfig};
+use catapult_datasets::{aids_profile, generate};
+use catapult_graph::Graph;
+use catapult_mining::subtree::mine_subtrees;
+use catapult_mining::SubtreeMinerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One workload measured at both pool sizes.
+#[derive(Clone, Debug)]
+pub struct ParallelBench {
+    /// Workload name ("mining" or "fine-clustering").
+    pub workload: &'static str,
+    /// Best-of-N wall clock with the pool pinned to one worker.
+    pub sequential: Duration,
+    /// Best-of-N wall clock with the pool auto-sized.
+    pub auto: Duration,
+    /// Worker count the auto pool resolved to.
+    pub auto_threads: usize,
+}
+
+impl ParallelBench {
+    /// `sequential / auto`: >1 means the parallel run was faster.
+    pub fn speedup(&self) -> f64 {
+        let auto = self.auto.as_secs_f64();
+        if auto == 0.0 {
+            return 1.0;
+        }
+        self.sequential.as_secs_f64() / auto
+    }
+}
+
+/// Best-of-`reps` wall clock of `f` under a pool of `threads` workers.
+fn time_with_threads(threads: usize, reps: usize, mut f: impl FnMut()) -> Duration {
+    rayon::set_threads(threads);
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    rayon::set_threads(0);
+    best
+}
+
+/// Run both workloads; `scale` multiplies the repository size (1 = the
+/// default 60-molecule AIDS-profile repository).
+pub fn run(scale: usize, reps: usize) -> Vec<ParallelBench> {
+    let db = generate(&aids_profile(), 60 * scale.max(1), 3);
+    let auto_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let miner = SubtreeMinerConfig {
+        min_support: 0.1,
+        max_edges: 4,
+        ..Default::default()
+    };
+    let mine = |graphs: &[Graph]| {
+        let out = mine_subtrees(graphs, &miner, &catapult_graph::SearchBudget::unbounded());
+        assert!(!out.subtrees.is_empty(), "mining workload degenerated");
+    };
+    let mining = ParallelBench {
+        workload: "mining",
+        sequential: time_with_threads(1, reps, || mine(&db.graphs)),
+        auto: time_with_threads(0, reps, || mine(&db.graphs)),
+        auto_threads,
+    };
+
+    let fine_cfg = FineConfig {
+        max_cluster_size: 5,
+        ..Default::default()
+    };
+    let all: Vec<u32> = (0..db.graphs.len() as u32).collect();
+    let cluster = || {
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = fine_cluster_audited(&db.graphs, vec![all.clone()], &fine_cfg, &mut rng);
+        assert!(out.clusters.len() > 1, "clustering workload degenerated");
+    };
+    let clustering = ParallelBench {
+        workload: "fine-clustering",
+        sequential: time_with_threads(1, reps, cluster),
+        auto: time_with_threads(0, reps, cluster),
+        auto_threads,
+    };
+
+    vec![mining, clustering]
+}
+
+/// Hand-rolled JSON (the workspace has no serde): stable key order, one
+/// entry per workload.
+pub fn to_json(benches: &[ParallelBench]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_threads\": {host},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"secs_sequential\": {:.6}, \"secs_auto\": {:.6}, \"auto_threads\": {}, \"speedup\": {:.3}}}{}\n",
+            b.workload,
+            b.sequential.as_secs_f64(),
+            b.auto.as_secs_f64(),
+            b.auto_threads,
+            b.speedup(),
+            if i + 1 == benches.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_serializes() {
+        // Tiny scale: correctness of the harness, not the numbers.
+        let benches = run(1, 1);
+        assert_eq!(benches.len(), 2);
+        let json = to_json(&benches);
+        assert!(json.contains("\"host_threads\""));
+        assert!(json.contains("\"mining\""));
+        assert!(json.contains("\"fine-clustering\""));
+        assert!(json.contains("\"speedup\""));
+        // The pool must be back to auto after timing.
+        assert!(rayon::current_threads() >= 1);
+    }
+}

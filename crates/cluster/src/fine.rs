@@ -115,7 +115,11 @@ fn split_cluster<R: Rng>(
     debug_assert!(cluster.len() >= 2);
     let seed1 = cluster[rng.gen_range(0..cluster.len())];
     let rest: Vec<u32> = cluster.iter().copied().filter(|&g| g != seed1).collect();
-    // ω(G, Seed1) for every remaining graph.
+    // ω(G, Seed1) for every remaining graph. Parallel audit: `rng` is NOT
+    // captured (seeds were drawn before the fan-out), the closure reads
+    // only shared state plus the commutative `Tally`, and ordered
+    // collection keeps `omega1[i]` aligned with `rest[i]` — identical
+    // across thread counts.
     let omega1: Vec<f64> = rest
         .par_iter()
         .map(|&g| similarity(&db[g as usize], &db[seed1 as usize], cfg, tally))

@@ -65,6 +65,33 @@ impl PipelineReport {
         out
     }
 
+    /// Stage-wise sum of two reports (each stage merged with
+    /// [`TallyCounts::merge`]).
+    ///
+    /// Explicitly **commutative and associative**: intermediate per-chunk
+    /// or per-thread reports may be folded in *any* order — including the
+    /// nondeterministic completion order of parallel workers — and the
+    /// total is identical. Callers must never rely on the iteration order
+    /// of the intermediate vectors they fold over; [`merge_all`] is the
+    /// order-oblivious fold.
+    ///
+    /// [`merge_all`]: PipelineReport::merge_all
+    pub fn merge(self, other: PipelineReport) -> PipelineReport {
+        PipelineReport {
+            mining: self.mining.merge(other.mining),
+            clustering: self.clustering.merge(other.clustering),
+            scoring: self.scoring.merge(other.scoring),
+        }
+    }
+
+    /// Fold any number of partial reports into one. The result is
+    /// independent of the order in which `parts` yields them.
+    pub fn merge_all<I: IntoIterator<Item = PipelineReport>>(parts: I) -> PipelineReport {
+        parts
+            .into_iter()
+            .fold(PipelineReport::new(), PipelineReport::merge)
+    }
+
     /// `(stage name, counts)` pairs in pipeline order.
     pub fn stages(&self) -> [(&'static str, TallyCounts); 3] {
         [
@@ -150,6 +177,65 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("clustering"), "summary must name the stage: {s}");
         assert!(s.contains("budget-exhausted"), "summary must say why: {s}");
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_under_shuffled_orders() {
+        // Partial reports as produced by per-thread accumulators. The
+        // fold total must not depend on the iteration order of the
+        // intermediate vector (worker completion order is arbitrary).
+        let parts = [
+            PipelineReport {
+                mining: counts(3, 1),
+                clustering: counts(0, 0),
+                scoring: counts(2, 0),
+            },
+            PipelineReport {
+                mining: counts(1, 0),
+                clustering: counts(4, 2),
+                scoring: counts(0, 1),
+            },
+            PipelineReport {
+                mining: counts(0, 2),
+                clustering: counts(1, 0),
+                scoring: counts(5, 0),
+            },
+            PipelineReport {
+                mining: counts(2, 0),
+                clustering: counts(0, 1),
+                scoring: counts(1, 3),
+            },
+        ];
+        let reference = PipelineReport::merge_all(parts);
+        // Every permutation of four parts (deterministically enumerated —
+        // no RNG needed for 4! = 24 orders).
+        let mut idx = [0usize, 1, 2, 3];
+        let mut orders = Vec::new();
+        permutations(&mut idx, 0, &mut orders);
+        assert_eq!(orders.len(), 24);
+        for order in orders {
+            let shuffled = PipelineReport::merge_all(order.iter().map(|&i| parts[i]));
+            assert_eq!(shuffled, reference, "order {order:?}");
+        }
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let left = parts[0].merge(parts[1]).merge(parts[2]);
+        let right = parts[0].merge(parts[1].merge(parts[2]));
+        assert_eq!(left, right);
+        // Identity: the empty report is neutral on both sides.
+        assert_eq!(PipelineReport::new().merge(parts[0]), parts[0]);
+        assert_eq!(parts[0].merge(PipelineReport::new()), parts[0]);
+    }
+
+    fn permutations(idx: &mut [usize; 4], k: usize, out: &mut Vec<[usize; 4]>) {
+        if k == idx.len() {
+            out.push(*idx);
+            return;
+        }
+        for i in k..idx.len() {
+            idx.swap(k, i);
+            permutations(idx, k + 1, out);
+            idx.swap(k, i);
+        }
     }
 
     #[test]

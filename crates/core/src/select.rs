@@ -169,7 +169,10 @@ pub fn find_canned_patterns<R: Rng>(
         if candidates.is_empty() {
             break;
         }
-        // Score in parallel (pure function of immutable state).
+        // Score in parallel (pure function of immutable state; `scoring`
+        // is a commutative `Tally`). `enumerate` pairs each score with its
+        // *source* index and collection is ordered, so the greedy argmax
+        // below sees the same list for every thread count.
         let scored: Vec<(f64, usize)> = candidates
             .par_iter()
             .enumerate()

@@ -41,6 +41,9 @@ pub struct WorkloadEvaluation {
 impl WorkloadEvaluation {
     /// Evaluate `patterns` over `queries` with the §6.1 step model.
     pub fn evaluate(patterns: &[Graph], queries: &[Graph]) -> Self {
+        // Parallel audit: `formulate` is a pure function of its arguments
+        // and the shim collects in input order, so `formulations[i]` always
+        // belongs to `queries[i]` regardless of thread count.
         let formulations = queries
             .par_iter()
             .map(|q| formulate(q, patterns, DEFAULT_EMBEDDING_CAP))

@@ -348,9 +348,17 @@ impl BudgetMeter {
 
 /// Thread-safe accumulator of [`Completeness`] tags across kernel calls.
 ///
-/// Kernels run from `rayon` parallel loops throughout the pipeline, so the
-/// counters are atomic; share a `Tally` by reference and snapshot it with
-/// [`Tally::counts`] when the stage finishes.
+/// Kernels run from `rayon` parallel loops throughout the pipeline (the
+/// shim executor really does fan out over `std::thread::scope` workers),
+/// so the counters are atomic; share a `Tally` by reference and snapshot
+/// it with [`Tally::counts`] when the stage finishes.
+///
+/// Recording is **commutative and associative**: each tag is an
+/// independent `fetch_add`, so the snapshot is identical no matter how
+/// worker threads interleave their `record` calls — this is what keeps
+/// [`TallyCounts`] byte-identical across thread counts. Per-thread
+/// [`TallyCounts`] accumulators folded with [`TallyCounts::merge`] give
+/// the same result for every fold order.
 #[derive(Debug, Default)]
 pub struct Tally {
     exact: AtomicU64,
@@ -430,6 +438,10 @@ impl TallyCounts {
     }
 
     /// Element-wise sum of two snapshots.
+    ///
+    /// Commutative and associative (plain per-field addition), so
+    /// folding per-thread snapshots produces the same totals in any
+    /// merge order — parallel stages rely on this.
     pub fn merge(self, other: TallyCounts) -> TallyCounts {
         TallyCounts {
             exact: self.exact + other.exact,
@@ -687,6 +699,44 @@ mod tests {
         let m = c.merge(d);
         assert_eq!(m.total(), 4);
         assert_eq!(m.worst(), Completeness::Cancelled);
+    }
+
+    #[test]
+    fn budget_plumbing_is_thread_safe() {
+        // The parallel executor shares these by reference across scoped
+        // worker threads; a regression away from Send + Sync (say, an
+        // Rc-based token) must fail to compile — asserted here so the
+        // error points at the contract, not at a distant call site.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchBudget>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<Deadline>();
+        assert_send_sync::<Tally>();
+        assert_send_sync::<TallyCounts>();
+        assert_send_sync::<Completeness>();
+    }
+
+    #[test]
+    fn tally_record_is_commutative_across_interleavings() {
+        // Record the same multiset of tags in two different orders; the
+        // snapshots must match (this is what makes the shared Tally safe
+        // under arbitrary worker interleaving).
+        let forward = Tally::new();
+        let tags = [
+            Completeness::Exact,
+            Completeness::BudgetExhausted,
+            Completeness::Exact,
+            Completeness::Cancelled,
+            Completeness::DeadlineExceeded,
+        ];
+        for &t in &tags {
+            forward.record(t);
+        }
+        let backward = Tally::new();
+        for &t in tags.iter().rev() {
+            backward.record(t);
+        }
+        assert_eq!(forward.counts(), backward.counts());
     }
 
     #[test]

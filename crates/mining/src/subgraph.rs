@@ -111,6 +111,9 @@ fn count_support(
     probe: &SearchBudget,
     tally: &Tally,
 ) -> Vec<u32> {
+    // Parallel audit: read-only captures + commutative `Tally` recording;
+    // the shim's ordered collection keeps the transaction list identical
+    // across thread counts.
     candidates
         .par_iter()
         .copied()

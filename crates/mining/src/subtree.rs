@@ -100,6 +100,10 @@ fn count_support(
     probe: &SearchBudget,
     tally: &Tally,
 ) -> Vec<u32> {
+    // Parallel audit: the closure only reads shared `&` state and records
+    // into `Tally` (commutative atomic counters), and the shim collects in
+    // input order — so the returned transaction list is byte-identical for
+    // every thread count.
     candidates
         .par_iter()
         .copied()

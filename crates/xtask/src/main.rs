@@ -23,6 +23,12 @@
 //!    would pass silently. Use the `_tagged`/audited variants, or append
 //!    `// xtask-allow: consume-completeness` after review (e.g. when a
 //!    tripped probe only weakens a heuristic, never correctness).
+//! 6. **No raw thread spawns** — `std::thread::spawn` is forbidden
+//!    everywhere except the rayon shim (`shims/rayon`), which owns the
+//!    execution model: pool sizing via `CATAPULT_THREADS`, ordered
+//!    collection, and panic propagation. A stray spawn would bypass all
+//!    three. Use `par_iter`/`join` from the shim instead, or annotate
+//!    `// xtask-allow: no-raw-spawn` after review.
 //!
 //! Exit status is non-zero when any rule fires; CI runs this next to
 //! `cargo clippy`.
@@ -123,6 +129,11 @@ fn lint() -> ExitCode {
     for dir in COMPLETENESS_COVERED_DIRS {
         for file in rust_files(&root.join(dir)) {
             check_consume_completeness(&file, &mut findings);
+        }
+    }
+    for dir in spawn_covered_dirs(&root) {
+        for file in rust_files(&dir) {
+            check_no_raw_spawn(&file, &mut findings);
         }
     }
 
@@ -384,6 +395,54 @@ fn check_lint_headers(root: &Path, findings: &mut Vec<Finding>) {
                 line: 1,
                 rule: "lint-header",
                 message: format!("crate root is missing the marker line `{LINT_HEADER}`"),
+            });
+        }
+    }
+}
+
+/// Dirs rule 6 scans: every source dir in the workspace (`src/bin` and
+/// `crates/*/src/bin` included) except the rayon shim, which is the one
+/// place allowed to own threads.
+fn spawn_covered_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src"), root.join("src/bin"), root.join("tests")];
+    for group in ["crates", "shims"] {
+        if let Ok(entries) = std::fs::read_dir(root.join(group)) {
+            for entry in entries.flatten() {
+                if group == "shims" && entry.file_name() == "rayon" {
+                    continue;
+                }
+                let src = entry.path().join("src");
+                if src.is_dir() {
+                    dirs.push(src.join("bin"));
+                    dirs.push(src);
+                }
+            }
+        }
+    }
+    dirs.sort();
+    dirs
+}
+
+/// Rule 6: no `std::thread::spawn` outside the rayon shim.
+fn check_no_raw_spawn(path: &Path, findings: &mut Vec<Finding>) {
+    // Assembled at compile time so this scanner never flags itself.
+    const SPAWN_NEEDLE: &str = concat!("thread::", "spawn(");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    for (i, line) in text.lines().enumerate() {
+        if allowed(line, "no-raw-spawn") {
+            continue;
+        }
+        if code_part(line).contains(SPAWN_NEEDLE) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "no-raw-spawn",
+                message: "`thread::spawn` outside shims/rayon bypasses the pool size, \
+                          ordered collection, and panic propagation; use par_iter/join \
+                          or annotate `// xtask-allow: no-raw-spawn`"
+                    .into(),
             });
         }
     }

@@ -1,63 +1,484 @@
-//! Offline sequential stand-in for the subset of `rayon` this workspace
-//! uses.
+//! Offline parallel stand-in for the subset of `rayon` this workspace
+//! uses, built on `std::thread::scope`.
 //!
 //! The build container cannot fetch crates, so the real `rayon` is
-//! unavailable. All call sites use `par_iter()` / `into_par_iter()` as
-//! drop-in parallel versions of ordinary iterator chains; this shim makes
-//! those methods return the *sequential* `std` iterators, preserving
-//! semantics (and determinism) while giving up parallel speedup. Swapping
-//! the real `rayon` back in later is a one-line change in the root
-//! `Cargo.toml`.
+//! unavailable. Earlier this shim degraded every `par_iter()` to the
+//! sequential `std` iterator; it is now a real work-chunking executor:
+//!
+//! * **Pool size** — lazily resolved once from `CATAPULT_THREADS`
+//!   (default: `std::thread::available_parallelism()`), overridable at
+//!   runtime with [`set_threads`] (`0` = auto, `1` = exact legacy
+//!   sequential behavior). There is no persistent pool; each fan-out
+//!   spawns scoped threads that are always joined before the call
+//!   returns, so no thread ever outlives its borrowed data (and none can
+//!   leak).
+//! * **Contiguous index chunking** — the materialized input is split
+//!   into at most `pool_size` contiguous chunks, one scoped thread per
+//!   chunk.
+//! * **Order-preserving collection** — every consumer reassembles chunk
+//!   results in input-index order, so `map → collect` (and `filter`,
+//!   `sum`, `count`, …) return byte-identical results regardless of
+//!   thread interleaving. Side effects (e.g. `Tally::record`) may occur
+//!   in any order, which is why shared accumulators must be commutative.
+//! * **Panic propagation** — a panicking worker closure does not poison
+//!   anything: the panic payload is re-raised on the calling thread
+//!   after the remaining scoped threads are joined.
+//!
+//! The thread-safety contract this imposes on call sites: item types
+//! must be `Send`, closures `Sync` (they are shared by reference across
+//! workers), and any shared mutable state must be synchronized *and*
+//! commutative (atomics such as `Tally`, `CancelToken`).
+//!
+//! Swapping the real `rayon` back in later remains a one-line change in
+//! the root `Cargo.toml` (plus wiring `--threads` to
+//! `ThreadPoolBuilder::num_threads` instead of [`set_threads`]); the
+//! iterator surface below is call-compatible with `rayon::prelude`.
 // Lint policy: see [workspace.lints] in the root Cargo.toml.
 
-/// Run two closures (sequentially here; in real rayon, potentially in
-/// parallel) and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Sentinel meaning "no runtime override installed".
+const NO_OVERRIDE: usize = usize::MAX;
+
+/// Runtime override installed by [`set_threads`] (`NO_OVERRIDE` = unset).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(NO_OVERRIDE);
+
+/// `CATAPULT_THREADS`, read once on first use (`0` = auto).
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Override the worker count for every subsequent parallel call in this
+/// process: `0` restores auto (`available_parallelism`), `1` forces the
+/// exact legacy sequential path, `n > 1` uses `n` workers.
+///
+/// Takes precedence over `CATAPULT_THREADS`. Process-global: callers
+/// that flip it around a region (tests, benchmarks) must serialize with
+/// other parallel work.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
 }
 
-/// Drop-in traits mirroring `rayon::prelude`.
+/// The number of worker threads a parallel call issued right now would
+/// use (always ≥ 1): the [`set_threads`] override if installed, else
+/// `CATAPULT_THREADS`, else `available_parallelism()`.
+pub fn current_threads() -> usize {
+    let configured = match OVERRIDE.load(Ordering::Relaxed) {
+        NO_OVERRIDE => *ENV_THREADS.get_or_init(|| {
+            std::env::var("CATAPULT_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        }),
+        n => n,
+    };
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Run the composed pipeline `f` over `items` and return the surviving
+/// outputs **in input order**.
+///
+/// `f` receives `(source_index, item)` and returns `None` for items a
+/// `filter` stage dropped. With one worker (or ≤ 1 item) this is a plain
+/// sequential loop — the exact legacy shim behavior. Otherwise the items
+/// are split into contiguous chunks, one scoped thread each; chunk
+/// results are concatenated in chunk order, which equals input order.
+fn run_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> Option<U> + Sync,
+{
+    let workers = current_threads().min(items.len());
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let len = items.len();
+    let base = len / workers;
+    let rem = len % workers;
+    let mut source = items.into_iter();
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < rem);
+        chunks.push((start, source.by_ref().take(size).collect()));
+        start += size;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(offset, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .filter_map(|(j, x)| f(offset + j, x))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                // A worker closure panicked: re-raise its payload on the
+                // caller. `scope` has already joined (or will join) the
+                // remaining workers, so nothing leaks.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `a` runs on the calling thread; `b` runs on a scoped worker when the
+/// pool size allows, sequentially otherwise. A panic in either closure
+/// propagates to the caller after both have finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Drop-in traits and iterator types mirroring `rayon::prelude`.
 pub mod prelude {
-    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// Iterator type produced by [`Self::into_par_iter`].
-        type Iter: Iterator<Item = Self::Item>;
-        /// Item type.
-        type Item;
-        /// Consume `self` into a (sequential) iterator.
-        fn into_par_iter(self) -> Self::Iter;
+    use super::run_ordered;
+    use std::fmt;
+
+    /// One composed per-item stage pipeline: maps a source item (plus its
+    /// source index) to `Some(output)` or `None` (dropped by a filter).
+    ///
+    /// Implementations are shared by reference across worker threads,
+    /// hence the `Sync` supertrait; captured state must be `Sync` too.
+    pub trait ParPipe<T>: Sync {
+        /// Final output type of the pipeline.
+        type Out: Send;
+        /// Apply every stage to one item. `index` is the item's position
+        /// in the *source* (stable across thread counts).
+        fn apply(&self, index: usize, item: T) -> Option<Self::Out>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    /// The empty pipeline: passes source items through unchanged.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Identity;
+
+    impl<T: Send> ParPipe<T> for Identity {
+        type Out = T;
+        fn apply(&self, _index: usize, item: T) -> Option<T> {
+            Some(item)
         }
     }
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    /// `map` stage.
+    pub struct MapPipe<P, G> {
+        inner: P,
+        g: G,
+    }
+
+    impl<P: fmt::Debug, G> fmt::Debug for MapPipe<P, G> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("MapPipe")
+                .field("inner", &self.inner)
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl<T, P, U, G> ParPipe<T> for MapPipe<P, G>
+    where
+        P: ParPipe<T>,
+        U: Send,
+        G: Fn(P::Out) -> U + Sync,
+    {
+        type Out = U;
+        fn apply(&self, index: usize, item: T) -> Option<U> {
+            self.inner.apply(index, item).map(&self.g)
+        }
+    }
+
+    /// `filter` stage.
+    pub struct FilterPipe<P, G> {
+        inner: P,
+        pred: G,
+    }
+
+    impl<P: fmt::Debug, G> fmt::Debug for FilterPipe<P, G> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("FilterPipe")
+                .field("inner", &self.inner)
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl<T, P, G> ParPipe<T> for FilterPipe<P, G>
+    where
+        P: ParPipe<T>,
+        G: Fn(&P::Out) -> bool + Sync,
+    {
+        type Out = P::Out;
+        fn apply(&self, index: usize, item: T) -> Option<P::Out> {
+            self.inner.apply(index, item).filter(|x| (self.pred)(x))
+        }
+    }
+
+    /// `copied` stage (items are references to `Copy` values).
+    #[derive(Clone, Copy, Debug)]
+    pub struct CopiedPipe<P> {
+        inner: P,
+    }
+
+    impl<'a, T, P, U> ParPipe<T> for CopiedPipe<P>
+    where
+        P: ParPipe<T, Out = &'a U>,
+        U: Copy + Send + Sync + 'a,
+    {
+        type Out = U;
+        fn apply(&self, index: usize, item: T) -> Option<U> {
+            self.inner.apply(index, item).copied()
+        }
+    }
+
+    /// `cloned` stage (items are references to `Clone` values).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ClonedPipe<P> {
+        inner: P,
+    }
+
+    impl<'a, T, P, U> ParPipe<T> for ClonedPipe<P>
+    where
+        P: ParPipe<T, Out = &'a U>,
+        U: Clone + Send + Sync + 'a,
+    {
+        type Out = U;
+        fn apply(&self, index: usize, item: T) -> Option<U> {
+            self.inner.apply(index, item).cloned()
+        }
+    }
+
+    /// `enumerate` stage: pairs each output with its **source** index.
+    ///
+    /// Matches real rayon for indexed pipelines (`par_iter().enumerate()`,
+    /// possibly after `map`); like rayon — which simply does not offer
+    /// `enumerate` after `filter` — do not enumerate filtered pipelines.
+    #[derive(Clone, Copy, Debug)]
+    pub struct EnumeratePipe<P> {
+        inner: P,
+    }
+
+    impl<T, P> ParPipe<T> for EnumeratePipe<P>
+    where
+        P: ParPipe<T>,
+    {
+        type Out = (usize, P::Out);
+        fn apply(&self, index: usize, item: T) -> Option<(usize, P::Out)> {
+            self.inner.apply(index, item).map(|x| (index, x))
+        }
+    }
+
+    /// A parallel iterator: a materialized source plus a composed
+    /// per-item stage pipeline. Consumers ([`ParIter::collect`],
+    /// [`ParIter::count`], [`ParIter::sum`], [`ParIter::for_each`]) fan
+    /// the items out over scoped threads in contiguous index chunks and
+    /// reassemble results in input order.
+    pub struct ParIter<T, P> {
+        items: Vec<T>,
+        pipe: P,
+    }
+
+    impl<T, P: fmt::Debug> fmt::Debug for ParIter<T, P> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ParIter")
+                .field("len", &self.items.len())
+                .field("pipe", &self.pipe)
+                .finish()
+        }
+    }
+
+    impl<T: Send> ParIter<T, Identity> {
+        /// Wrap already-materialized source items.
+        pub fn new(items: Vec<T>) -> Self {
+            ParIter {
+                items,
+                pipe: Identity,
+            }
+        }
+    }
+
+    impl<T, P> ParIter<T, P>
+    where
+        T: Send,
+        P: ParPipe<T>,
+    {
+        /// Transform each item.
+        pub fn map<U, G>(self, g: G) -> ParIter<T, MapPipe<P, G>>
+        where
+            U: Send,
+            G: Fn(P::Out) -> U + Sync,
+        {
+            let ParIter { items, pipe } = self;
+            ParIter {
+                items,
+                pipe: MapPipe { inner: pipe, g },
+            }
+        }
+
+        /// Keep only items satisfying `pred`.
+        pub fn filter<G>(self, pred: G) -> ParIter<T, FilterPipe<P, G>>
+        where
+            G: Fn(&P::Out) -> bool + Sync,
+        {
+            let ParIter { items, pipe } = self;
+            ParIter {
+                items,
+                pipe: FilterPipe { inner: pipe, pred },
+            }
+        }
+
+        /// Copy referenced items out (`Iterator::copied`).
+        pub fn copied<'a, U>(self) -> ParIter<T, CopiedPipe<P>>
+        where
+            P: ParPipe<T, Out = &'a U>,
+            U: Copy + Send + Sync + 'a,
+        {
+            let ParIter { items, pipe } = self;
+            ParIter {
+                items,
+                pipe: CopiedPipe { inner: pipe },
+            }
+        }
+
+        /// Clone referenced items out (`Iterator::cloned`).
+        pub fn cloned<'a, U>(self) -> ParIter<T, ClonedPipe<P>>
+        where
+            P: ParPipe<T, Out = &'a U>,
+            U: Clone + Send + Sync + 'a,
+        {
+            let ParIter { items, pipe } = self;
+            ParIter {
+                items,
+                pipe: ClonedPipe { inner: pipe },
+            }
+        }
+
+        /// Pair each item with its source index (see [`EnumeratePipe`]).
+        pub fn enumerate(self) -> ParIter<T, EnumeratePipe<P>> {
+            let ParIter { items, pipe } = self;
+            ParIter {
+                items,
+                pipe: EnumeratePipe { inner: pipe },
+            }
+        }
+
+        /// Execute the pipeline, returning outputs in input order.
+        fn drive(self) -> Vec<P::Out> {
+            let pipe = self.pipe;
+            run_ordered(self.items, move |i, x| pipe.apply(i, x))
+        }
+
+        /// Collect outputs in input order.
+        pub fn collect<C: FromIterator<P::Out>>(self) -> C {
+            self.drive().into_iter().collect()
+        }
+
+        /// Count surviving outputs.
+        pub fn count(self) -> usize {
+            let pipe = self.pipe;
+            run_ordered(self.items, move |i, x| pipe.apply(i, x).map(|_| ())).len()
+        }
+
+        /// Sum outputs **in input order** (deterministic for floats).
+        pub fn sum<S: std::iter::Sum<P::Out>>(self) -> S {
+            self.drive().into_iter().sum()
+        }
+
+        /// Run `g` on every output (ordering of side effects is
+        /// unspecified across chunks — `g` must be commutative).
+        pub fn for_each<G>(self, g: G)
+        where
+            G: Fn(P::Out) + Sync,
+        {
+            let pipe = self.pipe;
+            run_ordered(self.items, move |i, x| {
+                if let Some(out) = pipe.apply(i, x) {
+                    g(out);
+                }
+                None::<()>
+            });
+        }
+    }
+
+    /// Parallel stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Consume `self` into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item, Identity>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn into_par_iter(self) -> ParIter<I::Item, Identity> {
+            ParIter::new(self.into_iter().collect())
+        }
+    }
+
+    /// Parallel stand-in for `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'a> {
-        /// Iterator type produced by [`Self::par_iter`].
-        type Iter: Iterator<Item = Self::Item>;
         /// Item type (a reference into `self`).
-        type Item: 'a;
-        /// Iterate `&self` (sequentially).
-        fn par_iter(&'a self) -> Self::Iter;
+        type Item: Send + 'a;
+        /// Iterate `&self` in parallel.
+        fn par_iter(&'a self) -> ParIter<Self::Item, Identity>;
     }
 
     impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
     where
         &'a C: IntoIterator,
+        <&'a C as IntoIterator>::Item: Send,
     {
-        type Iter = <&'a C as IntoIterator>::IntoIter;
         type Item = <&'a C as IntoIterator>::Item;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'a self) -> ParIter<Self::Item, Identity> {
+            ParIter::new(self.into_iter().collect())
+        }
+    }
+
+    /// Parallel stand-in for `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over contiguous `chunk_size`-sized windows
+        /// (the last chunk may be shorter). `chunk_size` must be > 0.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T], Identity>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T], Identity> {
+            ParIter::new(self.chunks(chunk_size.max(1)).collect())
         }
     }
 }
@@ -65,6 +486,19 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// `set_threads` is process-global; tests that flip it serialize here.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        super::set_threads(n);
+        let r = f();
+        super::set_threads(0);
+        r
+    }
 
     #[test]
     fn par_iter_matches_iter() {
@@ -80,5 +514,110 @@ mod tests {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn collection_order_is_input_order_for_every_thread_count() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got: Vec<u64> =
+                with_threads(threads, || input.par_iter().map(|&x| x * x).collect());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn filter_copied_enumerate_compose() {
+        let v: Vec<u32> = (0..100).collect();
+        for threads in [1, 4] {
+            let evens: Vec<u32> = with_threads(threads, || {
+                v.par_iter().copied().filter(|&x| x % 2 == 0).collect()
+            });
+            assert_eq!(evens.len(), 50);
+            assert!(evens.windows(2).all(|w| w[0] < w[1]), "order preserved");
+            let tagged: Vec<(usize, u32)> = with_threads(threads, || {
+                v.par_iter().enumerate().map(|(i, &x)| (i, x + 1)).collect()
+            });
+            assert!(tagged.iter().all(|&(i, x)| x == i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn count_and_chunks() {
+        let v: Vec<u32> = (0..97).collect();
+        for threads in [1, 5] {
+            let n = with_threads(threads, || v.par_iter().filter(|&&x| x < 10).count());
+            assert_eq!(n, 10);
+            let sizes: Vec<usize> =
+                with_threads(threads, || v.par_chunks(10).map(<[u32]>::len).collect());
+            assert_eq!(sizes.iter().sum::<usize>(), 97);
+            assert_eq!(sizes.last(), Some(&7));
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..64u32)
+                    .into_par_iter()
+                    .map(|x| {
+                        assert!(x != 17, "boom at 17");
+                        x
+                    })
+                    .collect::<Vec<u32>>()
+            })
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The executor is not poisoned: the next fan-out still works.
+        let ok: Vec<u32> = with_threads(4, || (0..8u32).into_par_iter().collect());
+        assert_eq!(ok, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn side_effects_run_exactly_once_per_item() {
+        let hits = AtomicUsize::new(0);
+        let out: Vec<u32> = with_threads(8, || {
+            (0..500u32)
+                .into_par_iter()
+                .map(|x| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        with_threads(3, || {
+            (0..100u32).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = with_threads(8, || Vec::<u32>::new().into_par_iter().collect());
+        assert!(empty.is_empty());
+        let one: Vec<u32> = with_threads(8, || vec![7u32].par_iter().copied().collect());
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn current_threads_resolution() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        super::set_threads(3);
+        assert_eq!(super::current_threads(), 3);
+        super::set_threads(1);
+        assert_eq!(super::current_threads(), 1);
+        super::set_threads(0); // auto
+        assert!(super::current_threads() >= 1);
     }
 }
