@@ -6,16 +6,57 @@
 //! `BENCH_parallel.json` (or the given path). See
 //! [`catapult_bench::parallel`] for what the numbers mean on a
 //! single-core host.
+//!
+//! The output JSON is schema-versioned; an existing file written at a
+//! different `schema_version` is never silently overwritten — pass
+//! `--force` to replace it. `--metrics-out FILE` additionally writes the
+//! same machine-readable run manifest the `catapult` CLI emits (span
+//! tree, environment, bench results).
 
 use catapult_bench::parallel;
+use catapult_obs::{manifest, Recorder, RunManifest};
+use std::path::Path;
 
 fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
+    let mut force = false;
     let mut args = std::env::args().skip(1);
-    let out = args.next().unwrap_or_else(|| "BENCH_parallel.json".into());
-    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
-    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--force" => force = true,
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics-out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let out = positional
+        .next()
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let scale: usize = positional.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let reps: usize = positional.next().and_then(|s| s.parse().ok()).unwrap_or(3);
 
-    let benches = parallel::run(scale, reps);
+    // Refuse to clobber results written at a different schema version
+    // (e.g. a checked-in baseline from an older layout) unless forced.
+    for path in std::iter::once(&out).chain(metrics_out.as_ref()) {
+        if let Err(e) = manifest::guard_overwrite(Path::new(path), force) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+
+    let recorder = if metrics_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let benches = parallel::run_recorded(scale, reps, &recorder);
     for b in &benches {
         println!(
             "{:<16} seq {:>8.3}s  auto({} threads) {:>8.3}s  speedup {:.2}x",
@@ -32,4 +73,31 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    if let Some(path) = metrics_out {
+        let mut m = RunManifest::new("bench_parallel");
+        m.set(
+            "environment",
+            manifest::environment(rayon::current_threads()),
+        );
+        let mut results = catapult_obs::json::Value::array();
+        for b in &benches {
+            let mut e = catapult_obs::json::Value::object();
+            e.set("workload", b.workload);
+            e.set("secs_sequential", b.sequential.as_secs_f64());
+            e.set("secs_auto", b.auto.as_secs_f64());
+            e.set("auto_threads", b.auto_threads as u64);
+            e.set("speedup", b.speedup());
+            results.push(e);
+        }
+        m.set("results", results);
+        if let Some(snapshot) = recorder.snapshot() {
+            m.attach_snapshot(&snapshot);
+        }
+        if let Err(e) = m.write(Path::new(&path), force) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics to {path}");
+    }
 }

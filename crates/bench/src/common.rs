@@ -20,6 +20,7 @@ pub fn harness_clustering(max_cluster_size: usize) -> ClusteringConfig {
         max_features: 48,
         search: SearchBudget::nodes(30_000),
         sampling: None,
+        ..Default::default()
     }
 }
 

@@ -17,9 +17,10 @@ use catapult_datasets::{aids_profile, generate};
 use catapult_graph::Graph;
 use catapult_mining::subtree::mine_subtrees;
 use catapult_mining::SubtreeMinerConfig;
+use catapult_obs::{Recorder, Stopwatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One workload measured at both pool sizes.
 #[derive(Clone, Debug)]
@@ -50,7 +51,7 @@ fn time_with_threads(threads: usize, reps: usize, mut f: impl FnMut()) -> Durati
     rayon::set_threads(threads);
     let mut best = Duration::MAX;
     for _ in 0..reps.max(1) {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         f();
         best = best.min(start.elapsed());
     }
@@ -61,6 +62,15 @@ fn time_with_threads(threads: usize, reps: usize, mut f: impl FnMut()) -> Durati
 /// Run both workloads; `scale` multiplies the repository size (1 = the
 /// default 60-molecule AIDS-profile repository).
 pub fn run(scale: usize, reps: usize) -> Vec<ParallelBench> {
+    run_recorded(scale, reps, &Recorder::disabled())
+}
+
+/// [`run`] under an observability recorder: each workload's timed region
+/// becomes a span (`bench.mining` / `bench.fine_clustering`), so a
+/// `--metrics-out` manifest from the bench driver carries the same span
+/// tree a CLI run does.
+pub fn run_recorded(scale: usize, reps: usize, recorder: &Recorder) -> Vec<ParallelBench> {
+    let _span = recorder.span("bench_parallel");
     let db = generate(&aids_profile(), 60 * scale.max(1), 3);
     let auto_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -73,11 +83,14 @@ pub fn run(scale: usize, reps: usize) -> Vec<ParallelBench> {
         let out = mine_subtrees(graphs, &miner, &catapult_graph::SearchBudget::unbounded());
         assert!(!out.subtrees.is_empty(), "mining workload degenerated");
     };
-    let mining = ParallelBench {
-        workload: "mining",
-        sequential: time_with_threads(1, reps, || mine(&db.graphs)),
-        auto: time_with_threads(0, reps, || mine(&db.graphs)),
-        auto_threads,
+    let mining = {
+        let _span = recorder.span("bench.mining");
+        ParallelBench {
+            workload: "mining",
+            sequential: time_with_threads(1, reps, || mine(&db.graphs)),
+            auto: time_with_threads(0, reps, || mine(&db.graphs)),
+            auto_threads,
+        }
     };
 
     let fine_cfg = FineConfig {
@@ -90,11 +103,14 @@ pub fn run(scale: usize, reps: usize) -> Vec<ParallelBench> {
         let out = fine_cluster_audited(&db.graphs, vec![all.clone()], &fine_cfg, &mut rng);
         assert!(out.clusters.len() > 1, "clustering workload degenerated");
     };
-    let clustering = ParallelBench {
-        workload: "fine-clustering",
-        sequential: time_with_threads(1, reps, cluster),
-        auto: time_with_threads(0, reps, cluster),
-        auto_threads,
+    let clustering = {
+        let _span = recorder.span("bench.fine_clustering");
+        ParallelBench {
+            workload: "fine-clustering",
+            sequential: time_with_threads(1, reps, cluster),
+            auto: time_with_threads(0, reps, cluster),
+            auto_threads,
+        }
     };
 
     vec![mining, clustering]
@@ -105,6 +121,10 @@ pub fn run(scale: usize, reps: usize) -> Vec<ParallelBench> {
 pub fn to_json(benches: &[ParallelBench]) -> String {
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        catapult_obs::SCHEMA_VERSION
+    ));
     s.push_str(&format!("  \"host_threads\": {host},\n"));
     s.push_str("  \"entries\": [\n");
     for (i, b) in benches.iter().enumerate() {
@@ -132,6 +152,11 @@ mod tests {
         let benches = run(1, 1);
         assert_eq!(benches.len(), 2);
         let json = to_json(&benches);
+        assert_eq!(
+            catapult_obs::schema_version_of(&json),
+            Some(catapult_obs::SCHEMA_VERSION),
+            "bench JSON must be schema-versioned: {json}"
+        );
         assert!(json.contains("\"host_threads\""));
         assert!(json.contains("\"mining\""));
         assert!(json.contains("\"fine-clustering\""));

@@ -46,6 +46,15 @@ impl Scale {
         }
     }
 
+    /// The CLI token naming this scale (inverse of [`parse`](Self::parse)).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
     /// Parse from a CLI token.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {

@@ -13,8 +13,9 @@ use crate::sampling::{
 use catapult_graph::iso::contains_tagged;
 use catapult_graph::{Graph, SearchBudget, Tally, TallyCounts};
 use catapult_mining::subtree::{mine_subtrees, FrequentSubtree, SubtreeMinerConfig};
+use catapult_obs::{Recorder, Stopwatch};
 use rand::Rng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Clustering strategy (Exp 1 naming).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +59,11 @@ pub struct ClusteringConfig {
     pub search: SearchBudget,
     /// Enable §4.3 sampling (eager + lazy).
     pub sampling: Option<SamplingConfig>,
+    /// Observability recorder (disabled by default). When enabled, the
+    /// phase emits `clustering` spans (with `mining` / `coarse` /
+    /// `lazy_sample` / `fine` children) and attributes kernel effort to
+    /// the `mining.*` and `clustering.*` counters.
+    pub recorder: Recorder,
 }
 
 /// Combined sampling settings.
@@ -78,6 +84,7 @@ impl Default for ClusteringConfig {
             max_features: 64,
             search: SearchBudget::nodes(100_000),
             sampling: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -115,26 +122,33 @@ impl Clustering {
 fn mine_features<R: Rng>(
     db: &[Graph],
     cfg: &ClusteringConfig,
+    search: &SearchBudget,
     rng: &mut R,
 ) -> (Vec<FrequentSubtree>, TallyCounts) {
+    let _span = cfg.recorder.span("mining");
     match &cfg.sampling {
         None => {
-            let out = mine_subtrees(db, &cfg.miner, &cfg.search);
+            let out = mine_subtrees(db, &cfg.miner, search);
             (out.subtrees, out.kernel)
         }
         Some(s) => {
-            let sample_idx = eager_sample(db.len(), &s.eager, rng);
+            let sample_idx = {
+                let _s = cfg.recorder.span("eager_sample");
+                eager_sample(db.len(), &s.eager, rng)
+            };
             let sample: Vec<Graph> = sample_idx.iter().map(|&i| db[i].clone()).collect();
             let low = lowered_support(cfg.miner.min_support, sample.len(), &s.eager);
             let low_cfg = SubtreeMinerConfig {
                 min_support: low,
                 ..cfg.miner
             };
-            let mined = mine_subtrees(&sample, &low_cfg, &cfg.search);
+            let mined = {
+                let _s = cfg.recorder.span("mine_sample");
+                mine_subtrees(&sample, &low_cfg, search)
+            };
             // Recount each potential subtree on the full database at min_fr.
-            let probe = cfg
-                .search
-                .with_default_cap(catapult_graph::iso::DEFAULT_NODE_CAP);
+            let _recount_span = cfg.recorder.span("recount");
+            let probe = search.with_default_cap(catapult_graph::iso::DEFAULT_NODE_CAP);
             let tally = Tally::new();
             let min_count = ((cfg.miner.min_support * db.len() as f64).ceil() as usize).max(1);
             let mut confirmed = Vec::new();
@@ -160,11 +174,23 @@ fn mine_features<R: Rng>(
 
 /// Run the configured small-graph clustering strategy over `db`.
 pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R) -> Clustering {
-    let start = Instant::now();
+    let _span = cfg.recorder.span("clustering");
+    let start = Stopwatch::start();
+    // Kernel effort is attributed per stage: subtree mining (and its
+    // sampling recounts) to `mining.*`, fine-clustering MCS/MCCS to
+    // `clustering.*` — matching the two TallyCounts this phase reports.
+    let mining_search = cfg
+        .search
+        .clone()
+        .with_probe(cfg.recorder.stage_probe("mining"));
+    let fine_search = cfg
+        .search
+        .clone()
+        .with_probe(cfg.recorder.stage_probe("clustering"));
     let fine_cfg = |kind| FineConfig {
         max_cluster_size: cfg.max_cluster_size,
         similarity: kind,
-        budget: cfg.search.clone(),
+        budget: fine_search.clone(),
     };
     let coarse_cfg = CoarseConfig {
         max_cluster_size: cfg.max_cluster_size,
@@ -179,18 +205,22 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
         Strategy::FineOnly(kind) => {
             let all: Vec<u32> = (0..db.len() as u32).collect();
             let initial = if all.is_empty() { vec![] } else { vec![all] };
+            let _s = cfg.recorder.span("fine");
             let out = fine_cluster_audited(db, initial, &fine_cfg(kind), rng);
             fine = out.kernel;
             (out.clusters, Vec::new())
         }
         Strategy::CoarseOnly | Strategy::Hybrid(_) => {
-            let (subtrees, mine_kernel) = mine_features(db, cfg, rng);
+            let (subtrees, mine_kernel) = mine_features(db, cfg, &mining_search, rng);
             mining = mine_kernel;
-            let CoarseResult { clusters, features } =
-                coarse_cluster_with_subtrees(db, subtrees, &coarse_cfg, rng);
+            let CoarseResult { clusters, features } = {
+                let _s = cfg.recorder.span("coarse");
+                coarse_cluster_with_subtrees(db, subtrees, &coarse_cfg, rng)
+            };
             // Lazy sampling shrinks oversized clusters before fine clustering.
             let clusters = match &cfg.sampling {
                 Some(s) => {
+                    let _s2 = cfg.recorder.span("lazy_sample");
                     lazy_sample_clusters(&clusters, db.len(), cfg.max_cluster_size, &s.lazy, rng)
                 }
                 None => clusters,
@@ -198,6 +228,7 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
             match cfg.strategy {
                 Strategy::CoarseOnly => (clusters, features),
                 Strategy::Hybrid(kind) => {
+                    let _s = cfg.recorder.span("fine");
                     let out = fine_cluster_audited(db, clusters, &fine_cfg(kind), rng);
                     fine = out.kernel;
                     (out.clusters, features)

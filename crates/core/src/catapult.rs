@@ -18,8 +18,9 @@ use crate::budget::PatternBudget;
 use crate::report::PipelineReport;
 use crate::select::{find_canned_patterns, SelectionConfig, SelectionResult};
 use catapult_cluster::{cluster_graphs, Clustering, ClusteringConfig};
-use catapult_csg::{build_csgs, Csg};
+use catapult_csg::{build_csgs_recorded, Csg};
 use catapult_graph::{Graph, SearchBudget};
+use catapult_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -40,6 +41,11 @@ pub struct CatapultConfig {
     /// reaches mining, clustering, and the greedy selection loop. Leave
     /// unbounded for the per-stage defaults (and an exact run).
     pub search: SearchBudget,
+    /// Observability recorder (disabled by default — a no-op). When
+    /// enabled, the run emits a `pipeline` span tree covering every stage
+    /// and per-stage kernel counters; snapshot it afterwards to build a
+    /// [`catapult_obs::RunManifest`].
+    pub recorder: Recorder,
 }
 
 impl Default for CatapultConfig {
@@ -50,6 +56,7 @@ impl Default for CatapultConfig {
             walks: 100,
             seed: 0xCA7A_9017,
             search: SearchBudget::unbounded(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -89,15 +96,17 @@ impl CatapultResult {
 
 /// Run Algorithm 1 end to end over `db`.
 pub fn run_catapult(db: &[Graph], cfg: &CatapultConfig) -> CatapultResult {
+    let _span = cfg.recorder.span("pipeline");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let clustering_cfg = ClusteringConfig {
         // The global budget overrides the clustering stage's own settings
         // where explicit; stage defaults apply otherwise.
         search: cfg.search.overlay(&cfg.clustering.search),
+        recorder: cfg.recorder.clone(),
         ..cfg.clustering.clone()
     };
     let clustering = cluster_graphs(db, &clustering_cfg, &mut rng);
-    let csgs = build_csgs(db, &clustering.clusters);
+    let csgs = build_csgs_recorded(db, &clustering.clusters, &cfg.recorder);
     let mut selection = find_canned_patterns(
         db,
         &csgs,
@@ -105,6 +114,7 @@ pub fn run_catapult(db: &[Graph], cfg: &CatapultConfig) -> CatapultResult {
             budget: cfg.budget.clone(),
             walks: cfg.walks,
             search: cfg.search.clone(),
+            recorder: cfg.recorder.clone(),
             ..Default::default()
         },
         &mut rng,

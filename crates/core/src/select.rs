@@ -17,9 +17,10 @@ use catapult_csg::{ClusterWeights, Csg, EdgeLabelWeights, WeightedCsg};
 use catapult_graph::iso::are_isomorphic_tagged;
 use catapult_graph::{Graph, SearchBudget, Tally};
 use catapult_mining::EdgeLabelStats;
+use catapult_obs::{Recorder, Stopwatch};
 use rand::Rng;
 use rayon::prelude::*;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Selection parameters beyond the pattern budget.
 #[derive(Clone, Debug)]
@@ -42,6 +43,11 @@ pub struct SelectionConfig {
     /// the greedy loop between iterations, returning the patterns selected
     /// so far. Per-kernel default node caps apply when unbounded.
     pub search: SearchBudget,
+    /// Observability recorder (disabled by default). When enabled, the
+    /// loop emits a `selection` span with per-iteration `greedy_iter`
+    /// children (`walks` / `dedup` / `score` inside), and kernel effort
+    /// lands in the `scoring.*` counters.
+    pub recorder: Recorder,
 }
 
 impl Default for SelectionConfig {
@@ -53,6 +59,7 @@ impl Default for SelectionConfig {
             query_log: None,
             log_weight: 1.0,
             search: SearchBudget::unbounded(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -105,7 +112,15 @@ pub fn find_canned_patterns<R: Rng>(
     cfg: &SelectionConfig,
     rng: &mut R,
 ) -> SelectionResult {
-    let start = Instant::now();
+    let _span = cfg.recorder.span("selection");
+    let start = Stopwatch::start();
+    // Every kernel metered under this budget flushes into `scoring.*`.
+    let search = cfg
+        .search
+        .clone()
+        .with_probe(cfg.recorder.stage_probe("scoring"));
+    let iterations = cfg.recorder.counter("scoring.greedy.iterations");
+    let candidates_seen = cfg.recorder.counter("scoring.greedy.candidates");
     let budget = cfg.budget.clone();
     let mut elw = EdgeLabelWeights::new(EdgeLabelStats::from_graphs(db));
     let mut cw = ClusterWeights::new(csgs, db.len());
@@ -119,15 +134,18 @@ pub fn find_canned_patterns<R: Rng>(
         // A deadline or cancellation stops the greedy loop between
         // iterations: the patterns chosen so far remain valid and
         // budget-conforming, and the report records why we stopped early.
-        if let Some(c) = cfg.search.interrupted() {
+        if let Some(c) = search.interrupted() {
             scoring.record(c);
             break;
         }
+        iterations.incr();
+        let _iter_span = cfg.recorder.span("greedy_iter");
         let sizes = budget.open_sizes(&counts);
         if sizes.is_empty() {
             break;
         }
         // Candidate generation: every CSG proposes one FCP per open size.
+        let walk_span = cfg.recorder.span("walks");
         let mut candidates: Vec<(Graph, usize)> = Vec::new();
         for (ci, csg) in csgs.iter().enumerate() {
             let weighted = WeightedCsg::new(csg, &elw);
@@ -146,13 +164,16 @@ pub fn find_canned_patterns<R: Rng>(
                 }
             }
         }
+        drop(walk_span);
+        candidates_seen.add(candidates.len() as u64);
+        let dedup_span = cfg.recorder.span("dedup");
         // Drop candidates identical (isomorphic) to an already-selected
         // pattern — their diversity is 0, so they can never help. A
         // degraded check may let a duplicate through; scoring then gives
         // it zero diversity, so it is merely wasted work, never a wrong
         // selection.
         let iso_eq = |a: &Graph, b: &Graph| {
-            let (eq, c) = are_isomorphic_tagged(a, b, &cfg.search);
+            let (eq, c) = are_isomorphic_tagged(a, b, &search);
             scoring.record(c);
             eq
         };
@@ -166,9 +187,11 @@ pub fn find_canned_patterns<R: Rng>(
             }
         }
         let mut candidates = unique;
+        drop(dedup_span);
         if candidates.is_empty() {
             break;
         }
+        let _score_span = cfg.recorder.span("score");
         // Score in parallel (pure function of immutable state; `scoring`
         // is a commutative `Tally`). `enumerate` pairs each score with its
         // *source* index and collection is ordered, so the greedy argmax
@@ -184,7 +207,7 @@ pub fn find_canned_patterns<R: Rng>(
                     &index,
                     &selected_graphs,
                     cfg.variant,
-                    &cfg.search,
+                    &search,
                     &scoring,
                 );
                 if let Some(log) = &cfg.query_log {
@@ -210,7 +233,7 @@ pub fn find_canned_patterns<R: Rng>(
         let (pattern, source_csg) = candidates.swap_remove(best_idx);
         // Damp weights: clusters whose CSG contains the pattern, and the
         // pattern's edge labels (§5, multiplicative weights update).
-        for ci in covering_csgs_audited(&pattern, csgs, &cfg.search, &scoring) {
+        for ci in covering_csgs_audited(&pattern, csgs, &search, &scoring) {
             cw.damp(ci);
         }
         elw.damp_pattern(&pattern);

@@ -21,5 +21,5 @@ pub mod summary;
 pub mod weights;
 
 pub use idset::IdSet;
-pub use summary::{build_csgs, Csg};
+pub use summary::{build_csgs, build_csgs_recorded, Csg};
 pub use weights::{ClusterWeights, EdgeLabelWeights, WeightedCsg, WEIGHT_DAMPING};

@@ -254,11 +254,40 @@ impl Csg {
 
 /// Build a CSG per cluster (§4.2; Algorithm 1 line 3).
 pub fn build_csgs(db: &[Graph], clusters: &[Vec<u32>]) -> Vec<Csg> {
-    clusters
+    build_csgs_recorded(db, clusters, &catapult_obs::Recorder::disabled())
+}
+
+/// [`build_csgs`] under an observability [`Recorder`]: wraps the build in
+/// a `csg_build` span and reports summary sizes as `csg.build.*` counters
+/// (clusters summarized, closure vertices/edges, members covered).
+///
+/// [`Recorder`]: catapult_obs::Recorder
+pub fn build_csgs_recorded(
+    db: &[Graph],
+    clusters: &[Vec<u32>],
+    recorder: &catapult_obs::Recorder,
+) -> Vec<Csg> {
+    let _span = recorder.span("csg_build");
+    let csgs: Vec<Csg> = clusters
         .iter()
         .filter(|c| !c.is_empty())
         .map(|c| Csg::build(db, c))
-        .collect()
+        .collect();
+    if recorder.is_enabled() {
+        recorder
+            .counter("csg.build.clusters")
+            .add(csgs.len() as u64);
+        recorder
+            .counter("csg.build.vertices")
+            .add(csgs.iter().map(|c| c.graph.vertex_count() as u64).sum());
+        recorder
+            .counter("csg.build.edges")
+            .add(csgs.iter().map(|c| c.graph.edge_count() as u64).sum());
+        recorder
+            .counter("csg.build.members")
+            .add(csgs.iter().map(|c| c.cluster.len() as u64).sum());
+    }
+    csgs
 }
 
 #[cfg(test)]

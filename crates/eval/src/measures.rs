@@ -41,13 +41,36 @@ pub struct WorkloadEvaluation {
 impl WorkloadEvaluation {
     /// Evaluate `patterns` over `queries` with the §6.1 step model.
     pub fn evaluate(patterns: &[Graph], queries: &[Graph]) -> Self {
+        Self::evaluate_recorded(patterns, queries, &catapult_obs::Recorder::disabled())
+    }
+
+    /// [`evaluate`](Self::evaluate) under an observability recorder: wraps
+    /// the workload sweep in an `evaluate` span and reports workload sizes
+    /// and total formulation steps as `eval.workload.*` counters.
+    pub fn evaluate_recorded(
+        patterns: &[Graph],
+        queries: &[Graph],
+        recorder: &catapult_obs::Recorder,
+    ) -> Self {
+        let _span = recorder.span("evaluate");
         // Parallel audit: `formulate` is a pure function of its arguments
         // and the shim collects in input order, so `formulations[i]` always
         // belongs to `queries[i]` regardless of thread count.
-        let formulations = queries
+        let formulations: Vec<Formulation> = queries
             .par_iter()
             .map(|q| formulate(q, patterns, DEFAULT_EMBEDDING_CAP))
             .collect();
+        if recorder.is_enabled() {
+            recorder
+                .counter("eval.workload.queries")
+                .add(queries.len() as u64);
+            recorder
+                .counter("eval.workload.patterns")
+                .add(patterns.len() as u64);
+            recorder
+                .counter("eval.workload.steps")
+                .add(formulations.iter().map(|f| f.steps as u64).sum());
+        }
         WorkloadEvaluation { formulations }
     }
 

@@ -25,7 +25,15 @@
 //! * [`fault`] (behind the `fault-injection` feature) — a deterministic
 //!   harness that forces exhaustion / deadline / cancellation at the K-th
 //!   kernel invocation, so graceful degradation is testable.
+//!
+//! The budget is also the carrier for kernel **observability**: a
+//! [`StageProbe`] (from `catapult-obs`) stamped onto a [`SearchBudget`]
+//! rides into every meter, which accumulates probes / budget checks /
+//! improvements as plain integers and flushes them into the stage's
+//! `stage.kernel.metric` counters exactly once, when it drops. A
+//! default (disabled) probe costs nothing.
 
+pub use catapult_obs::{Kernel, KernelMeasurement, StageProbe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,28 +82,68 @@ impl Completeness {
 }
 
 /// A wall-clock point in time after which budgeted searches stop.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Deadline(Instant);
+///
+/// Carries its creation instant so observers can report *headroom*
+/// ([`Deadline::remaining`]) and *burn* ([`Deadline::elapsed`]) instead
+/// of only expired / not-expired. Equality compares the target instant
+/// only — two deadlines for the same cutoff are the same deadline,
+/// whenever each was constructed ([`SearchBudget::overlay`] relies on
+/// this when it re-wraps the earlier of two instants).
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Instant,
+    created: Instant,
+}
+
+impl PartialEq for Deadline {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+
+impl Eq for Deadline {}
 
 impl Deadline {
     /// Deadline `d` from now.
     pub fn from_now(d: Duration) -> Self {
-        Deadline(Instant::now() + d)
+        let now = catapult_obs::now();
+        Deadline {
+            at: now + d,
+            created: now,
+        }
     }
 
     /// Deadline at an absolute instant.
     pub fn at(instant: Instant) -> Self {
-        Deadline(instant)
+        Deadline {
+            at: instant,
+            created: catapult_obs::now(),
+        }
     }
 
     /// The underlying instant.
     pub fn instant(self) -> Instant {
-        self.0
+        self.at
     }
 
     /// Whether the deadline has passed.
     pub fn expired(self) -> bool {
-        Instant::now() >= self.0
+        catapult_obs::now() >= self.at
+    }
+
+    /// Wall time since this deadline was created.
+    pub fn elapsed(self) -> Duration {
+        catapult_obs::now().saturating_duration_since(self.created)
+    }
+
+    /// Headroom left before the cutoff (zero once expired).
+    pub fn remaining(self) -> Duration {
+        self.at.saturating_duration_since(catapult_obs::now())
+    }
+
+    /// The total allotment this deadline was created with.
+    pub fn total(self) -> Duration {
+        self.at.saturating_duration_since(self.created)
     }
 }
 
@@ -151,6 +199,10 @@ pub struct SearchBudget {
     pub cancel: Option<CancelToken>,
     /// Expansions between deadline / cancellation polls (0 behaves as 1).
     pub check_every: u64,
+    /// Kernel observability probe (disabled by default; stamped per
+    /// stage by the pipeline so kernel effort lands in
+    /// `stage.kernel.metric` counters).
+    pub probe: StageProbe,
 }
 
 impl SearchBudget {
@@ -162,6 +214,7 @@ impl SearchBudget {
             deadline: None,
             cancel: None,
             check_every: DEFAULT_CHECK_EVERY,
+            probe: StageProbe::default(),
         }
     }
 
@@ -191,6 +244,13 @@ impl SearchBudget {
         self
     }
 
+    /// Stamp a stage observability probe onto the budget; every kernel
+    /// metered under it flushes its counters into the probe's stage.
+    pub fn with_probe(mut self, probe: StageProbe) -> Self {
+        self.probe = probe;
+        self
+    }
+
     /// Resolve the node cap against a stage default: an explicit cap wins;
     /// an unset cap (`u64::MAX`) becomes `default_cap`. Deadline and
     /// cancellation carry over unchanged.
@@ -216,11 +276,19 @@ impl SearchBudget {
                 base.node_cap
             },
             deadline: match (self.deadline, base.deadline) {
-                (Some(a), Some(b)) => Some(Deadline(a.instant().min(b.instant()))),
+                // Keep the whole earlier deadline (not just its instant)
+                // so creation time — and thus elapsed()/remaining()
+                // reporting — survives the merge.
+                (Some(a), Some(b)) => Some(if a.instant() <= b.instant() { a } else { b }),
                 (a, b) => a.or(b),
             },
             cancel: self.cancel.clone().or_else(|| base.cancel.clone()),
             check_every: self.check_every.min(base.check_every).max(1),
+            probe: if self.probe.is_enabled() {
+                self.probe.clone()
+            } else {
+                base.probe.clone()
+            },
         }
     }
 
@@ -266,6 +334,12 @@ impl From<&SearchBudget> for SearchBudget {
 /// The fast path is one increment and one compare; deadline and
 /// cancellation polls run on the `check_every` cadence (and once on the
 /// very first expansion, so pre-expired deadlines stop searches promptly).
+///
+/// The meter doubles as the kernel's observability accumulator: probes,
+/// signal checks, and best-so-far improvements are counted as plain
+/// integers and flushed into the budget's [`StageProbe`] exactly once —
+/// on drop — so instrumentation adds no atomics to the search loop and
+/// totals stay deterministic under any worker interleaving.
 #[derive(Debug)]
 pub struct BudgetMeter {
     nodes: u64,
@@ -274,14 +348,18 @@ pub struct BudgetMeter {
     cancel: Option<CancelToken>,
     check_every: u64,
     status: Completeness,
+    kernel: Kernel,
+    checks: u64,
+    improved: u64,
+    probe: StageProbe,
 }
 
 impl BudgetMeter {
-    /// Instrument one search under `budget`.
+    /// Instrument one `kernel` search under `budget`.
     ///
     /// With the `fault-injection` feature enabled this is also the kernel
     /// invocation counter the [`fault`] harness keys on.
-    pub fn new(budget: &SearchBudget) -> Self {
+    pub fn new(budget: &SearchBudget, kernel: Kernel) -> Self {
         #[allow(unused_mut)]
         let mut m = BudgetMeter {
             nodes: 0,
@@ -290,6 +368,10 @@ impl BudgetMeter {
             cancel: budget.cancel.clone(),
             check_every: budget.check_every.max(1),
             status: Completeness::Exact,
+            kernel,
+            checks: 0,
+            improved: 0,
+            probe: budget.probe.clone(),
         };
         #[cfg(feature = "fault-injection")]
         fault::arm(&mut m);
@@ -314,6 +396,7 @@ impl BudgetMeter {
 
     #[cold]
     fn check_signals(&mut self) -> bool {
+        self.checks += 1;
         if let Some(c) = &self.cancel {
             if c.is_cancelled() {
                 self.status = Completeness::Cancelled;
@@ -321,7 +404,7 @@ impl BudgetMeter {
             }
         }
         if let Some(d) = self.deadline {
-            if Instant::now() >= d {
+            if catapult_obs::now() >= d {
                 self.status = Completeness::DeadlineExceeded;
                 return true;
             }
@@ -343,6 +426,34 @@ impl BudgetMeter {
     /// Expansions recorded so far.
     pub fn nodes(&self) -> u64 {
         self.nodes
+    }
+
+    /// Deadline / cancellation polls performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Record a best-so-far improvement (embedding reported, bound
+    /// tightened) for the stage's `improved` counter.
+    #[inline]
+    pub fn note_improvement(&mut self) {
+        self.improved += 1;
+    }
+}
+
+impl Drop for BudgetMeter {
+    fn drop(&mut self) {
+        // Single flush per kernel invocation; a disabled probe makes
+        // this a branch on `None`.
+        self.probe.flush(
+            self.kernel,
+            KernelMeasurement {
+                probes: self.nodes,
+                checks: self.checks,
+                improved: self.improved,
+                exact: self.status.is_exact(),
+            },
+        );
     }
 }
 
@@ -558,7 +669,9 @@ pub mod fault {
         match plan.kind {
             FaultKind::Exhaust => meter.node_cap = 0,
             FaultKind::Deadline => {
-                meter.deadline = Some(Instant::now());
+                // Test-only fault injection wants "already expired", not a
+                // measured duration; the monotonic source is irrelevant.
+                meter.deadline = Some(Instant::now()); // xtask-allow: raw-instant
                 meter.check_every = 1;
             }
             FaultKind::Cancel => {
@@ -579,7 +692,7 @@ mod tests {
     fn meter_matches_legacy_cap_semantics() {
         // Legacy kernels did `nodes += 1; if nodes > cap { stop }`: a cap
         // of k allows exactly k expansions.
-        let mut m = BudgetMeter::new(&SearchBudget::nodes(3));
+        let mut m = BudgetMeter::new(&SearchBudget::nodes(3), Kernel::Iso);
         assert!(!m.tick() && !m.tick() && !m.tick());
         assert!(m.tick());
         assert_eq!(m.status(), Completeness::BudgetExhausted);
@@ -588,7 +701,7 @@ mod tests {
 
     #[test]
     fn unbounded_budget_never_trips() {
-        let mut m = BudgetMeter::new(&SearchBudget::unbounded());
+        let mut m = BudgetMeter::new(&SearchBudget::unbounded(), Kernel::Iso);
         for _ in 0..10_000 {
             assert!(!m.tick());
         }
@@ -598,7 +711,7 @@ mod tests {
     #[test]
     fn expired_deadline_trips_on_first_tick() {
         let b = SearchBudget::unbounded().with_deadline(Deadline::at(Instant::now()));
-        let mut m = BudgetMeter::new(&b);
+        let mut m = BudgetMeter::new(&b, Kernel::Iso);
         assert!(m.tick());
         assert_eq!(m.status(), Completeness::DeadlineExceeded);
     }
@@ -607,7 +720,7 @@ mod tests {
     fn future_deadline_does_not_trip() {
         let b =
             SearchBudget::unbounded().with_deadline(Deadline::from_now(Duration::from_secs(3600)));
-        let mut m = BudgetMeter::new(&b);
+        let mut m = BudgetMeter::new(&b, Kernel::Iso);
         for _ in 0..5000 {
             assert!(!m.tick());
         }
@@ -619,7 +732,7 @@ mod tests {
         let b = SearchBudget::unbounded()
             .with_cancel(token.clone())
             .with_check_every(8);
-        let mut m = BudgetMeter::new(&b);
+        let mut m = BudgetMeter::new(&b, Kernel::Iso);
         assert!(!m.tick()); // first-tick poll: not yet cancelled
         token.cancel();
         let mut tripped = false;
@@ -641,7 +754,7 @@ mod tests {
         let b = SearchBudget::nodes(2)
             .with_cancel(token)
             .with_check_every(1000);
-        let mut m = BudgetMeter::new(&b);
+        let mut m = BudgetMeter::new(&b, Kernel::Iso);
         // Tick 1 polls signals (first tick) → cancelled immediately.
         assert!(m.tick());
         assert_eq!(m.status(), Completeness::Cancelled);
@@ -737,6 +850,76 @@ mod tests {
             backward.record(t);
         }
         assert_eq!(forward.counts(), backward.counts());
+    }
+
+    #[test]
+    fn deadline_accessors_report_headroom() {
+        let d = Deadline::from_now(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_secs(3600));
+        assert!(d.remaining() > Duration::from_secs(3590));
+        assert!(d.elapsed() < Duration::from_secs(10));
+        assert_eq!(d.total(), Duration::from_secs(3600));
+        let expired = Deadline::at(catapult_obs::now());
+        assert_eq!(expired.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn overlay_keeps_the_earlier_deadline_whole() {
+        let early = Deadline::from_now(Duration::from_secs(1));
+        let late = Deadline::from_now(Duration::from_secs(100));
+        let merged = SearchBudget::unbounded()
+            .with_deadline(late)
+            .overlay(&SearchBudget::unbounded().with_deadline(early));
+        let Some(d) = merged.deadline else {
+            panic!("deadline lost in overlay");
+        };
+        assert_eq!(d, early);
+        // `total` proves the original creation instant survived, not
+        // just the target instant.
+        assert_eq!(d.total(), early.total());
+    }
+
+    #[test]
+    fn meter_flushes_probe_counters_on_drop() {
+        let rec = catapult_obs::Recorder::enabled();
+        let budget = SearchBudget::nodes(5).with_probe(rec.stage_probe("scoring"));
+        {
+            let mut m = BudgetMeter::new(&budget, Kernel::Mcs);
+            for _ in 0..3 {
+                assert!(!m.tick());
+            }
+            m.note_improvement();
+        } // drop flushes
+        {
+            let mut m = BudgetMeter::new(&budget, Kernel::Mcs);
+            for _ in 0..6 {
+                if m.tick() {
+                    break;
+                }
+            }
+            assert!(m.tripped());
+        }
+        assert_eq!(rec.counter("scoring.mcs.calls").get(), 2);
+        assert_eq!(rec.counter("scoring.mcs.probes").get(), 9);
+        assert_eq!(rec.counter("scoring.mcs.improved").get(), 1);
+        assert_eq!(rec.counter("scoring.mcs.exact").get(), 1);
+        assert_eq!(rec.counter("scoring.mcs.degraded").get(), 1);
+        // The first tick of each meter polls signals once.
+        assert_eq!(rec.counter("scoring.mcs.budget_checks").get(), 2);
+    }
+
+    #[test]
+    fn overlay_prefers_enabled_probe() {
+        let rec = catapult_obs::Recorder::enabled();
+        let probed = SearchBudget::unbounded().with_probe(rec.stage_probe("mining"));
+        let plain = SearchBudget::nodes(10);
+        assert_eq!(
+            plain.overlay(&probed).probe.stage(),
+            Some("mining"),
+            "base probe must survive overlay"
+        );
+        assert_eq!(probed.overlay(&plain).probe.stage(), Some("mining"));
     }
 
     #[test]

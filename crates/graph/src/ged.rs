@@ -19,7 +19,7 @@
 //!   limit it returns the best-known *upper bound*, explicitly flagged via
 //!   [`GedResult::completeness`].
 
-use crate::budget::{BudgetMeter, Completeness, SearchBudget};
+use crate::budget::{BudgetMeter, Completeness, Kernel, SearchBudget};
 use crate::graph::{Graph, VertexId};
 use crate::labels::Label;
 use crate::matching::hungarian;
@@ -327,6 +327,7 @@ impl<'a> GedSearch<'a> {
             let total = g + self.completion_cost();
             if total < self.best {
                 self.best = total;
+                self.meter.note_improvement();
             }
             return;
         }
@@ -425,7 +426,7 @@ pub fn ged_with_budget(a: &Graph, b: &Graph, budget: impl Into<SearchBudget>) ->
         b_used_count: 0,
         b_edges_used: 0,
         best: ub + 1, // allow rediscovering ub exactly
-        meter: BudgetMeter::new(&budget.into()),
+        meter: BudgetMeter::new(&budget.into(), Kernel::Ged),
     };
     s.descend(0, 0);
     // `s.best` only holds completed edit paths (or the ub+1 seed), so the

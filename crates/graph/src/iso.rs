@@ -12,7 +12,7 @@
 //! semantics of subgraph search in graph databases [36]. Induced matching
 //! is available via [`MatchOptions::induced`].
 
-use crate::budget::{BudgetMeter, Completeness, SearchBudget};
+use crate::budget::{BudgetMeter, Completeness, Kernel, SearchBudget};
 use crate::graph::{Graph, VertexId};
 use std::ops::ControlFlow;
 
@@ -176,7 +176,7 @@ where
                 }
             }
         }
-        let meter = BudgetMeter::new(&opts.budget);
+        let meter = BudgetMeter::new(&opts.budget, Kernel::Iso);
         Matcher {
             pattern,
             target,
@@ -223,6 +223,7 @@ where
     fn descend(&mut self, depth: usize) -> ControlFlow<()> {
         if depth == self.order.len() {
             self.found += 1;
+            self.meter.note_improvement();
             let embedding: Vec<VertexId> = self.map.iter().map(|&t| VertexId(t)).collect();
             (self.callback)(&embedding)?;
             if self.found >= self.opts.max_embeddings {

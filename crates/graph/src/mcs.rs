@@ -16,7 +16,7 @@
 //! implementations benchmarked in [13]. A degraded result is a *lower
 //! bound* on the true common-subgraph size.
 
-use crate::budget::{BudgetMeter, Completeness, SearchBudget};
+use crate::budget::{BudgetMeter, Completeness, Kernel, SearchBudget};
 use crate::graph::{Graph, VertexId};
 
 /// Default backtracking-node cap for MCS/MCCS searches.
@@ -144,6 +144,7 @@ impl<'a> Search<'a> {
         if !self.cfg.connected {
             self.best_edges = self.score;
             self.best_pairs = self.current_pairs();
+            self.meter.note_improvement();
             return;
         }
         // MCCS: take the largest connected component of the common-edge
@@ -153,6 +154,7 @@ impl<'a> Search<'a> {
         if cc_edges > self.best_edges {
             self.best_edges = cc_edges;
             self.best_pairs = cc_pairs;
+            self.meter.note_improvement();
         }
     }
 
@@ -228,7 +230,7 @@ impl<'a> Search<'a> {
         let mut order: Vec<VertexId> = a.vertices().collect();
         // Decide high-degree vertices first: they constrain the most edges.
         order.sort_by_key(|&v| std::cmp::Reverse(a.degree(v)));
-        let meter = BudgetMeter::new(&cfg.budget);
+        let meter = BudgetMeter::new(&cfg.budget, Kernel::Mcs);
         let mut s = Search {
             a,
             b,

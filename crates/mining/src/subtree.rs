@@ -243,6 +243,14 @@ pub fn mine_subtrees(
     result.sort_by(|a, b| {
         (a.tree.edge_count(), &a.canonical).cmp(&(b.tree.edge_count(), &b.canonical))
     });
+    // Miner-level observability (beyond the per-probe kernel counters the
+    // meters flush themselves): candidate trees tried, levels completed,
+    // and frequent trees kept.
+    budget
+        .probe
+        .add("subtree", "candidates", candidates_counted as u64);
+    budget.probe.add("subtree", "levels", size as u64);
+    budget.probe.add("subtree", "frequent", result.len() as u64);
     let kernel = tally.counts();
     SubtreeMiningOutcome {
         subtrees: result,

@@ -1,0 +1,89 @@
+//! Recorder overhead: proves "disabled ≈ no-op" with numbers.
+//!
+//! `cargo bench -p catapult-obs` prints median per-batch times for the
+//! span and counter hot paths with the recorder disabled vs enabled.
+//! The disabled numbers are the cost every un-profiled pipeline run
+//! pays; they should be within noise of the empty-loop baseline.
+
+use catapult_obs::{Kernel, KernelMeasurement, Recorder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const BATCH: usize = 10_000;
+
+fn bench_spans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("span");
+    let disabled = Recorder::disabled();
+    g.bench_function("disabled_x10k", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let guard = disabled.span("bench");
+                black_box(&guard);
+            }
+        })
+    });
+    g.bench_function("enabled_x10k", |b| {
+        b.iter(|| {
+            // A fresh recorder per batch keeps the span store from
+            // growing unboundedly across iterations.
+            let enabled = Recorder::enabled();
+            for _ in 0..BATCH {
+                let guard = enabled.span("bench");
+                black_box(&guard);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter");
+    let disabled = Recorder::disabled().counter("bench.kernel.metric");
+    g.bench_function("disabled_add_x10k", |b| {
+        b.iter(|| {
+            for i in 0..BATCH as u64 {
+                disabled.add(black_box(i));
+            }
+        })
+    });
+    let enabled_rec = Recorder::enabled();
+    let enabled = enabled_rec.counter("bench.kernel.metric");
+    g.bench_function("enabled_add_x10k", |b| {
+        b.iter(|| {
+            for i in 0..BATCH as u64 {
+                enabled.add(black_box(i));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_probe_flush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_flush");
+    let disabled = Recorder::disabled().stage_probe("bench");
+    let m = KernelMeasurement {
+        probes: 1000,
+        checks: 2,
+        improved: 1,
+        exact: true,
+    };
+    g.bench_function("disabled_x10k", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                disabled.flush(Kernel::Iso, black_box(m));
+            }
+        })
+    });
+    let enabled_rec = Recorder::enabled();
+    let enabled = enabled_rec.stage_probe("bench");
+    g.bench_function("enabled_x10k", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                enabled.flush(Kernel::Iso, black_box(m));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spans, bench_counters, bench_probe_flush);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Captures the compiler version at build time so run manifests can
+//! record it without shelling out at runtime (the binary may run on a
+//! host without a toolchain).
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = std::process::Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=CATAPULT_OBS_RUSTC={version}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

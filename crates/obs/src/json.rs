@@ -1,0 +1,285 @@
+//! Minimal hand-rolled JSON with **insertion-ordered** objects.
+//!
+//! The container has no registry access, so serde is out; this is the
+//! same approach `catapult-bench` already uses for `BENCH_*.json`, made
+//! reusable. Insertion order is load-bearing: the manifest golden test
+//! (tests/manifest_golden.rs at the workspace root) pins the exact byte
+//! layout, which requires object keys to render in a stable,
+//! author-controlled order.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer (counters, nanosecond timestamps).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Finite float; non-finite values render as `null`.
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    #[must_use]
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// An empty array.
+    #[must_use]
+    pub fn array() -> Value {
+        Value::Array(Vec::new())
+    }
+
+    /// Set `key` on an object: replaces an existing key in place (keeping
+    /// its position) or appends. No-op on non-objects.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Value {
+        if let Value::Object(entries) = self {
+            let value = value.into();
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key.to_string(), value));
+            }
+        }
+        self
+    }
+
+    /// Append to an array. No-op on non-arrays.
+    pub fn push(&mut self, value: impl Into<Value>) -> &mut Value {
+        if let Value::Array(items) = self {
+            items.push(value.into());
+        }
+        self
+    }
+
+    /// Look up `key` on an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Render as pretty-printed JSON (2-space indent, trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // {:?} is Rust's shortest round-trip form; bench JSON
+                    // uses the same convention.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => escape_into(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::UInt(n)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::UInt(n.into())
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::UInt(n as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+/// Extract the integer value of a top-level `"key": N` field with a
+/// tolerant scan — enough to read `schema_version` back out of a file
+/// this module wrote, without a full parser.
+#[must_use]
+pub fn extract_uint_field(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    let rest = text[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let mut v = Value::object();
+        v.set("zebra", 1u64).set("alpha", 2u64).set("mid", "x");
+        assert_eq!(
+            v.render(),
+            "{\n  \"zebra\": 1,\n  \"alpha\": 2,\n  \"mid\": \"x\"\n}\n"
+        );
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut v = Value::object();
+        v.set("a", 1u64).set("b", 2u64).set("a", 9u64);
+        assert_eq!(v.render(), "{\n  \"a\": 9,\n  \"b\": 2\n}\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::from("a\"b\\c\nd\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Value::from(f64::NAN).render(), "null\n");
+        assert_eq!(Value::from(1.5f64).render(), "1.5\n");
+    }
+
+    #[test]
+    fn extracts_uint_fields() {
+        let text = "{\n  \"schema_version\": 3,\n  \"x\": 1\n}\n";
+        assert_eq!(extract_uint_field(text, "schema_version"), Some(3));
+        assert_eq!(extract_uint_field(text, "missing"), None);
+        assert_eq!(
+            extract_uint_field("{\"schema_version\": []}", "schema_version"),
+            None
+        );
+    }
+
+    #[test]
+    fn nested_layout() {
+        let mut inner = Value::object();
+        inner.set("n", 1u64);
+        let mut arr = Value::array();
+        arr.push(inner);
+        arr.push(Value::Null);
+        let mut v = Value::object();
+        v.set("items", arr);
+        v.set("empty", Value::array());
+        assert_eq!(
+            v.render(),
+            "{\n  \"items\": [\n    {\n      \"n\": 1\n    },\n    null\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+}

@@ -1,0 +1,664 @@
+//! [`Recorder`]: spans, counters, histograms, and kernel probes.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled ≈ free.** The default recorder is `Recorder(None)`.
+//!    Every entry point checks that `Option` first and returns a no-op
+//!    handle without reading the clock, locking, or allocating —
+//!    tests/no_alloc.rs (workspace root) proves the span/counter/probe
+//!    hot path performs zero heap allocations when disabled.
+//! 2. **Deterministic aggregation.** Counters are updated only with
+//!    commutative `fetch_add`s and snapshotted in `BTreeMap` (name)
+//!    order, so enabling the recorder cannot perturb pipeline output and
+//!    counter totals are identical for every thread count
+//!    (tests/parallel_determinism.rs runs with the recorder on).
+//! 3. **Cheap when enabled.** Kernel instrumentation accumulates into
+//!    plain `u64`s inside the search loop ([`BudgetMeter`] in
+//!    `catapult-graph`) and flushes through [`StageProbe::flush`] once
+//!    per kernel invocation — the per-probe cost is one integer add, not
+//!    an atomic RMW.
+//!
+//! [`BudgetMeter`]: https://docs.rs/catapult-graph
+
+use crate::worker;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a recording session. Clones share the same store.
+///
+/// `Recorder::default()` is **disabled**: all operations are no-ops and
+/// [`Recorder::snapshot`] returns `None`. Construct with
+/// [`Recorder::enabled`] to actually record.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+/// Distinguishes recorders on the thread-local span stack so nested
+/// tests with independent recorders never cross-parent spans.
+static RECORDER_IDS: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Debug)]
+struct Inner {
+    id: u64,
+    epoch: std::time::Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+thread_local! {
+    /// Stack of open spans on this thread: (recorder id, span id).
+    static SPAN_STACK: RefCell<Vec<(u64, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Lock a mutex, ignoring poison: the stores hold plain data, and a
+/// panicking instrumented thread must not cascade into the recorder.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Recorder {
+    /// A recorder that records. The epoch (span time zero) is now.
+    #[must_use]
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                id: RECORDER_IDS.fetch_add(1, Ordering::Relaxed),
+                epoch: crate::now(),
+                spans: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// A recorder where everything is a no-op (same as `default()`).
+    #[must_use]
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span; it closes when the returned guard drops.
+    ///
+    /// The parent is the innermost span currently open **on this
+    /// thread** for this recorder; the span also records the rayon-shim
+    /// worker id active at open time ([`worker::current`]).
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { open: None };
+        };
+        let start_ns = duration_ns(inner.epoch.elapsed());
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(rec, _)| *rec == inner.id)
+                .map(|(_, id)| *id)
+        });
+        let mut spans = lock(&inner.spans);
+        let id = spans.len() as u32;
+        spans.push(SpanRecord {
+            name,
+            id,
+            parent,
+            start_ns,
+            end_ns: None,
+            worker: worker::current(),
+        });
+        drop(spans);
+        SPAN_STACK.with(|s| s.borrow_mut().push((inner.id, id)));
+        SpanGuard {
+            open: Some((Arc::clone(inner), id)),
+        }
+    }
+
+    /// A handle to the named counter, registering it on first use.
+    ///
+    /// Names must follow the `stage.kernel.metric` convention (xtask
+    /// lint rule 7 checks literal call sites). Disabled recorders return
+    /// a no-op handle without allocating.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter(None);
+        };
+        let mut counters = lock(&inner.counters);
+        let cell = counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// A handle to the named histogram, registering it on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let Some(inner) = &self.inner else {
+            return HistogramHandle(None);
+        };
+        let mut hists = lock(&inner.histograms);
+        let cell = hists
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()));
+        HistogramHandle(Some(Arc::clone(cell)))
+    }
+
+    /// Pre-resolve the full set of kernel cells for a pipeline stage.
+    ///
+    /// The probe rides on `SearchBudget` into every NP-hard kernel;
+    /// resolving the `stage.kernel.metric` counters once per stage keeps
+    /// kernel construction allocation-free.
+    #[must_use]
+    pub fn stage_probe(&self, stage: &'static str) -> StageProbe {
+        if self.inner.is_none() {
+            return StageProbe(None);
+        }
+        let kernel_cells = |kernel: Kernel| {
+            let name = |metric: &str| format!("{stage}.{}.{metric}", kernel.name());
+            KernelCells {
+                calls: self.counter(&name("calls")),
+                probes: self.counter(&name("probes")),
+                checks: self.counter(&name("budget_checks")),
+                improved: self.counter(&name("improved")),
+                exact: self.counter(&name("exact")),
+                degraded: self.counter(&name("degraded")),
+                probe_sizes: self.histogram(&name("probes_per_call")),
+            }
+        };
+        StageProbe(Some(Arc::new(StageCells {
+            stage,
+            recorder: self.clone(),
+            kernels: [
+                kernel_cells(Kernel::Iso),
+                kernel_cells(Kernel::Mcs),
+                kernel_cells(Kernel::Ged),
+            ],
+        })))
+    }
+
+    /// Capture everything recorded so far; `None` when disabled.
+    ///
+    /// Counters and histograms come out in lexicographic name order;
+    /// spans in creation order. Open spans are reported with
+    /// `end_ns = None`.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        let inner = self.inner.as_ref()?;
+        let spans = lock(&inner.spans).clone();
+        let counters = lock(&inner.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = lock(&inner.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        Some(Snapshot {
+            spans,
+            counters,
+            histograms,
+        })
+    }
+}
+
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One recorded span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (short; nesting provides the path, e.g. `pipeline` →
+    /// `clustering` → `mining`).
+    pub name: &'static str,
+    /// Creation-order id, unique within the recorder.
+    pub id: u32,
+    /// Innermost enclosing span on the opening thread, if any.
+    pub parent: Option<u32>,
+    /// Monotonic ns since the recorder's epoch at open.
+    pub start_ns: u64,
+    /// Monotonic ns since the epoch at close; `None` if still open.
+    pub end_ns: Option<u64>,
+    /// Rayon-shim worker id at open time (0 = caller thread).
+    pub worker: u32,
+}
+
+impl SpanRecord {
+    /// Span duration in ns (0 if still open).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns
+            .map_or(0, |end| end.saturating_sub(self.start_ns))
+    }
+}
+
+/// RAII guard from [`Recorder::span`]; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<(Arc<Inner>, u32)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((inner, id)) = self.open.take() else {
+            return;
+        };
+        let end_ns = duration_ns(inner.epoch.elapsed());
+        if let Some(record) = lock(&inner.spans).get_mut(id as usize) {
+            record.end_ns = Some(end_ns);
+        }
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Usually the top of the stack; a linear probe tolerates
+            // out-of-order guard drops without corrupting neighbors.
+            if let Some(at) = stack.iter().rposition(|&e| e == (inner.id, id)) {
+                stack.remove(at);
+            }
+        });
+    }
+}
+
+/// Lock-free counter handle; a no-op when the recorder is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free log₂-bucketed histogram (64 buckets: bucket *i* holds
+/// values whose bit length is *i*, i.e. `[2^(i-1), 2^i)`; bucket 0 holds
+/// zero).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; 64],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Aggregate view of everything recorded so far.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Upper bound of bucket i: 2^i - 1 (bucket 0 → 0).
+                    return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                }
+            }
+            u64::MAX
+        };
+        HistogramSummary {
+            count,
+            sum,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Shareable histogram handle; a no-op when the recorder is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.record(value);
+        }
+    }
+}
+
+/// Aggregate view of a [`Histogram`]. Quantiles are bucket upper bounds
+/// (log₂ resolution), deterministic for a given multiset of values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Median (log₂-bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (log₂-bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (log₂-bucket upper bound).
+    pub p99: u64,
+}
+
+/// The three NP-hard kernel families the pipeline meters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// VF2 subgraph isomorphism (`catapult-graph::iso`).
+    Iso,
+    /// Maximum common (connected) subgraph (`catapult-graph::mcs`).
+    Mcs,
+    /// Graph edit distance (`catapult-graph::ged`).
+    Ged,
+}
+
+impl Kernel {
+    /// All kernels, in manifest order.
+    pub const ALL: [Kernel; 3] = [Kernel::Iso, Kernel::Mcs, Kernel::Ged];
+
+    /// The `kernel` segment of `stage.kernel.metric` counter names.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Iso => "iso",
+            Kernel::Mcs => "mcs",
+            Kernel::Ged => "ged",
+        }
+    }
+}
+
+/// What one kernel invocation reports when it completes (accumulated as
+/// plain integers inside the search, flushed once on drop).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelMeasurement {
+    /// Search nodes expanded (`BudgetMeter` ticks).
+    pub probes: u64,
+    /// Deadline/cancellation polls performed.
+    pub checks: u64,
+    /// Best-so-far improvements (embeddings found, bounds tightened).
+    pub improved: u64,
+    /// Whether the search ran to completion ([`Completeness::Exact`]).
+    ///
+    /// [`Completeness::Exact`]: https://docs.rs/catapult-graph
+    pub exact: bool,
+}
+
+/// Pre-resolved per-stage kernel counters, carried by `SearchBudget`.
+///
+/// Cloning is one `Arc` bump (or free when disabled), so the probe can
+/// ride through config plumbing and into every `BudgetMeter`.
+#[derive(Clone, Debug, Default)]
+pub struct StageProbe(Option<Arc<StageCells>>);
+
+#[derive(Debug)]
+struct StageCells {
+    stage: &'static str,
+    recorder: Recorder,
+    /// Indexed by `Kernel as usize`.
+    kernels: [KernelCells; 3],
+}
+
+/// The atomic cells behind one (stage, kernel) pair.
+#[derive(Clone, Debug, Default)]
+struct KernelCells {
+    calls: Counter,
+    probes: Counter,
+    checks: Counter,
+    improved: Counter,
+    exact: Counter,
+    degraded: Counter,
+    probe_sizes: HistogramHandle,
+}
+
+impl StageProbe {
+    /// Whether flushes reach a live recorder.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The stage this probe attributes kernel work to.
+    #[must_use]
+    pub fn stage(&self) -> Option<&'static str> {
+        self.0.as_ref().map(|c| c.stage)
+    }
+
+    /// Flush one finished kernel invocation into the stage counters.
+    pub fn flush(&self, kernel: Kernel, m: KernelMeasurement) {
+        let Some(cells) = &self.0 else {
+            return;
+        };
+        let k = &cells.kernels[kernel as usize];
+        k.calls.incr();
+        k.probes.add(m.probes);
+        k.checks.add(m.checks);
+        k.improved.add(m.improved);
+        if m.exact {
+            k.exact.incr();
+        } else {
+            k.degraded.incr();
+        }
+        k.probe_sizes.record(m.probes);
+    }
+
+    /// Bump an ad-hoc `stage.kernel.metric` counter under this probe's
+    /// stage — for non-search metrics (e.g. `mining.subtree.levels`)
+    /// where pre-resolved cells would be overkill.
+    pub fn add(&self, kernel: &str, metric: &str, n: u64) {
+        let Some(cells) = &self.0 else {
+            return;
+        };
+        cells
+            .recorder
+            .counter(&format!("{}.{kernel}.{metric}", cells.stage))
+            .add(n);
+    }
+}
+
+/// Everything a recorder captured, in deterministic order.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Spans in creation order.
+    pub spans: Vec<SpanRecord>,
+    /// Counters sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Sum of all `counters` whose name matches `stage.*.metric`.
+    #[must_use]
+    pub fn stage_metric_total(&self, stage: &str, metric: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(name, _)| {
+                let parts: Vec<&str> = name.split('.').collect();
+                parts.len() >= 3 && parts[0] == stage && parts.last() == Some(&metric)
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let _span = rec.span("nothing");
+        rec.counter("a.b.c").add(5);
+        rec.stage_probe("s")
+            .flush(Kernel::Iso, KernelMeasurement::default());
+        assert!(rec.snapshot().is_none());
+    }
+
+    #[test]
+    fn spans_nest_via_thread_local_stack() {
+        let rec = Recorder::enabled();
+        {
+            let _outer = rec.span("outer");
+            {
+                let _inner = rec.span("inner");
+            }
+            let _sibling = rec.span("sibling");
+        }
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].name, "outer");
+        assert_eq!(snap.spans[0].parent, None);
+        assert_eq!(snap.spans[1].name, "inner");
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert_eq!(snap.spans[2].name, "sibling");
+        assert_eq!(snap.spans[2].parent, Some(0));
+        for s in &snap.spans {
+            assert!(s.end_ns.is_some(), "span {} left open", s.name);
+            assert!(s.end_ns >= Some(s.start_ns));
+        }
+    }
+
+    #[test]
+    fn two_recorders_do_not_cross_parent() {
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        let _sa = a.span("a-root");
+        let sb = b.span("b-root");
+        drop(sb);
+        let snap = b.snapshot().unwrap();
+        assert_eq!(snap.spans[0].parent, None, "b's span parented under a's");
+    }
+
+    #[test]
+    fn counters_aggregate_across_clones_and_threads() {
+        let rec = Recorder::enabled();
+        let c = rec.counter("stage.kern.metric");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter("stage.kern.metric").get(), 4000);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counters, vec![("stage.kern.metric".to_string(), 4000)]);
+    }
+
+    #[test]
+    fn stage_probe_flushes_into_named_counters() {
+        let rec = Recorder::enabled();
+        let probe = rec.stage_probe("scoring");
+        probe.flush(
+            Kernel::Iso,
+            KernelMeasurement {
+                probes: 10,
+                checks: 2,
+                improved: 1,
+                exact: true,
+            },
+        );
+        probe.flush(
+            Kernel::Iso,
+            KernelMeasurement {
+                probes: 30,
+                checks: 4,
+                improved: 0,
+                exact: false,
+            },
+        );
+        assert_eq!(rec.counter("scoring.iso.calls").get(), 2);
+        assert_eq!(rec.counter("scoring.iso.probes").get(), 40);
+        assert_eq!(rec.counter("scoring.iso.budget_checks").get(), 6);
+        assert_eq!(rec.counter("scoring.iso.improved").get(), 1);
+        assert_eq!(rec.counter("scoring.iso.exact").get(), 1);
+        assert_eq!(rec.counter("scoring.iso.degraded").get(), 1);
+        assert_eq!(rec.counter("scoring.mcs.calls").get(), 0);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.stage_metric_total("scoring", "probes"), 40);
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "scoring.iso.probes_per_call")
+            .unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 40);
+    }
+
+    #[test]
+    fn histogram_quantiles_use_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.p50, 3); // bucket [2,4) → upper bound 3
+        assert_eq!(s.p99, 127); // bucket [64,128) → upper bound 127
+    }
+
+    #[test]
+    fn probe_ad_hoc_add_uses_stage_prefix() {
+        let rec = Recorder::enabled();
+        let probe = rec.stage_probe("mining");
+        probe.add("subtree", "levels", 3);
+        assert_eq!(rec.counter("mining.subtree.levels").get(), 3);
+    }
+}

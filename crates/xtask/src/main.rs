@@ -29,6 +29,15 @@
 //!    collection, and panic propagation. A stray spawn would bypass all
 //!    three. Use `par_iter`/`join` from the shim instead, or annotate
 //!    `// xtask-allow: no-raw-spawn` after review.
+//! 7. **Observability hygiene** — two sub-checks. (a) Counter and
+//!    histogram names registered on a `Recorder` follow the
+//!    `stage.kernel.metric` convention (≥ 3 dot-separated lowercase
+//!    segments), so manifests stay greppable and `stage_metric_total`
+//!    keeps working. (b) `Instant::now()` is forbidden outside
+//!    `crates/obs` and the shims: ad-hoc clocks bypass the recorder's
+//!    epoch and the deadline plumbing — use `catapult_obs::now()`,
+//!    `catapult_obs::Stopwatch`, or a span. Escape with
+//!    `// xtask-allow: metric-name` / `// xtask-allow: raw-instant`.
 //!
 //! Exit status is non-zero when any rule fires; CI runs this next to
 //! `cargo clippy`.
@@ -134,6 +143,12 @@ fn lint() -> ExitCode {
     for dir in spawn_covered_dirs(&root) {
         for file in rust_files(&dir) {
             check_no_raw_spawn(&file, &mut findings);
+        }
+    }
+    for dir in obs_covered_dirs(&root) {
+        for file in rust_files(&dir) {
+            check_metric_names(&file, &mut findings);
+            check_no_raw_instant(&file, &mut findings);
         }
     }
 
@@ -506,6 +521,98 @@ fn swallowed_kernel_call(code: &str) -> Option<&'static str> {
     None
 }
 
+/// Dirs rule 7 scans: everything rule 6 covers except `crates/obs`
+/// (which owns the clock and registers counters from computed names),
+/// plus `examples/`.
+fn obs_covered_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = spawn_covered_dirs(root)
+        .into_iter()
+        .filter(|d| !d.starts_with(root.join("crates/obs")))
+        .filter(|d| !d.starts_with(root.join("shims")))
+        .collect();
+    dirs.push(root.join("examples"));
+    dirs.sort();
+    dirs
+}
+
+/// Rule 7a: metric names registered on a recorder follow
+/// `stage.kernel.metric` (≥ 3 lowercase dot-separated segments).
+fn check_metric_names(path: &Path, findings: &mut Vec<Finding>) {
+    const METRIC_CALLS: &[&str] = &[".counter(\"", ".histogram(\""];
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break; // Test modules sit at the bottom of each file.
+        }
+        if allowed(line, "metric-name") {
+            continue;
+        }
+        let code = code_part(line);
+        for needle in METRIC_CALLS {
+            let Some(at) = code.find(needle) else {
+                continue;
+            };
+            let lit = &code[at + needle.len()..];
+            let Some(end) = lit.find('"') else { continue };
+            let name = &lit[..end];
+            if !valid_metric_name(name) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule: "metric-name",
+                    message: format!(
+                        "metric name `{name}` violates the `stage.kernel.metric` \
+                         convention (>= 3 lowercase dot-separated segments)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `stage.kernel.metric`: at least three non-empty segments of
+/// `[a-z0-9_]`.
+fn valid_metric_name(name: &str) -> bool {
+    let parts: Vec<&str> = name.split('.').collect();
+    parts.len() >= 3
+        && parts.iter().all(|p| {
+            !p.is_empty()
+                && p.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
+/// Rule 7b: no `Instant::now()` outside `crates/obs` / the shims.
+fn check_no_raw_instant(path: &Path, findings: &mut Vec<Finding>) {
+    // Assembled at compile time so this scanner never flags itself.
+    const INSTANT_NEEDLE: &str = concat!("Instant::", "now(");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break; // Test modules sit at the bottom of each file.
+        }
+        if allowed(line, "raw-instant") {
+            continue;
+        }
+        if code_part(line).contains(INSTANT_NEEDLE) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "raw-instant",
+                message: format!(
+                    "`{INSTANT_NEEDLE}...)` outside crates/obs bypasses the recorder \
+                     epoch; use catapult_obs::now()/Stopwatch or a span, or \
+                     annotate `// xtask-allow: raw-instant`"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +671,19 @@ mod tests {
         assert_eq!(swallowed_kernel_call("(3..=8).contains(&n)"), None);
         // Field access has no call paren.
         assert_eq!(swallowed_kernel_call("out.embeddings > 0"), None);
+    }
+
+    #[test]
+    fn metric_name_convention() {
+        assert!(valid_metric_name("mining.iso.calls"));
+        assert!(valid_metric_name("scoring.greedy.iterations"));
+        assert!(valid_metric_name("eval.workload.steps"));
+        assert!(valid_metric_name("mining.iso.probes_per_call"));
+        assert!(!valid_metric_name("mining"));
+        assert!(!valid_metric_name("mining.calls"));
+        assert!(!valid_metric_name("Mining.Iso.Calls"));
+        assert!(!valid_metric_name("mining..calls"));
+        assert!(!valid_metric_name("mining.iso."));
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() {
 
     // A batch of 40 new compounds arrives (different profile → new motifs).
     let arrivals = datasets::generate(&datasets::emol_profile(), 40, 59);
-    let start = std::time::Instant::now();
+    let start = catapult_obs::Stopwatch::start();
     let stats = inc.insert_batch(arrivals.graphs.clone());
     let patterns_v2 = inc.refresh_patterns().patterns();
     println!(

@@ -117,8 +117,13 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|(offset, chunk)| {
+            .enumerate()
+            .map(|(w, (offset, chunk))| {
                 scope.spawn(move || {
+                    // Worker slot w+1: slot 0 means "the calling thread",
+                    // so spans recorded inside the closure attribute to
+                    // the right pool worker in run manifests.
+                    let _worker = catapult_obs::worker::enter(w as u32 + 1);
                     chunk
                         .into_iter()
                         .enumerate()
@@ -157,7 +162,10 @@ where
         return (a(), b());
     }
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+        let hb = scope.spawn(|| {
+            let _worker = catapult_obs::worker::enter(1);
+            b()
+        });
         let ra = a();
         match hb.join() {
             Ok(rb) => (ra, rb),

@@ -13,13 +13,16 @@
 //! [`catapult_graph::fmt`]. All logic lives here (unit-testable); the
 //! binary only forwards `std::env::args` and prints.
 
-use catapult_core::{run_catapult, CatapultConfig, PatternBudget};
+use catapult_core::{run_catapult, CatapultConfig, PatternBudget, PipelineReport};
 use catapult_datasets::{aids_profile, emol_profile, generate, pubchem_profile, random_queries};
 use catapult_eval::WorkloadEvaluation;
 use catapult_graph::fmt::{parse_graphs, write_graphs};
 use catapult_graph::{Deadline, Graph, LabelInterner, SearchBudget};
+use catapult_obs::json::Value;
+use catapult_obs::{manifest, ManifestError, Recorder, RunManifest};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::time::Duration;
 
 /// CLI errors.
@@ -51,27 +54,53 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<ManifestError> for CliError {
+    fn from(e: ManifestError) -> Self {
+        match e {
+            ManifestError::Io(io) => CliError::Io(io),
+            // Schema mismatch is an operator decision point (`--force`),
+            // not an I/O failure.
+            other => CliError::Usage(other.to_string()),
+        }
+    }
+}
+
+/// Flags that take no value — their presence is the value.
+const BOOL_FLAGS: &[&str] = &["trace", "force"];
+
 /// Parsed `--key value` flags.
 #[derive(Debug)]
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: Vec<String>,
 }
 
 impl Flags {
-    /// Parse `--key value` pairs; rejects dangling flags.
+    /// Parse `--key value` pairs (and the valueless switches in
+    /// [`BOOL_FLAGS`]); rejects dangling flags.
     pub fn parse(args: &[String]) -> Result<Flags, CliError> {
         let mut values = HashMap::new();
+        let mut switches = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let key = a
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{a}'")))?;
+            if BOOL_FLAGS.contains(&key) {
+                switches.push(key.to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
             values.insert(key.to_string(), value.clone());
         }
-        Ok(Flags { values })
+        Ok(Flags { values, switches })
+    }
+
+    /// True when a valueless switch (e.g. `--trace`) was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
     }
 
     /// Required string flag.
@@ -98,6 +127,54 @@ impl Flags {
     }
 }
 
+/// Per-invocation observability session: the [`Recorder`] every stage
+/// reports into, plus the manifest sections individual subcommands
+/// contribute (pipeline report, budget configuration, …).
+#[derive(Debug)]
+pub struct ObsSession {
+    /// Disabled (a no-op) unless `--metrics-out` or `--trace` was given.
+    pub recorder: Recorder,
+    sections: Vec<(String, Value)>,
+}
+
+impl ObsSession {
+    fn new(enabled: bool) -> ObsSession {
+        ObsSession {
+            recorder: if enabled {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            },
+            sections: Vec::new(),
+        }
+    }
+
+    /// Contribute a named manifest section. No-op when observability is
+    /// off, so subcommands call it unconditionally.
+    pub fn section(&mut self, key: &str, value: Value) {
+        if self.recorder.is_enabled() {
+            self.sections.push((key.to_string(), value));
+        }
+    }
+}
+
+/// The [`PipelineReport`] as a manifest section: per-stage completeness
+/// tallies plus the overall verdict.
+fn report_value(report: &PipelineReport) -> Value {
+    let mut v = Value::object();
+    v.set("all_exact", report.all_exact());
+    v.set("worst", report.worst().name());
+    for (stage, t) in report.stages() {
+        let mut tv = Value::object();
+        tv.set("exact", t.exact);
+        tv.set("budget_exhausted", t.budget_exhausted);
+        tv.set("deadline_exceeded", t.deadline_exceeded);
+        tv.set("cancelled", t.cancelled);
+        v.set(stage, tv);
+    }
+    v
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "usage: catapult <generate|select|evaluate|stats> [--flags]\n\
   generate --profile aids|pubchem|emol --count N [--seed S] [--out FILE]\n\
@@ -107,9 +184,13 @@ pub const USAGE: &str = "usage: catapult <generate|select|evaluate|stats> [--fla
            [--threads N]\n\
   stats    --db FILE\n\
 common:\n\
-  --threads N   worker threads for the parallel fan-outs: 0 = auto\n\
-                (all cores), 1 = exact sequential legacy behavior\n\
-                (default: CATAPULT_THREADS env var, else auto)";
+  --threads N        worker threads for the parallel fan-outs: 0 = auto\n\
+                     (all cores), 1 = exact sequential legacy behavior\n\
+                     (default: CATAPULT_THREADS env var, else auto)\n\
+  --metrics-out FILE write a schema-versioned JSON run manifest (spans,\n\
+                     kernel counters, environment) after the command\n\
+  --trace            print a per-stage wall-time / kernel-effort table\n\
+  --force            overwrite a metrics file whose schema_version differs";
 
 fn load_db(path: &str, interner: &mut LabelInterner) -> Result<Vec<Graph>, CliError> {
     let text = std::fs::read_to_string(path)?;
@@ -127,7 +208,8 @@ fn emit(out: Option<&str>, content: &str) -> Result<String, CliError> {
 }
 
 /// `generate`: write a synthetic repository.
-pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
+pub fn cmd_generate(flags: &Flags, obs: &mut ObsSession) -> Result<String, CliError> {
+    let _span = obs.recorder.span("generate");
     let profile = match flags.require("profile")? {
         "aids" => aids_profile(),
         "pubchem" => pubchem_profile(),
@@ -137,12 +219,15 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     let count: usize = flags.num("count", 100)?;
     let seed: u64 = flags.num("seed", 42)?;
     let db = generate(&profile, count, seed);
+    obs.recorder
+        .counter("generate.db.graphs")
+        .add(db.graphs.len() as u64);
     let text = write_graphs(&db.graphs, &db.interner);
     emit(flags.get("out"), &text)
 }
 
 /// `select`: run the pipeline and write the canned patterns.
-pub fn cmd_select(flags: &Flags) -> Result<String, CliError> {
+pub fn cmd_select(flags: &Flags, obs: &mut ObsSession) -> Result<String, CliError> {
     let mut interner = LabelInterner::new();
     let db = load_db(flags.require("db")?, &mut interner)?;
     let gamma: usize = flags.num("gamma", 30)?;
@@ -168,8 +253,25 @@ pub fn cmd_select(flags: &Flags) -> Result<String, CliError> {
         walks: flags.num("walks", 100)?,
         seed: flags.num("seed", 0xCA7A)?,
         search,
+        recorder: obs.recorder.clone(),
         ..Default::default()
     };
+    // Budget configuration as given, so a manifest is self-describing.
+    let mut budget_v = Value::object();
+    budget_v.set("gamma", gamma as u64);
+    budget_v.set("min_size", min_size as u64);
+    budget_v.set("max_size", max_size as u64);
+    budget_v.set("walks", cfg.walks as u64);
+    budget_v.set("seed", cfg.seed);
+    match flags.num::<u64>("search-budget", u64::MAX)? {
+        u64::MAX => budget_v.set("search_nodes", Value::Null),
+        cap => budget_v.set("search_nodes", cap),
+    };
+    match flags.get("deadline-ms") {
+        None => budget_v.set("deadline_ms", Value::Null),
+        Some(ms) => budget_v.set("deadline_ms", ms.parse::<u64>().unwrap_or(0)),
+    };
+    obs.section("budget", budget_v);
     let result = run_catapult(&db, &cfg);
     let patterns = result.patterns();
     let text = write_graphs(&patterns, &interner);
@@ -182,11 +284,12 @@ pub fn cmd_select(flags: &Flags) -> Result<String, CliError> {
         result.pattern_generation_time().as_secs_f64(),
         report.summary().replace('\n', "\n% "),
     );
+    obs.section("report", report_value(report));
     emit(flags.get("out"), &format!("{summary}{text}"))
 }
 
 /// `evaluate`: workload metrics of a pattern file against a repository.
-pub fn cmd_evaluate(flags: &Flags) -> Result<String, CliError> {
+pub fn cmd_evaluate(flags: &Flags, obs: &mut ObsSession) -> Result<String, CliError> {
     let mut interner = LabelInterner::new();
     let db = load_db(flags.require("db")?, &mut interner)?;
     // Same interner: label names shared between the two files.
@@ -196,7 +299,12 @@ pub fn cmd_evaluate(flags: &Flags) -> Result<String, CliError> {
     let hi: usize = flags.num("max-edges", 25)?;
     let seed: u64 = flags.num("seed", 7)?;
     let queries = random_queries(&db, n, (lo, hi), seed);
-    let ev = WorkloadEvaluation::evaluate(&patterns, &queries);
+    let ev = WorkloadEvaluation::evaluate_recorded(&patterns, &queries, &obs.recorder);
+    let mut eval_v = Value::object();
+    eval_v.set("queries", queries.len() as u64);
+    eval_v.set("mean_reduction", ev.mean_reduction());
+    eval_v.set("missed_percentage", ev.missed_percentage());
+    obs.section("evaluation", eval_v);
     Ok(format!(
         "queries: {}\nmean step reduction: {:.1}%\nmax step reduction: {:.1}%\nmissed percentage: {:.1}%\nscov: {:.3}\nlcov: {:.3}\nmean cog: {:.2}\nmean div: {:.2}",
         queries.len(),
@@ -211,7 +319,8 @@ pub fn cmd_evaluate(flags: &Flags) -> Result<String, CliError> {
 }
 
 /// `stats`: repository summary.
-pub fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
+pub fn cmd_stats(flags: &Flags, obs: &mut ObsSession) -> Result<String, CliError> {
+    let _span = obs.recorder.span("stats");
     let mut interner = LabelInterner::new();
     let db = load_db(flags.require("db")?, &mut interner)?;
     if db.is_empty() {
@@ -277,15 +386,48 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage(USAGE.into()))?;
     let flags = Flags::parse(rest)?;
     apply_threads(&flags)?;
-    match cmd.as_str() {
-        "generate" => cmd_generate(&flags),
-        "select" => cmd_select(&flags),
-        "evaluate" => cmd_evaluate(&flags),
-        "stats" => cmd_stats(&flags),
+    let metrics_out = flags.get("metrics-out").map(str::to_string);
+    let trace = flags.switch("trace");
+    let force = flags.switch("force");
+    // Refuse a schema-incompatible overwrite up front, before any work.
+    if let Some(path) = &metrics_out {
+        manifest::guard_overwrite(Path::new(path), force)?;
+    }
+    let mut obs = ObsSession::new(metrics_out.is_some() || trace);
+    let mut out = match cmd.as_str() {
+        "generate" => cmd_generate(&flags, &mut obs),
+        "select" => cmd_select(&flags, &mut obs),
+        "evaluate" => cmd_evaluate(&flags, &mut obs),
+        "stats" => cmd_stats(&flags, &mut obs),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n{USAGE}"
         ))),
+    }?;
+    if let Some(snapshot) = obs.recorder.snapshot() {
+        if trace {
+            out.push('\n');
+            out.push_str(&catapult_obs::summary_table(&snapshot));
+        }
+        if let Some(path) = metrics_out {
+            let mut m = RunManifest::new(cmd);
+            let mut argv = Value::array();
+            for a in rest {
+                argv.push(a.as_str());
+            }
+            m.set("argv", argv);
+            m.set(
+                "environment",
+                manifest::environment(rayon::current_threads()),
+            );
+            for (key, value) in std::mem::take(&mut obs.sections) {
+                m.set(&key, value);
+            }
+            m.attach_snapshot(&snapshot);
+            m.write(Path::new(&path), force)?;
+            out.push_str(&format!("\nwrote metrics to {path}"));
+        }
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -497,6 +639,130 @@ mod tests {
         assert_eq!(rayon::current_threads(), 1);
         // Restore auto sizing for the rest of the binary's tests.
         rayon::set_threads(0);
+    }
+
+    #[test]
+    fn metrics_out_writes_versioned_manifest() {
+        let db_path = tmp("db_metrics.txt");
+        let m_path = tmp("metrics.json");
+        let _ = std::fs::remove_file(&m_path);
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "15",
+            "--seed",
+            "5",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "select",
+            "--db",
+            &db_path,
+            "--gamma",
+            "3",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+            "--walks",
+            "10",
+            "--metrics-out",
+            &m_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote metrics to"), "{out}");
+        let manifest = std::fs::read_to_string(&m_path).unwrap();
+        assert!(manifest.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(manifest.contains("\"command\": \"select\""));
+        assert!(manifest.contains("\"pipeline\""), "missing root span");
+        assert!(
+            manifest.contains("mining.iso.calls"),
+            "missing kernel counters"
+        );
+        assert!(manifest.contains("\"report\""), "missing pipeline report");
+        assert!(manifest.contains("\"budget\""), "missing budget section");
+        // The mining stage ran, so its VF2 counters must be nonzero.
+        let calls = catapult_obs::json::extract_uint_field(&manifest, "mining.iso.calls").unwrap();
+        assert!(calls > 0, "mining ran but recorded no kernel calls");
+    }
+
+    #[test]
+    fn trace_prints_span_and_kernel_tables() {
+        let db_path = tmp("db_trace.txt");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "12",
+            "--seed",
+            "2",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "select",
+            "--db",
+            &db_path,
+            "--gamma",
+            "3",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+            "--walks",
+            "10",
+            "--trace",
+        ]))
+        .unwrap();
+        assert!(out.contains("pipeline"), "{out}");
+        assert!(out.contains("probes/sec"), "{out}");
+    }
+
+    #[test]
+    fn metrics_out_refuses_foreign_schema_without_force() {
+        let db_path = tmp("db_guard.txt");
+        let m_path = tmp("metrics_guard.json");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "8",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        std::fs::write(&m_path, "{\n  \"schema_version\": 999\n}\n").unwrap();
+        let r = run(&args(&[
+            "stats",
+            "--db",
+            &db_path,
+            "--metrics-out",
+            &m_path,
+        ]));
+        assert!(matches!(r, Err(CliError::Usage(_))), "guard must refuse");
+        // --force overrides; the file is rewritten at the current schema.
+        let out = run(&args(&[
+            "stats",
+            "--db",
+            &db_path,
+            "--metrics-out",
+            &m_path,
+            "--force",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote metrics to"), "{out}");
+        let manifest = std::fs::read_to_string(&m_path).unwrap();
+        assert_eq!(
+            catapult_obs::schema_version_of(&manifest),
+            Some(catapult_obs::SCHEMA_VERSION)
+        );
     }
 
     #[test]

@@ -93,6 +93,41 @@ fn full_pipeline_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The observability layer must be invisible in the output: a recorder
+/// only *observes* (spans, counters), so a recorder-enabled run must stay
+/// byte-identical to the disabled golden for every thread count.
+#[test]
+fn recorder_enabled_run_is_byte_identical_to_disabled() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = quickstart_db();
+    let golden = with_threads(1, || {
+        serialize(&db, &run_catapult(&db.graphs, &quickstart_cfg()))
+    });
+
+    for threads in [1usize, 2, 8] {
+        let recorder = catapult_obs::Recorder::enabled();
+        let cfg = CatapultConfig {
+            recorder: recorder.clone(),
+            ..quickstart_cfg()
+        };
+        let got = with_threads(threads, || serialize(&db, &run_catapult(&db.graphs, &cfg)));
+        assert_eq!(
+            got, golden,
+            "threads={threads}: enabling the recorder changed pipeline output"
+        );
+        // And the recorder must actually have observed the run.
+        let snap = recorder.snapshot().unwrap();
+        assert!(
+            snap.spans.iter().any(|sp| sp.name == "pipeline"),
+            "threads={threads}: missing pipeline span"
+        );
+        assert!(
+            snap.stage_metric_total("mining", "calls") > 0,
+            "threads={threads}: mining ran but recorded no kernel calls"
+        );
+    }
+}
+
 #[test]
 fn auto_sizing_also_matches_the_golden() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
@@ -240,6 +275,58 @@ mod fault_sweep_under_threads {
                             "{ctx}: no fault fired, run must be exact"
                         );
                     }
+                }
+            }
+        });
+    }
+
+    /// Tracing must not perturb fault-injected degradation either: for a
+    /// fixed plan (sequential pool, so the K-th probe is deterministic)
+    /// the recorder-on run must produce the same patterns and the same
+    /// degradation verdict as the recorder-off run.
+    #[test]
+    fn fault_sweep_with_recorder_matches_disabled() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        with_threads(1, || {
+            let db = small_db();
+            fault::install(FaultPlan {
+                kind: FaultKind::Exhaust,
+                at: u64::MAX,
+                sticky: false,
+            });
+            run_catapult(&db, &config());
+            let total = fault::invocations();
+            fault::clear();
+            assert!(total > 0);
+
+            for k in [1, total / 2 + 1, total] {
+                for kind in [FaultKind::Exhaust, FaultKind::Deadline, FaultKind::Cancel] {
+                    let run_with = |recorder: catapult_obs::Recorder| {
+                        fault::install(FaultPlan {
+                            kind,
+                            at: k,
+                            sticky: false,
+                        });
+                        let r = run_catapult(
+                            &db,
+                            &CatapultConfig {
+                                recorder,
+                                ..config()
+                            },
+                        );
+                        fault::clear();
+                        (
+                            format!("{:?}", r.patterns()),
+                            r.report().degraded_stages(),
+                            r.report().worst(),
+                        )
+                    };
+                    let off = run_with(catapult_obs::Recorder::disabled());
+                    let on = run_with(catapult_obs::Recorder::enabled());
+                    assert_eq!(
+                        on, off,
+                        "K={k} kind={kind:?}: recorder changed the degraded outcome"
+                    );
                 }
             }
         });
