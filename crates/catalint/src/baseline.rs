@@ -1,0 +1,243 @@
+//! The grandfathering baseline (`catalint.baseline.json`).
+//!
+//! A baseline entry records, per `(rule, path)`, how many findings were
+//! known and accepted when the rule landed. The comparison is a ratchet:
+//!
+//! - current count **>** recorded count → the debt grew; those findings
+//!   stay active and fail the build;
+//! - current count **≤** recorded count → the findings are suppressed as
+//!   `Baselined` (reported, but non-fatal);
+//! - current count **<** recorded count → additionally surfaced as a
+//!   *stale* entry so `--update-baseline` can ratchet the number down.
+//!
+//! Counts rather than line numbers keep the file stable across unrelated
+//! edits: a finding that merely moves does not churn the baseline, and a
+//! new one cannot hide behind a stale line. The file is written by
+//! `cargo xtask lint --update-baseline`, rendered through the
+//! insertion-ordered `catapult_obs::json` serializer with entries sorted
+//! by `(rule, path)` so diffs stay minimal and reviewable.
+
+use crate::diag::{Report, Suppression};
+use catapult_obs::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// Schema version of `catalint.baseline.json`.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// Grandfathered finding counts keyed by `(rule, path)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u64>,
+}
+
+impl Baseline {
+    /// Parse a baseline document. Returns a descriptive error for a
+    /// malformed or wrong-schema file (the build should fail loudly
+    /// rather than silently ignore its debt ledger).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        match doc.get("schema_version") {
+            Some(Value::UInt(BASELINE_SCHEMA_VERSION)) => {}
+            other => {
+                return Err(format!(
+                    "unsupported baseline schema_version {other:?} (expected {BASELINE_SCHEMA_VERSION})"
+                ))
+            }
+        }
+        let mut entries = BTreeMap::new();
+        let Some(Value::Array(items)) = doc.get("entries") else {
+            return Err("baseline is missing the `entries` array".to_string());
+        };
+        for item in items {
+            let rule = item.get("rule").and_then(as_str);
+            let path = item.get("path").and_then(as_str);
+            let count = match item.get("count") {
+                Some(Value::UInt(n)) => Some(*n),
+                _ => None,
+            };
+            match (rule, path, count) {
+                (Some(rule), Some(path), Some(count)) => {
+                    entries.insert((rule.to_string(), path.to_string()), count);
+                }
+                _ => return Err(format!("malformed baseline entry: {item:?}")),
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Build a baseline that grandfathers every *active* finding in
+    /// `report` (allowed findings keep their inline markers instead).
+    #[must_use]
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for d in &report.findings {
+            if d.suppressed == Suppression::Allowed {
+                continue;
+            }
+            *entries
+                .entry((d.rule.to_string(), d.path.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Number of `(rule, path)` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no findings are grandfathered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Apply the ratchet to `report`: suppress grandfathered findings and
+    /// record stale entries. Findings already suppressed by an inline
+    /// allow are untouched.
+    pub fn apply(&self, report: &mut Report) {
+        // Current active counts per (rule, path).
+        let mut current: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for d in &report.findings {
+            if d.suppressed == Suppression::None {
+                *current
+                    .entry((d.rule.to_string(), d.path.clone()))
+                    .or_insert(0) += 1;
+            }
+        }
+        for (key, &recorded) in &self.entries {
+            let now = current.get(key).copied().unwrap_or(0);
+            if now > recorded {
+                // Debt grew: leave every finding active so the report
+                // shows all candidate sites, not an arbitrary excess.
+                continue;
+            }
+            if now < recorded {
+                report
+                    .stale_baseline
+                    .push((key.0.clone(), key.1.clone(), recorded, now));
+            }
+            for d in &mut report.findings {
+                if d.suppressed == Suppression::None && d.rule == key.0 && d.path == key.1 {
+                    d.suppressed = Suppression::Baselined;
+                }
+            }
+        }
+    }
+
+    /// Render as the checked-in JSON document (sorted, schema-versioned).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut items = Value::array();
+        for ((rule, path), count) in &self.entries {
+            let mut e = Value::object();
+            e.set("rule", rule.as_str())
+                .set("path", path.as_str())
+                .set("count", *count);
+            items.push(e);
+        }
+        let mut v = Value::object();
+        v.set("schema_version", BASELINE_SCHEMA_VERSION)
+            .set("entries", items);
+        v
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn diag(rule: &'static str, path: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line,
+            col: 1,
+            snippet: String::new(),
+            message: String::new(),
+            suppressed: Suppression::None,
+        }
+    }
+
+    fn report(findings: Vec<Diagnostic>) -> Report {
+        Report {
+            findings,
+            files_scanned: 1,
+            rules_run: vec![],
+            stale_baseline: vec![],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut r = report(vec![
+            diag("cast-truncation", "a.rs", 1),
+            diag("cast-truncation", "a.rs", 5),
+        ]);
+        r.finalize();
+        let b = Baseline::from_report(&r);
+        let text = b.to_json().render();
+        let back = Baseline::parse(&text).expect("parses");
+        assert_eq!(back, b);
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn ratchet_suppresses_when_at_or_below_recorded() {
+        let mut r = report(vec![diag("r", "a.rs", 1), diag("r", "a.rs", 2)]);
+        let text = "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\"rule\": \"r\", \"path\": \"a.rs\", \"count\": 2}\n  ]\n}\n";
+        let b = Baseline::parse(text).expect("parses");
+        b.apply(&mut r);
+        assert_eq!(r.count(Suppression::Baselined), 2);
+        assert_eq!(r.count(Suppression::None), 0);
+        assert!(r.stale_baseline.is_empty());
+    }
+
+    #[test]
+    fn ratchet_fails_open_when_debt_grows() {
+        let mut r = report(vec![diag("r", "a.rs", 1), diag("r", "a.rs", 2)]);
+        let text = "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\"rule\": \"r\", \"path\": \"a.rs\", \"count\": 1}\n  ]\n}\n";
+        Baseline::parse(text).expect("parses").apply(&mut r);
+        assert_eq!(r.count(Suppression::None), 2, "all sites stay visible");
+    }
+
+    #[test]
+    fn ratchet_reports_stale_entries() {
+        let mut r = report(vec![diag("r", "a.rs", 1)]);
+        let text = "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\"rule\": \"r\", \"path\": \"a.rs\", \"count\": 3},\n    {\"rule\": \"r\", \"path\": \"gone.rs\", \"count\": 2}\n  ]\n}\n";
+        Baseline::parse(text).expect("parses").apply(&mut r);
+        assert_eq!(r.count(Suppression::Baselined), 1);
+        assert_eq!(r.stale_baseline.len(), 2);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_malformed_entries() {
+        assert!(Baseline::parse("{\"schema_version\": 9, \"entries\": []}").is_err());
+        assert!(Baseline::parse("{\"schema_version\": 1}").is_err());
+        assert!(
+            Baseline::parse("{\"schema_version\": 1, \"entries\": [{\"rule\": \"r\"}]}").is_err()
+        );
+    }
+
+    #[test]
+    fn inline_allows_are_not_baselined() {
+        let mut allowed = diag("r", "a.rs", 1);
+        allowed.suppressed = Suppression::Allowed;
+        let r = report(vec![allowed, diag("r", "a.rs", 2)]);
+        let b = Baseline::from_report(&r);
+        let text = b.to_json().render();
+        assert!(
+            text.contains("\"count\": 1"),
+            "only the active finding: {text}"
+        );
+    }
+}

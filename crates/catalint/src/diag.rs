@@ -1,0 +1,234 @@
+//! Structured diagnostics and the run report.
+//!
+//! Every rule emits [`Diagnostic`] records — `{rule, path, line, col,
+//! snippet, suppressed}` plus a human message — which render both as
+//! `path:line:col: [rule] message` lines and as JSON through the
+//! hand-rolled insertion-ordered serializer in `catapult_obs::json`
+//! (the same layer the run manifests use, so CI artifacts stay
+//! byte-stable and greppable).
+
+use catapult_obs::json::Value;
+use std::fmt::Write as _;
+
+/// Schema version of the JSON report (`--json`).
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Why a finding does not fail the build (if it doesn't).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suppression {
+    /// Active: counts against the exit status.
+    None,
+    /// Suppressed by an inline `// xtask-allow: <rule>` marker.
+    Allowed,
+    /// Grandfathered by `catalint.baseline.json` (warn until burned down).
+    Baselined,
+}
+
+impl Suppression {
+    fn label(self) -> Option<&'static str> {
+        match self {
+            Suppression::None => None,
+            Suppression::Allowed => Some("allow"),
+            Suppression::Baselined => Some("baseline"),
+        }
+    }
+}
+
+/// One finding at a source position.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule name (e.g. `hash-iter-order`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based byte column of the offending token.
+    pub col: usize,
+    /// The trimmed source line (truncated for display).
+    pub snippet: String,
+    /// What the rule objects to, with the sanctioned alternative.
+    pub message: String,
+    /// Whether (and why) the finding is suppressed.
+    pub suppressed: Suppression,
+}
+
+impl Diagnostic {
+    fn to_json(&self) -> Value {
+        let mut v = Value::object();
+        v.set("rule", self.rule)
+            .set("path", self.path.as_str())
+            .set("line", self.line)
+            .set("col", self.col)
+            .set("message", self.message.as_str())
+            .set("snippet", self.snippet.as_str())
+            .set("suppressed", self.suppressed != Suppression::None);
+        match self.suppressed.label() {
+            Some(label) => v.set("suppressed_by", label),
+            None => v.set("suppressed_by", Value::Null),
+        };
+        v
+    }
+}
+
+/// The outcome of a lint run over the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding (active and suppressed), in deterministic
+    /// `(path, line, col, rule)` order.
+    pub findings: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Rule names that ran (after `--rule` filtering), sorted.
+    pub rules_run: Vec<&'static str>,
+    /// Baseline entries whose current count is below the recorded count
+    /// (`(rule, path, recorded, current)`): stale, eligible for burn-down.
+    pub stale_baseline: Vec<(String, String, u64, u64)>,
+}
+
+impl Report {
+    /// Active (unsuppressed) findings — what fails the build.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.findings
+            .iter()
+            .filter(|d| d.suppressed == Suppression::None)
+    }
+
+    /// Count findings in a suppression state.
+    #[must_use]
+    pub fn count(&self, s: Suppression) -> usize {
+        self.findings.iter().filter(|d| d.suppressed == s).count()
+    }
+
+    /// Sort findings into the deterministic report order.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        self.stale_baseline.sort();
+    }
+
+    /// Human-readable report: one line per active finding, then a
+    /// summary of suppressed counts and stale baseline entries.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in self.active() {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}\n    {}",
+                d.path, d.line, d.col, d.rule, d.message, d.snippet
+            );
+        }
+        for (rule, path, recorded, current) in &self.stale_baseline {
+            let _ = writeln!(
+                out,
+                "warning: baseline for [{rule}] {path} is stale ({recorded} recorded, \
+                 {current} now) — run `cargo xtask lint --update-baseline` to ratchet down"
+            );
+        }
+        let active = self.count(Suppression::None);
+        let _ = writeln!(
+            out,
+            "catalint: {} file(s), {} rule(s): {} active finding(s), {} allowed, {} baselined",
+            self.files_scanned,
+            self.rules_run.len(),
+            active,
+            self.count(Suppression::Allowed),
+            self.count(Suppression::Baselined),
+        );
+        out
+    }
+
+    /// The JSON report (schema-versioned; rendered via `catapult_obs`).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut rules = Value::array();
+        for r in &self.rules_run {
+            rules.push(*r);
+        }
+        let mut findings = Value::array();
+        for d in &self.findings {
+            findings.push(d.to_json());
+        }
+        let mut stale = Value::array();
+        for (rule, path, recorded, current) in &self.stale_baseline {
+            let mut e = Value::object();
+            e.set("rule", rule.as_str())
+                .set("path", path.as_str())
+                .set("recorded", *recorded)
+                .set("current", *current);
+            stale.push(e);
+        }
+        let mut summary = Value::object();
+        summary
+            .set("total", self.findings.len())
+            .set("active", self.count(Suppression::None))
+            .set("allowed", self.count(Suppression::Allowed))
+            .set("baselined", self.count(Suppression::Baselined));
+        let mut v = Value::object();
+        v.set("schema_version", REPORT_SCHEMA_VERSION)
+            .set("tool", "catalint")
+            .set("files_scanned", self.files_scanned)
+            .set("rules", rules)
+            .set("summary", summary)
+            .set("findings", findings)
+            .set("stale_baseline", stale);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, line: usize, s: Suppression) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line,
+            col: 1,
+            snippet: "let x = 1;".into(),
+            message: "msg".into(),
+            suppressed: s,
+        }
+    }
+
+    #[test]
+    fn report_orders_and_counts() {
+        let mut r = Report {
+            findings: vec![
+                diag("b-rule", "z.rs", 1, Suppression::None),
+                diag("a-rule", "a.rs", 9, Suppression::Allowed),
+                diag("a-rule", "a.rs", 2, Suppression::Baselined),
+            ],
+            files_scanned: 3,
+            rules_run: vec!["a-rule", "b-rule"],
+            stale_baseline: vec![],
+        };
+        r.finalize();
+        assert_eq!(r.findings[0].line, 2);
+        assert_eq!(r.count(Suppression::None), 1);
+        assert_eq!(r.active().count(), 1);
+        let human = r.render_human();
+        assert!(human.contains("z.rs:1:1: [b-rule] msg"));
+        assert!(!human.contains("a.rs:9"), "suppressed findings not listed");
+        assert!(human.contains("1 active finding(s), 1 allowed, 1 baselined"));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = Report {
+            findings: vec![diag("a-rule", "a.rs", 1, Suppression::Baselined)],
+            files_scanned: 1,
+            rules_run: vec!["a-rule"],
+            stale_baseline: vec![("a-rule".into(), "a.rs".into(), 3, 1)],
+        };
+        r.finalize();
+        let text = r.to_json().render();
+        assert!(text.starts_with("{\n  \"schema_version\": 1"));
+        assert!(text.contains("\"suppressed\": true"));
+        assert!(text.contains("\"suppressed_by\": \"baseline\""));
+        assert!(text.contains("\"recorded\": 3"));
+    }
+}

@@ -1,0 +1,613 @@
+//! A zero-dependency Rust lexer producing a gapless token stream.
+//!
+//! The lexer exists so the lint rules can reason about *code* tokens and
+//! never be fooled by lookalike text inside string literals or comments —
+//! the failure mode of the line-based `grep` pass this crate replaced.
+//! It handles the parts of Rust's lexical grammar that matter for that
+//! guarantee:
+//!
+//! - raw strings (`r"…"`, `r#"…"#`, any hash depth) and their byte/C
+//!   variants (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`),
+//! - nested block comments (`/* /* */ */`),
+//! - lifetimes vs. char literals (`'a` vs. `'a'` vs. `'\u{1F}'`),
+//! - raw identifiers (`r#match`),
+//! - numeric literals with underscores, base prefixes, exponents, and
+//!   type suffixes (`1_000`, `0xFF_u32`, `1.5e-3`, `1f64`),
+//! - multi-character operators (`==`, `::`, `..=`, `<<=`, …) emitted as
+//!   single `Punct` tokens.
+//!
+//! Every byte of the input belongs to exactly one token: spans are
+//! contiguous, non-overlapping, and cover `0..len`. The round-trip test
+//! (`tests/lexer_roundtrip.rs`) re-emits the spans and asserts byte
+//! identity against the original source for every file in the workspace.
+//! Malformed input (unterminated strings/comments) never panics; the
+//! remainder of the file becomes one final token so the tiling invariant
+//! still holds.
+
+/// Classification of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// `// …` to end of line (doc variants `///`/`//!` included); the
+    /// trailing newline is *not* part of the token.
+    LineComment,
+    /// `/* … */`, nested; doc variants `/**`/`/*!` included.
+    BlockComment,
+    /// Identifiers and keywords (including raw identifiers `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `b'\n'`, `'\u{1F642}'`.
+    CharLit,
+    /// A string literal in any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    StrLit,
+    /// An integer literal: `42`, `0xFF_u32`, `0b1010`.
+    Int,
+    /// A float literal: `1.0`, `2.`, `1e-9`, `3f64`.
+    Float,
+    /// Punctuation; multi-character operators are one token.
+    Punct,
+    /// Anything the lexer does not recognize (kept spanned so the token
+    /// stream still tiles the file).
+    Unknown,
+}
+
+/// One lexed token: a classification plus its byte span in the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True for whitespace and comments — tokens the rules skip over.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lex `src` into a gapless, non-overlapping token stream covering every
+/// byte. Never panics: unrecognized or unterminated constructs are
+/// spanned as [`TokenKind::Unknown`] / best-effort literals.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            // Defensive: any lexer bug that fails to advance would loop
+            // forever; consume one char and mark it Unknown instead.
+            if self.pos == start {
+                self.bump_char();
+                out.push(Token {
+                    kind: TokenKind::Unknown,
+                    start,
+                    end: self.pos,
+                });
+                continue;
+            }
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance past one full `char` (multi-byte safe).
+    fn bump_char(&mut self) {
+        let mut next = self.pos + 1;
+        while next < self.bytes.len() && !self.src.is_char_boundary(next) {
+            next += 1;
+        }
+        self.pos = next;
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let Some(b) = self.peek(0) else {
+            return TokenKind::Unknown;
+        };
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => self.whitespace(),
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'r' | b'b' | b'c' if self.string_prefix().is_some() => self.prefixed_literal(),
+            b'"' => self.string(),
+            b'\'' => self.lifetime_or_char(),
+            b'0'..=b'9' => self.number(),
+            _ if is_ident_start(b) || b >= 0x80 => self.ident_like(),
+            _ => self.punct(),
+        }
+    }
+
+    fn whitespace(&mut self) -> TokenKind {
+        while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+        TokenKind::Whitespace
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump_char();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.bump_char(),
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// If the cursor sits on a literal prefix (`r`, `b`, `c`, `br`, `cr`,
+    /// `b'`…) that actually introduces a string/char literal, return the
+    /// byte length of the prefix (not counting `#`s or the quote).
+    fn string_prefix(&self) -> Option<usize> {
+        let rest = &self.bytes[self.pos..];
+        let raw_quote = |from: usize| {
+            // `#`* then `"` introduces a raw string body.
+            let mut i = from;
+            while rest.get(i) == Some(&b'#') {
+                i += 1;
+            }
+            rest.get(i) == Some(&b'"')
+        };
+        match rest {
+            [b'r', ..] if raw_quote(1) => Some(1),
+            [b'b' | b'c', b'r', ..] if raw_quote(2) => Some(2),
+            [b'b' | b'c', b'"', ..] => Some(1),
+            [b'b', b'\'', ..] => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Lex a literal with a prefix: raw/byte/C strings or a byte char.
+    fn prefixed_literal(&mut self) -> TokenKind {
+        let prefix = self.string_prefix().unwrap_or(1);
+        let raw = self.bytes[self.pos..self.pos + prefix].contains(&b'r');
+        self.pos += prefix;
+        match self.peek(0) {
+            Some(b'\'') => {
+                // `b'x'` byte char literal.
+                self.pos += 1;
+                self.char_body();
+                TokenKind::CharLit
+            }
+            _ if raw => self.raw_string(),
+            _ => self.string(),
+        }
+    }
+
+    /// Lex a raw string starting at the `#`s or the quote.
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'"') {
+            self.pos += 1;
+        }
+        // Scan for `"` followed by `hashes` hash marks.
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return TokenKind::StrLit;
+                }
+            }
+            self.bump_char();
+        }
+        TokenKind::StrLit // unterminated: consumed to EOF
+    }
+
+    /// Lex a normal (escaped) string starting at the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.pos += 1;
+                    self.bump_char(); // skip escaped char (incl. `\"`)
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::StrLit;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokenKind::StrLit // unterminated
+    }
+
+    /// Consume a char-literal body after the opening `'`, including the
+    /// closing quote: one (possibly escaped) char then `'`.
+    fn char_body(&mut self) {
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.pos += 1;
+                if self.peek(0) == Some(b'u') {
+                    // `\u{…}`: consume through the closing brace.
+                    while let Some(b) = self.peek(0) {
+                        self.pos += 1;
+                        if b == b'}' {
+                            break;
+                        }
+                    }
+                } else {
+                    self.bump_char();
+                }
+            }
+            Some(_) => self.bump_char(),
+            None => return,
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        self.pos += 1; // the opening `'`
+        match self.peek(0) {
+            // `'\…'` is always a char literal.
+            Some(b'\\') => {
+                self.char_body();
+                TokenKind::CharLit
+            }
+            Some(b) if is_ident_start(b) => {
+                // Consume the identifier; a trailing `'` makes it a char
+                // literal (`'a'`), otherwise it is a lifetime (`'static`).
+                let mut ahead = 0usize;
+                while self
+                    .peek(ahead)
+                    .is_some_and(|b| is_ident_continue(b) || b >= 0x80)
+                {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'\'') {
+                    self.char_body();
+                    TokenKind::CharLit
+                } else {
+                    self.pos += ahead;
+                    TokenKind::Lifetime
+                }
+            }
+            // `'('`, `' '`, `'"'`, … — a single non-ident char.
+            Some(_) => {
+                self.char_body();
+                TokenKind::CharLit
+            }
+            None => TokenKind::Unknown,
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        if radix_prefixed {
+            self.pos += 2;
+            // Hex digits, underscores, and any type suffix (`u32`, …).
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        self.digits();
+        // A `.` continues the literal as a float only when what follows
+        // cannot be a method/field (`1.max(2)`), a range (`1..n`), or a
+        // second dot; `1.` and `1.5` are floats.
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(b'.') => {}                   // range `1..`
+                Some(b) if is_ident_start(b) => {} // `1.max(…)`
+                Some(b) if b.is_ascii_digit() => {
+                    float = true;
+                    self.pos += 1;
+                    self.digits();
+                }
+                _ => {
+                    float = true; // trailing-dot float `1.`
+                    self.pos += 1;
+                }
+            }
+        }
+        // Exponent: `e`/`E`, optional sign, at least one digit.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+            if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.pos += 1 + sign;
+                self.digits();
+            }
+        }
+        // Type suffix: `u32`, `f64`, `usize`, … (also absorbs `_` runs).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with('f') {
+            float = true; // `1f64`, `2.5f32`
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn digits(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn ident_like(&mut self) -> TokenKind {
+        // Raw identifier `r#ident` (the raw-string case was dispatched
+        // before this point, so `r#` here always introduces an ident).
+        if self.peek(0) == Some(b'r') && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| is_ident_continue(b) || b >= 0x80)
+        {
+            self.bump_char();
+        }
+        TokenKind::Ident
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op) {
+                self.pos += op.len();
+                return TokenKind::Punct;
+            }
+        }
+        self.bump_char();
+        TokenKind::Punct
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn tiles(src: &str) {
+        let toks = lex(src);
+        let mut at = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap/overlap at {at} in {src:?}");
+            assert!(t.end > t.start, "empty token at {at} in {src:?}");
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "uncovered tail in {src:?}");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("&'a str 'x' '\\n' 'static b'z'"),
+            vec![
+                (TokenKind::Punct, "&"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Ident, "str"),
+                (TokenKind::CharLit, "'x'"),
+                (TokenKind::CharLit, "'\\n'"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::CharLit, "b'z'"),
+            ]
+        );
+        tiles("&'a str 'x' '\\n' 'static b'z'");
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r####"r"a" r#"b"# r##"c "# d"## b"e" br#"f"#"####;
+        let got = kinds(src);
+        assert!(got.iter().all(|(k, _)| *k == TokenKind::StrLit), "{got:?}");
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[2].1, r###"r##"c "# d"##"###);
+        tiles(src);
+    }
+
+    #[test]
+    fn raw_ident_is_not_raw_string() {
+        assert_eq!(
+            kinds("r#match r#\"s\"#"),
+            vec![
+                (TokenKind::Ident, "r#match"),
+                (TokenKind::StrLit, "r#\"s\"#"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        assert_eq!(
+            kinds(src),
+            vec![(TokenKind::Ident, "a"), (TokenKind::Ident, "b")]
+        );
+        tiles(src);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        assert_eq!(
+            kinds(r#""a \" panic!() \\" x"#),
+            vec![
+                (TokenKind::StrLit, r#""a \" panic!() \\""#),
+                (TokenKind::Ident, "x"),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 1_000 0xFF_u32 1.5 2. 1e9 1.5e-3 3f64 7usize"),
+            vec![
+                (TokenKind::Int, "1"),
+                (TokenKind::Int, "1_000"),
+                (TokenKind::Int, "0xFF_u32"),
+                (TokenKind::Float, "1.5"),
+                (TokenKind::Float, "2."),
+                (TokenKind::Float, "1e9"),
+                (TokenKind::Float, "1.5e-3"),
+                (TokenKind::Float, "3f64"),
+                (TokenKind::Int, "7usize"),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        assert_eq!(
+            kinds("1..9 0..=n v[1].x"),
+            vec![
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, ".."),
+                (TokenKind::Int, "9"),
+                (TokenKind::Int, "0"),
+                (TokenKind::Punct, "..="),
+                (TokenKind::Ident, "n"),
+                (TokenKind::Ident, "v"),
+                (TokenKind::Punct, "["),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, "]"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "x"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e :: f -> g => h <<= i"),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "=="),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, "!="),
+                (TokenKind::Ident, "c"),
+                (TokenKind::Punct, "<="),
+                (TokenKind::Ident, "d"),
+                (TokenKind::Punct, ">="),
+                (TokenKind::Ident, "e"),
+                (TokenKind::Punct, "::"),
+                (TokenKind::Ident, "f"),
+                (TokenKind::Punct, "->"),
+                (TokenKind::Ident, "g"),
+                (TokenKind::Punct, "=>"),
+                (TokenKind::Ident, "h"),
+                (TokenKind::Punct, "<<="),
+                (TokenKind::Ident, "i"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_never_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "1."] {
+            tiles(src);
+        }
+    }
+
+    #[test]
+    fn unicode_content_round_trips() {
+        for src in ["let s = \"γ-validity — ≤ η\"; // ccov × lcov ÷ cog", "'é'"] {
+            tiles(src);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+//! catalint — token-level determinism & concurrency analyzer.
+//!
+//! This crate is the engine behind `cargo xtask lint`. It replaces the
+//! original line/substring pass with a small hand-rolled Rust lexer
+//! ([`lexer`]) and a per-file token-tree model ([`scan`]), so rules see
+//! *code*, never lookalike text inside string literals or comments.
+//!
+//! The pipeline per run:
+//!
+//! 1. [`discover`] walks the workspace for `.rs` files (deterministic,
+//!    sorted order; skips `target/`, `.git/`, this crate's fixtures and
+//!    any `golden` data directories);
+//! 2. each file is lexed and indexed into a [`scan::SourceFile`];
+//! 3. every enabled rule in [`rules`] runs over the token stream and
+//!    emits structured [`diag::Diagnostic`] records;
+//! 4. the optional [`baseline`] ratchet grandfathers known debt;
+//! 5. the [`diag::Report`] renders human-readable text and, via the
+//!    insertion-ordered `catapult_obs::json` serializer, the `--json`
+//!    artifact CI uploads.
+//!
+//! Zero dependencies outside the workspace, by policy: the analyzer must
+//! never constrain what it analyzes.
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use diag::Report;
+use rules::FileCtx;
+use scan::SourceFile;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned for Rust sources.
+const SCAN_ROOTS: &[&str] = &["src", "crates", "shims", "tests", "examples", "benches"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "golden", "fixtures"];
+
+/// Workspace-relative paths (forward slashes) of every `.rs` file to
+/// scan, in sorted (deterministic) order.
+pub fn discover(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Crate roots among `files`: per `src/` directory, `lib.rs` when
+/// present, else `main.rs`. These are the files `lint-header` checks.
+#[must_use]
+pub fn crate_roots(files: &[String]) -> BTreeSet<&str> {
+    let mut by_dir: std::collections::BTreeMap<&str, (&str, Option<&str>, Option<&str>)> =
+        std::collections::BTreeMap::new();
+    for rel in files {
+        let Some((dir, name)) = rel.rsplit_once('/') else {
+            continue;
+        };
+        if !(dir == "src" || dir.ends_with("/src")) {
+            continue;
+        }
+        let slot = by_dir.entry(dir).or_insert((dir, None, None));
+        if name == "lib.rs" {
+            slot.1 = Some(rel.as_str());
+        } else if name == "main.rs" {
+            slot.2 = Some(rel.as_str());
+        }
+    }
+    by_dir
+        .values()
+        .filter_map(|&(_, lib, main)| lib.or(main))
+        .collect()
+}
+
+/// The set of enabled rule names for a `--rule` filter (empty filter →
+/// every rule). Returns an error naming any unknown rule.
+pub fn enabled_rules(filter: &[String]) -> Result<BTreeSet<&'static str>, String> {
+    if filter.is_empty() {
+        return Ok(rules::RULES.iter().map(|r| r.name).collect());
+    }
+    let mut on = BTreeSet::new();
+    for name in filter {
+        match rules::rule_named(name) {
+            Some(info) => {
+                on.insert(info.name);
+            }
+            None => {
+                let known: Vec<&str> = rules::RULES.iter().map(|r| r.name).collect();
+                return Err(format!(
+                    "unknown rule `{name}` (known rules: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(on)
+}
+
+/// Run the enabled rules over the workspace at `root`. The returned
+/// report is finalized (deterministically sorted) but has no baseline
+/// applied — callers layer [`baseline::Baseline::apply`] on top.
+pub fn run(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result<Report> {
+    let files = discover(root)?;
+    let roots = crate_roots(&files);
+    let mut report = Report {
+        rules_run: enabled.iter().copied().collect(),
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let file = SourceFile::parse(rel.clone(), text);
+        let ctx = FileCtx {
+            root,
+            is_crate_root: roots.contains(rel.as_str()),
+        };
+        rules::check_file(&file, &ctx, enabled, &mut report.findings);
+    }
+    report.finalize();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_roots_prefer_lib_over_main() {
+        let files: Vec<String> = [
+            "crates/a/src/lib.rs",
+            "crates/a/src/main.rs",
+            "crates/b/src/main.rs",
+            "crates/b/src/other.rs",
+            "src/lib.rs",
+            "tests/integration.rs",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        let roots = crate_roots(&files);
+        assert!(roots.contains("crates/a/src/lib.rs"));
+        assert!(!roots.contains("crates/a/src/main.rs"));
+        assert!(roots.contains("crates/b/src/main.rs"));
+        assert!(roots.contains("src/lib.rs"));
+        assert!(!roots.contains("tests/integration.rs"));
+    }
+
+    #[test]
+    fn rule_filter_validates_names() {
+        assert_eq!(enabled_rules(&[]).map(|s| s.len()), Ok(rules::RULES.len()));
+        let one = enabled_rules(&["float-eq".to_string()]).expect("known rule");
+        assert_eq!(one.len(), 1);
+        assert!(enabled_rules(&["bogus".to_string()])
+            .unwrap_err()
+            .contains("unknown rule"));
+    }
+}

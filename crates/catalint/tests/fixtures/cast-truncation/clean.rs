@@ -1,0 +1,13 @@
+//! Clean: widening conversions, `From` impls, and float casts only.
+// "as u32" in a comment must not fire
+fn widen(i: u32) -> u64 {
+    u64::from(i)
+}
+
+fn to_float(i: u32) -> f64 {
+    f64::from(i)
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    n as f64 / d as f64
+}

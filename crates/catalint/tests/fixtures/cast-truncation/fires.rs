@@ -1,0 +1,5 @@
+fn narrow(i: u64) -> u32 {
+    let s = "i as u8 in a string";
+    let _ = s;
+    i as u32
+}

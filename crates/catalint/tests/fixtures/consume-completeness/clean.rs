@@ -1,0 +1,15 @@
+//! Clean: method calls, definitions, `_tagged` variants, and lookalikes
+//! in strings/comments must not fire.
+// are_isomorphic(a, b) in a comment is fine
+fn pipeline(v: &[u32]) -> bool {
+    let s = "are_isomorphic(a, b); find_embedding(q, g)";
+    v.contains(&1) && !s.is_empty()
+}
+
+fn contains_tagged(_q: &str, _g: &str) -> bool {
+    true
+}
+
+fn uses_tagged(q: &str, g: &str) -> bool {
+    contains_tagged(q, g)
+}

@@ -1,0 +1,9 @@
+// The free-function call after the string is real and must fire.
+fn pipeline(q: &str, g: &str) -> bool {
+    let s = "// contains(in a string)";
+    !s.is_empty() && contains(q, g)
+}
+
+fn contains(_q: &str, _g: &str) -> bool {
+    true
+}

@@ -1,0 +1,28 @@
+//! Clean: every public item is documented one way or another.
+
+/// Line-documented.
+pub fn documented() -> u32 {
+    1
+}
+
+/** Block-documented. */
+pub struct AlsoDocumented;
+
+#[doc = "Attribute-documented."]
+pub const X: u32 = 1;
+
+/// Documented despite the attribute stack in between.
+#[allow(dead_code)]
+#[inline]
+pub fn stacked() -> u32 {
+    2
+}
+
+// `pub fn` inside a string must not register as an item:
+fn helper() -> &'static str {
+    "pub fn not_an_item() {}"
+}
+
+pub(crate) fn crate_internal() -> &'static str {
+    helper()
+}

@@ -1,0 +1,7 @@
+fn lookalike() -> &'static str {
+    "/// a doc comment inside a string is not documentation"
+}
+
+pub fn undocumented() -> u32 {
+    lookalike().len() as u32
+}

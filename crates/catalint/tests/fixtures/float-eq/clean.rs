@@ -1,0 +1,11 @@
+//! Clean: float-equality lookalikes in comments and strings, plus the
+//! sanctioned epsilon comparison.
+// a comment saying x == 1.0 must not fire
+pub fn score_gate(x: f64) -> bool {
+    let doc = "x == 1.0";
+    !doc.is_empty() && (x - 1.0).abs() < 1e-9
+}
+
+pub fn integer_eq(n: u32) -> bool {
+    n == 1
+}

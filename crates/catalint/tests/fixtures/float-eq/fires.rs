@@ -1,0 +1,5 @@
+// The comparison after the string is real and must fire.
+pub fn score_gate(x: f64) -> bool {
+    let s = "// 1.0 == 1.0 in a string";
+    !s.is_empty() && x == 1.0
+}

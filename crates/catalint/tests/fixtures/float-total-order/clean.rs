@@ -1,0 +1,12 @@
+//! Clean: comparators go through `total_cmp` (or are integer `cmp`).
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn best(xs: &[(u32, f64)]) -> Option<&(u32, f64)> {
+    xs.iter().max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+fn by_id(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| a.0.cmp(&b.0));
+}

@@ -1,0 +1,7 @@
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn best(xs: &[(u32, f64)]) -> Option<&(u32, f64)> {
+    xs.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+}

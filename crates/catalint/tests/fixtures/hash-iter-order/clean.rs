@@ -1,0 +1,21 @@
+//! Clean: every hash iteration feeds an order-insensitive sink, an
+//! ordering collect, or an immediate sort.
+use std::collections::{BTreeMap, HashMap};
+
+fn sorted_view(m: &HashMap<String, u32>) -> BTreeMap<String, u32> {
+    m.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<_, _>>()
+}
+
+fn collect_then_sort(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+fn membership(m: &HashMap<String, u32>) -> bool {
+    m.keys().any(|k| k.is_empty())
+}
+
+fn size(m: &HashMap<String, u32>) -> usize {
+    m.iter().count()
+}

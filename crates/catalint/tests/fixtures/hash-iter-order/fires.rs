@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+
+fn leak_order(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(k.clone());
+    }
+    out
+}
+
+fn leak_chain(scores: HashMap<u32, f64>) -> f64 {
+    scores.values().fold(0.0, |acc, v| acc * 0.5 + v)
+}

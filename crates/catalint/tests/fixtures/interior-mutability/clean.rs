@@ -1,0 +1,10 @@
+//! Clean: `'static` lifetimes are not `static` items, and type names in
+//! comments/strings are invisible to the lexer. Mutex in a comment.
+fn local(s: &'static str) -> usize {
+    let msg = "static GLOBAL: Mutex<u32> = Mutex::new(0);";
+    s.len() + msg.len()
+}
+
+fn borrowed<T: Send + 'static>(t: T) -> T {
+    t
+}

@@ -1,0 +1,9 @@
+use std::sync::Mutex;
+
+static GLOBAL: Mutex<u32> = Mutex::new(0);
+
+fn bump() {
+    if let Ok(mut g) = GLOBAL.lock() {
+        *g += 1;
+    }
+}

@@ -1,0 +1,22 @@
+//! Clean: panic/unwrap lookalikes live only in strings, comments, and
+//! `#[cfg(test)]` code — none of them may fire.
+// a comment mentioning x.unwrap() and panic!("no") must not fire
+/* block comment: x.unwrap(); panic!("no");
+   /* nested block comment: .unwrap() */ still inside */
+fn kernel(x: Option<u32>) -> u32 {
+    let msg = "call .unwrap() or panic!(now)";
+    let raw = r#"panic!("in a raw string").unwrap()"#;
+    let _ = (msg, raw);
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = Some(1).unwrap();
+        if v != 1 {
+            panic!("tests may panic");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// A real violation that follows a string containing `//` — the old
+// line-based pass lost track of the line here; the lexer must not.
+fn kernel(x: Option<u32>) -> u32 {
+    let s = "// not a comment";
+    let v = x.unwrap();
+    if v > 10 && s.is_empty() {
+        panic!("boom");
+    }
+    v
+}

@@ -1,0 +1,5 @@
+// Lint policy: see [workspace.lints] in the root Cargo.toml.
+
+//! A crate root carrying the marker line.
+
+fn nothing() {}

@@ -1,0 +1,3 @@
+//! A crate root without the lint-policy marker line.
+
+fn nothing() {}

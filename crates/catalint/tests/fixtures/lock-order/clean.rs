@@ -1,0 +1,12 @@
+//! Clean: at most one lock per fn body; `.lock()` pairs appear only in
+//! comments. a.lock(); b.lock();
+use std::sync::Mutex;
+
+fn read_a(a: &Mutex<u32>) -> u32 {
+    *a.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_b(b: &Mutex<u32>) -> u32 {
+    let s = "a.lock(); b.lock();";
+    *b.lock().unwrap_or_else(|e| e.into_inner()) + s.len() as u32
+}

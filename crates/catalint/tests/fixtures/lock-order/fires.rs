@@ -1,0 +1,7 @@
+use std::sync::Mutex;
+
+fn transfer(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let x = a.lock().unwrap_or_else(|e| e.into_inner());
+    let y = b.lock().unwrap_or_else(|e| e.into_inner());
+    *x + *y
+}

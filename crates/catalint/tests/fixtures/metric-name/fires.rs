@@ -1,0 +1,6 @@
+fn record(rec: &mut Recorder) {
+    rec.counter("badname").incr(1);
+    rec.histogram("Two.Part").record(2);
+}
+
+struct Recorder;

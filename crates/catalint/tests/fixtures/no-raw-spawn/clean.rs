@@ -1,0 +1,6 @@
+//! Clean: spawn lookalikes in comments and strings only.
+// thread::spawn(|| …) mentioned in a comment
+fn launch() -> usize {
+    let s = "thread::spawn(|| 1)";
+    s.len()
+}

@@ -1,0 +1,5 @@
+fn launch() -> u32 {
+    let s = "thread::spawn in a string";
+    let h = std::thread::spawn(move || s.len() as u32);
+    h.join().unwrap_or(0)
+}

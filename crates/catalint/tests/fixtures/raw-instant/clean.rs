@@ -1,0 +1,6 @@
+//! Clean: `Instant::now()` appears only in a comment and a string.
+// Instant::now() must go through catapult_obs
+fn stamp() -> usize {
+    let s = "Instant::now()";
+    s.len()
+}

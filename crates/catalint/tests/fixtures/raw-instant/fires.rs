@@ -1,0 +1,5 @@
+fn stamp() -> std::time::Instant {
+    let s = "Instant::now() in a string";
+    let _ = s;
+    std::time::Instant::now()
+}

@@ -1,0 +1,180 @@
+//! Every rule has a firing and a clean fixture, and the suppression
+//! machinery (inline allows) works end to end.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use catalint::diag::{Diagnostic, Suppression};
+use catalint::rules::{check_file, FileCtx, RULES};
+use catalint::scan::SourceFile;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// A workspace-relative path that puts a fixture inside the rule's scope.
+fn scoped_rel(rule: &str) -> &'static str {
+    match rule {
+        "kernel-no-panic" => "crates/graph/src/iso.rs",
+        "doc-coverage" => "crates/graph/src/fixture.rs",
+        "float-eq" => "crates/core/src/score.rs",
+        "lint-header" => "crates/fixture/src/lib.rs",
+        "cast-truncation" => "crates/graph/src/ged.rs",
+        _ => "crates/core/src/fixture.rs",
+    }
+}
+
+fn run_source(rule: &'static str, rel: &str, text: String) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel.to_string(), text);
+    let mut enabled = BTreeSet::new();
+    enabled.insert(rule);
+    let ctx = FileCtx {
+        root: Path::new(env!("CARGO_MANIFEST_DIR")),
+        is_crate_root: rule == "lint-header",
+    };
+    let mut out = Vec::new();
+    check_file(&file, &ctx, &enabled, &mut out);
+    out
+}
+
+fn run_fixture(rule: &'static str, which: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(format!("{which}.rs"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    run_source(rule, scoped_rel(rule), text)
+}
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    for rule in RULES {
+        let found = run_fixture(rule.name, "fires");
+        assert!(
+            found
+                .iter()
+                .any(|d| d.rule == rule.name && d.suppressed == Suppression::None),
+            "fixture for `{}` does not fire: {found:?}",
+            rule.name
+        );
+        assert!(
+            found.iter().all(|d| d.rule == rule.name),
+            "cross-rule finding in `{}` fixture: {found:?}",
+            rule.name
+        );
+        for d in &found {
+            assert!(d.line >= 1 && d.col >= 1, "positions are 1-based: {d:?}");
+            assert!(!d.snippet.is_empty(), "snippet captured: {d:?}");
+        }
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_fixture() {
+    for rule in RULES {
+        let found = run_fixture(rule.name, "clean");
+        assert!(
+            found.is_empty(),
+            "clean fixture for `{}` fired: {found:?}",
+            rule.name
+        );
+    }
+}
+
+/// The regression class that motivated the lexer: rule needles inside
+/// string literals and block comments must never fire (the line-based
+/// pass tripped on all three of these).
+#[test]
+fn string_and_comment_lookalikes_never_fire() {
+    let cases: [(&'static str, &str); 5] = [
+        (
+            "kernel-no-panic",
+            "fn f() -> u32 { let s = \"x.unwrap()\"; s.len() as u32 }\n",
+        ),
+        (
+            "kernel-no-panic",
+            "/* panic!(\"no\") */ fn f() -> u32 { 0 }\n",
+        ),
+        (
+            "float-eq",
+            "fn f(x: f64) -> bool { let d = \"x == 1.0\"; !d.is_empty() && x < 1.0 }\n",
+        ),
+        (
+            "consume-completeness",
+            "fn f() -> usize { \"contains(q, g)\".len() }\n",
+        ),
+        (
+            "consume-completeness",
+            "// contains(q, g) in a comment\nfn f() {}\n",
+        ),
+    ];
+    for (rule, src) in cases {
+        let found = run_source(rule, scoped_rel(rule), src.to_string());
+        assert!(
+            found.is_empty(),
+            "[{rule}] fired on lookalike: {found:?}\nsource: {src}"
+        );
+    }
+}
+
+/// A violation *after* a string containing `//` must still fire — the
+/// old pass lost the rest of the line after a stripped fake comment.
+#[test]
+fn violation_after_comment_lookalike_string_still_fires() {
+    let src = "fn f(x: Option<u32>) -> u32 { let s = \"// fake\"; s.len() as u32 + x.unwrap() }\n";
+    let found = run_source(
+        "kernel-no-panic",
+        scoped_rel("kernel-no-panic"),
+        src.to_string(),
+    );
+    assert_eq!(found.len(), 1, "exactly the real unwrap: {found:?}");
+    assert_eq!(found[0].suppressed, Suppression::None);
+}
+
+#[test]
+fn inline_allow_suppresses_but_is_recorded() {
+    let src =
+        "fn f(x: Option<u32>) -> u32 {\n    // xtask-allow: kernel-no-panic\n    x.unwrap()\n}\n";
+    let found = run_source(
+        "kernel-no-panic",
+        scoped_rel("kernel-no-panic"),
+        src.to_string(),
+    );
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].suppressed, Suppression::Allowed);
+
+    let wrong_rule =
+        "fn f(x: Option<u32>) -> u32 {\n    // xtask-allow: float-eq\n    x.unwrap()\n}\n";
+    let found = run_source(
+        "kernel-no-panic",
+        scoped_rel("kernel-no-panic"),
+        wrong_rule.to_string(),
+    );
+    assert_eq!(
+        found[0].suppressed,
+        Suppression::None,
+        "allow must name the rule"
+    );
+}
+
+#[test]
+fn out_of_scope_paths_are_not_checked() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let found = run_source(
+        "kernel-no-panic",
+        "crates/eval/src/basic.rs",
+        src.to_string(),
+    );
+    assert!(
+        found.is_empty(),
+        "kernel rule outside kernel files: {found:?}"
+    );
+
+    let cast = "fn f(i: u64) -> u32 { i as u32 }\n";
+    let found = run_source(
+        "cast-truncation",
+        "crates/cluster/src/kmeans.rs",
+        cast.to_string(),
+    );
+    assert!(
+        found.is_empty(),
+        "cast rule outside kernel/index files: {found:?}"
+    );
+}

@@ -183,6 +183,8 @@ impl SizeCounts {
 
     /// Total selections.
     pub fn total(&self) -> usize {
+        // usize addition is commutative; order cannot affect the total.
+        // xtask-allow: hash-iter-order
         self.counts.values().sum()
     }
 }

@@ -42,6 +42,9 @@ pub fn generate_fcp(
     // `freq` was checked non-empty above; `?` keeps this selection kernel
     // free of panicking paths without a reachable early return.
     let first = *freq
+        // max_by_key over a total (count, Reverse(edge id)) key has a
+        // unique winner for any visit order.
+        // xtask-allow: hash-iter-order
         .iter()
         .max_by_key(|&(e, &c)| (c, std::cmp::Reverse(e.0)))
         .map(|(e, _)| e)?;
@@ -59,6 +62,9 @@ pub fn generate_fcp(
     while chosen.len() < target_edges {
         // Most frequent library edge connected to the current pattern.
         let next = freq
+            // Same total (count, Reverse(id)) key as above: the argmax
+            // is unique, so visit order cannot leak.
+            // xtask-allow: hash-iter-order
             .iter()
             .filter(|&(&eid, _)| {
                 if in_pattern[eid.index()] {

@@ -7,7 +7,7 @@
 
 use catapult_graph::iso::contains;
 use catapult_graph::{Graph, Label};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A basic pattern with its support.
 #[derive(Clone, Debug)]
@@ -39,8 +39,12 @@ fn two_paths_of(g: &Graph) -> Vec<(Label, Label, Label)> {
 /// Mine the top-`m` basic patterns of `db` by support: labeled edges and
 /// labeled 2-paths, ranked together, deterministic tie-break on labels.
 pub fn top_basic_patterns(db: &[Graph], m: usize) -> Vec<BasicPattern> {
-    let mut edge_support: HashMap<(Label, Label), usize> = HashMap::new();
-    let mut path_support: HashMap<(Label, Label, Label), usize> = HashMap::new();
+    // BTreeMaps, deliberately: the ranking below breaks support ties on
+    // (sorted_labels, edge_count), which does NOT distinguish the two
+    // orientations of an asymmetric 2-path — hash iteration order would
+    // leak straight through `truncate(m)`.
+    let mut edge_support: BTreeMap<(Label, Label), usize> = BTreeMap::new();
+    let mut path_support: BTreeMap<(Label, Label, Label), usize> = BTreeMap::new();
     for g in db {
         for el in g.edge_label_set() {
             *edge_support.entry((el.0, el.1)).or_insert(0) += 1;

@@ -1,175 +1,154 @@
-//! Workspace automation tasks (`cargo xtask <task>`).
-//!
-//! The only task today is `lint`: a line-level static-analysis pass that
-//! enforces repo-specific rules `clippy` cannot express:
-//!
-//! 1. **Kernel no-panic** — the NP-hard search kernels (`iso.rs`,
-//!    `mcs.rs`, `ged.rs`, `walk.rs`, `select.rs`) must contain no
-//!    `panic!` or `.unwrap()` outside their `#[cfg(test)]` modules. A
-//!    panic inside a kernel aborts a whole selection run that may be
-//!    hours into a large repository.
-//! 2. **Doc coverage** — every public item in `crates/graph` and
-//!    `crates/core` carries a doc comment (line-level, so it also covers
-//!    items `rustc`'s `missing_docs` skips).
-//! 3. **No float equality in scoring code** — pattern scores are damped
-//!    products of f64 weights; `==`/`!=` against float literals is
-//!    almost always a bug there. Use ranges or `total_cmp`.
-//! 4. **Lint header** — every crate root states where the lint policy
-//!    lives so readers do not have to guess.
-//! 5. **Consume completeness** — library code outside the graph crate
-//!    must not call the completeness-swallowing kernel conveniences
-//!    (`contains`, `are_isomorphic`, `mccs_similarity`, ...). Those drop
-//!    the `Completeness` tag, so a budget- or deadline-degraded search
-//!    would pass silently. Use the `_tagged`/audited variants, or append
-//!    `// xtask-allow: consume-completeness` after review (e.g. when a
-//!    tripped probe only weakens a heuristic, never correctness).
-//! 6. **No raw thread spawns** — `std::thread::spawn` is forbidden
-//!    everywhere except the rayon shim (`shims/rayon`), which owns the
-//!    execution model: pool sizing via `CATAPULT_THREADS`, ordered
-//!    collection, and panic propagation. A stray spawn would bypass all
-//!    three. Use `par_iter`/`join` from the shim instead, or annotate
-//!    `// xtask-allow: no-raw-spawn` after review.
-//! 7. **Observability hygiene** — two sub-checks. (a) Counter and
-//!    histogram names registered on a `Recorder` follow the
-//!    `stage.kernel.metric` convention (≥ 3 dot-separated lowercase
-//!    segments), so manifests stay greppable and `stage_metric_total`
-//!    keeps working. (b) `Instant::now()` is forbidden outside
-//!    `crates/obs` and the shims: ad-hoc clocks bypass the recorder's
-//!    epoch and the deadline plumbing — use `catapult_obs::now()`,
-//!    `catapult_obs::Stopwatch`, or a span. Escape with
-//!    `// xtask-allow: metric-name` / `// xtask-allow: raw-instant`.
-//!
-//! Exit status is non-zero when any rule fires; CI runs this next to
-//! `cargo clippy`.
-
 // Lint policy: see [workspace.lints] in the root Cargo.toml.
+// Unit tests are allowed the ergonomic panicking shortcuts the binary
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
-use std::fmt::Write as _;
+//! Workspace automation. `cargo xtask lint` drives the token-level
+//! analyzer in `crates/catalint` (see DESIGN.md §12):
+//!
+//! ```text
+//! cargo xtask lint                      # human-readable report
+//! cargo xtask lint --json report.json   # also write the JSON artifact
+//! cargo xtask lint --rule hash-iter-order --rule float-eq
+//! cargo xtask lint --update-baseline    # regenerate catalint.baseline.json
+//! ```
+//!
+//! Exit codes: `0` clean (or only allowed/baselined findings), `1`
+//! active findings, `2` usage or I/O errors. The baseline is a ratchet —
+//! see `crates/catalint/src/baseline.rs` for the growth semantics.
+
+use catalint::baseline::Baseline;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Files holding the search kernels (rule 1).
-const KERNEL_FILES: &[&str] = &[
-    "crates/graph/src/iso.rs",
-    "crates/graph/src/mcs.rs",
-    "crates/graph/src/ged.rs",
-    "crates/core/src/walk.rs",
-    "crates/core/src/select.rs",
-];
-
-/// Crates whose public items must be documented line-by-line (rule 2).
-const DOC_COVERED_DIRS: &[&str] = &["crates/graph/src", "crates/core/src"];
-
-/// Files holding f64 scoring arithmetic (rule 3).
-const SCORING_FILES: &[&str] = &[
-    "crates/core/src/score.rs",
-    "crates/core/src/select.rs",
-    "crates/core/src/budget.rs",
-    "crates/csg/src/weights.rs",
-];
-
-/// The agreed crate-root marker line (rule 4).
-const LINT_HEADER: &str = "// Lint policy: see [workspace.lints] in the root Cargo.toml.";
-
-/// Completeness-swallowing kernel conveniences (rule 5). Each needle
-/// includes the opening paren so `_tagged` variants never match.
-const SWALLOWING_KERNELS: &[&str] = &[
-    "contains(",
-    "are_isomorphic(",
-    "mcs_similarity(",
-    "mccs_similarity(",
-    "find_embedding(",
-    "embeddings(",
-];
-
-/// Library dirs rule 5 scans: every pipeline consumer of the kernels.
-/// `crates/graph` is excluded — it *defines* the convenience wrappers.
-const COMPLETENESS_COVERED_DIRS: &[&str] = &[
-    "crates/cluster/src",
-    "crates/core/src",
-    "crates/csg/src",
-    "crates/eval/src",
-    "crates/mining/src",
-    "src",
-];
-
-/// Per-line escape hatch: append `// xtask-allow: <rule>` to suppress a
-/// finding after review.
-const ALLOW_MARKER: &str = "xtask-allow:";
-
-#[derive(Debug)]
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
+/// Name of the checked-in grandfather file at the workspace root.
+const BASELINE_FILE: &str = "catalint.baseline.json";
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => lint(),
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("lint") => match parse_lint_args(&argv[1..]) {
+            Ok(opts) => lint(&opts),
+            Err(msg) => {
+                eprintln!("xtask lint: {msg}");
+                eprintln!("{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         other => {
-            eprintln!(
-                "usage: cargo xtask lint\n  (got {:?})",
-                other.unwrap_or("<nothing>")
-            );
+            eprintln!("got {:?}\n{USAGE}", other.unwrap_or("<nothing>"));
             ExitCode::from(2)
         }
     }
 }
 
-fn lint() -> ExitCode {
+const USAGE: &str = "usage: cargo xtask lint [--json PATH] [--rule NAME]... [--update-baseline]";
+
+/// Parsed `lint` subcommand options.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct LintOpts {
+    /// Write the JSON report here.
+    json: Option<PathBuf>,
+    /// Run only these rules (empty → all).
+    rules: Vec<String>,
+    /// Regenerate the baseline from current findings instead of checking.
+    update_baseline: bool,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = it.next().ok_or("--json requires a PATH argument")?;
+                opts.json = Some(PathBuf::from(path));
+            }
+            "--rule" => {
+                let name = it.next().ok_or("--rule requires a NAME argument")?;
+                opts.rules.push(name.clone());
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.update_baseline && !opts.rules.is_empty() {
+        return Err(
+            "--update-baseline cannot be combined with --rule (a partial run \
+                    would drop the other rules' baseline entries)"
+                .to_string(),
+        );
+    }
+    Ok(opts)
+}
+
+fn lint(opts: &LintOpts) -> ExitCode {
     let root = workspace_root();
-    let mut findings = Vec::new();
+    let enabled = match catalint::enabled_rules(&opts.rules) {
+        Ok(on) => on,
+        Err(msg) => {
+            eprintln!("xtask lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut report = match catalint::run(&root, &enabled) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("xtask lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
 
-    for rel in KERNEL_FILES {
-        check_kernel_no_panic(&root, rel, &mut findings);
-    }
-    for dir in DOC_COVERED_DIRS {
-        for file in rust_files(&root.join(dir)) {
-            check_doc_coverage(&root, &file, &mut findings);
-        }
-    }
-    for rel in SCORING_FILES {
-        check_no_float_eq(&root, rel, &mut findings);
-    }
-    check_lint_headers(&root, &mut findings);
-    for dir in COMPLETENESS_COVERED_DIRS {
-        for file in rust_files(&root.join(dir)) {
-            check_consume_completeness(&file, &mut findings);
-        }
-    }
-    for dir in spawn_covered_dirs(&root) {
-        for file in rust_files(&dir) {
-            check_no_raw_spawn(&file, &mut findings);
-        }
-    }
-    for dir in obs_covered_dirs(&root) {
-        for file in rust_files(&dir) {
-            check_metric_names(&file, &mut findings);
-            check_no_raw_instant(&file, &mut findings);
-        }
-    }
-
-    if findings.is_empty() {
-        println!("xtask lint: ok");
-        ExitCode::SUCCESS
-    } else {
-        let mut report = String::new();
-        for f in &findings {
-            let _ = writeln!(
-                report,
-                "{}:{}: [{}] {}",
-                f.file.display(),
-                f.line,
-                f.rule,
-                f.message
+    let baseline_path = root.join(BASELINE_FILE);
+    if opts.update_baseline {
+        let baseline = Baseline::from_report(&report);
+        let text = baseline.to_json().render();
+        if let Err(err) = std::fs::write(&baseline_path, text + "\n") {
+            eprintln!(
+                "xtask lint: cannot write {}: {err}",
+                baseline_path.display()
             );
+            return ExitCode::from(2);
         }
-        eprint!("{report}");
-        eprintln!("xtask lint: {} finding(s)", findings.len());
+        println!(
+            "xtask lint: wrote {} ({} grandfathered entr{})",
+            baseline_path.display(),
+            baseline.len(),
+            if baseline.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(baseline) => baseline.apply(&mut report),
+            Err(msg) => {
+                eprintln!("xtask lint: malformed {BASELINE_FILE}: {msg}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+        Err(err) => {
+            eprintln!("xtask lint: cannot read {BASELINE_FILE}: {err}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        let text = report.to_json().render();
+        if let Err(err) = std::fs::write(path, text + "\n") {
+            eprintln!("xtask lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let rendered = report.render_human();
+    if report.active().next().is_some() {
+        eprint!("{rendered}");
         ExitCode::FAILURE
+    } else {
+        print!("{rendered}");
+        ExitCode::SUCCESS
     }
 }
 
@@ -191,511 +170,47 @@ fn workspace_root() -> PathBuf {
     }
 }
 
-/// All `.rs` files directly inside `dir` (the crate layouts here are flat).
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Strip a trailing `// ...` comment (naive: ignores `//` inside string
-/// literals, which is fine for flagging — comments never *hide* code).
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-fn allowed(line: &str, rule: &str) -> bool {
-    line.find(ALLOW_MARKER)
-        .is_some_and(|i| line[i + ALLOW_MARKER.len()..].trim().starts_with(rule))
-}
-
-/// Rule 1: no `panic!` / `.unwrap()` in kernel files outside `#[cfg(test)]`.
-fn check_kernel_no_panic(root: &Path, rel: &str, findings: &mut Vec<Finding>) {
-    let path = root.join(rel);
-    let Ok(text) = std::fs::read_to_string(&path) else {
-        findings.push(Finding {
-            file: path,
-            line: 0,
-            rule: "kernel-no-panic",
-            message: "kernel file listed in xtask but missing".into(),
-        });
-        return;
-    };
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break; // Test modules sit at the bottom of each kernel file.
-        }
-        if allowed(line, "kernel-no-panic") {
-            continue;
-        }
-        let code = code_part(line);
-        for needle in ["panic!", ".unwrap()"] {
-            if code.contains(needle) {
-                findings.push(Finding {
-                    file: path.clone(),
-                    line: i + 1,
-                    rule: "kernel-no-panic",
-                    message: format!("`{needle}` in a search kernel outside #[cfg(test)]"),
-                });
-            }
-        }
-    }
-}
-
-/// Rule 2: public items in the covered crates carry a doc comment.
-fn check_doc_coverage(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let lines: Vec<&str> = text.lines().collect();
-    const ITEM_KINDS: &[&str] = &[
-        "fn ", "struct ", "enum ", "trait ", "const ", "type ", "mod ",
-    ];
-    for (i, raw) in lines.iter().enumerate() {
-        let line = raw.trim_start();
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break; // Items below are test-only.
-        }
-        let Some(rest) = line.strip_prefix("pub ") else {
-            continue;
-        };
-        if !ITEM_KINDS.iter().any(|k| rest.starts_with(k)) {
-            continue;
-        }
-        if allowed(raw, "doc-coverage") {
-            continue;
-        }
-        // Walk upwards over attributes and macro-generated spacing to find
-        // the item's doc comment.
-        let mut j = i;
-        let mut documented = false;
-        while j > 0 {
-            j -= 1;
-            let above = lines[j].trim_start();
-            if above.starts_with("///") || above.starts_with("#[doc") {
-                documented = true;
-                break;
-            }
-            if above.starts_with("#[") || above.starts_with("#!") {
-                continue; // attribute stack between doc and item
-            }
-            break;
-        }
-        // `pub mod x;` counts as documented when `x.rs` opens with `//!`
-        // inner docs — the same shape rustc's `missing_docs` accepts.
-        if !documented {
-            if let Some(name) = rest.strip_prefix("mod ").and_then(|m| m.strip_suffix(';')) {
-                documented = path
-                    .parent()
-                    .map(|dir| dir.join(format!("{name}.rs")))
-                    .and_then(|p| std::fs::read_to_string(p).ok())
-                    .is_some_and(|text| {
-                        text.lines()
-                            .find(|l| !l.trim().is_empty())
-                            .is_some_and(|l| l.trim_start().starts_with("//!"))
-                    });
-            }
-        }
-        if !documented {
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line: i + 1,
-                rule: "doc-coverage",
-                message: format!("undocumented public item: `{}`", line.trim_end()),
-            });
-        }
-    }
-    let _ = root; // paths are already absolute; kept for signature symmetry
-}
-
-/// Rule 3: no `==` / `!=` against float literals in scoring code.
-fn check_no_float_eq(root: &Path, rel: &str, findings: &mut Vec<Finding>) {
-    let path = root.join(rel);
-    let Ok(text) = std::fs::read_to_string(&path) else {
-        return;
-    };
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        if allowed(line, "float-eq") {
-            continue;
-        }
-        if has_float_eq(code_part(line)) {
-            findings.push(Finding {
-                file: path.clone(),
-                line: i + 1,
-                rule: "float-eq",
-                message: "f64 equality comparison in scoring code (use ranges or total_cmp)".into(),
-            });
-        }
-    }
-}
-
-/// Detect `== <float literal>` or `<float literal> ==` (and `!=`).
-fn has_float_eq(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut k = 0;
-    while let Some(off) = code[k..].find("==").or_else(|| code[k..].find("!=")) {
-        let at = k + off;
-        // Skip `<=`, `>=`, `===`-like sequences and pattern arms (`=>`).
-        let before = bytes[..at].iter().rev().find(|b| !b.is_ascii_whitespace());
-        if matches!(before, Some(b'<' | b'>' | b'=' | b'!')) {
-            k = at + 2;
-            continue;
-        }
-        let lhs_float = code[..at]
-            .trim_end()
-            .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
-            .next()
-            .is_some_and(is_float_literal);
-        let rhs_float = code[at + 2..]
-            .trim_start()
-            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
-            .next()
-            .is_some_and(is_float_literal);
-        if lhs_float || rhs_float {
-            return true;
-        }
-        k = at + 2;
-    }
-    false
-}
-
-fn is_float_literal(token: &str) -> bool {
-    let token = token.trim_end_matches("f64").trim_end_matches("f32");
-    let Some((int, frac)) = token.split_once('.') else {
-        return false;
-    };
-    !int.is_empty()
-        && int.bytes().all(|b| b.is_ascii_digit() || b == b'_')
-        && frac.bytes().all(|b| b.is_ascii_digit() || b == b'_')
-}
-
-/// Rule 4: every crate root carries the lint-policy header.
-fn check_lint_headers(root: &Path, findings: &mut Vec<Finding>) {
-    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
-    for dir in ["crates", "shims"] {
-        if let Ok(entries) = std::fs::read_dir(root.join(dir)) {
-            for entry in entries.flatten() {
-                let lib = entry.path().join("src/lib.rs");
-                let main = entry.path().join("src/main.rs");
-                if lib.is_file() {
-                    roots.push(lib);
-                } else if main.is_file() {
-                    roots.push(main);
-                }
-            }
-        }
-    }
-    roots.sort();
-    for path in roots {
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        if !text.lines().any(|l| l.trim() == LINT_HEADER) {
-            findings.push(Finding {
-                file: path,
-                line: 1,
-                rule: "lint-header",
-                message: format!("crate root is missing the marker line `{LINT_HEADER}`"),
-            });
-        }
-    }
-}
-
-/// Dirs rule 6 scans: every source dir in the workspace (`src/bin` and
-/// `crates/*/src/bin` included) except the rayon shim, which is the one
-/// place allowed to own threads.
-fn spawn_covered_dirs(root: &Path) -> Vec<PathBuf> {
-    let mut dirs = vec![root.join("src"), root.join("src/bin"), root.join("tests")];
-    for group in ["crates", "shims"] {
-        if let Ok(entries) = std::fs::read_dir(root.join(group)) {
-            for entry in entries.flatten() {
-                if group == "shims" && entry.file_name() == "rayon" {
-                    continue;
-                }
-                let src = entry.path().join("src");
-                if src.is_dir() {
-                    dirs.push(src.join("bin"));
-                    dirs.push(src);
-                }
-            }
-        }
-    }
-    dirs.sort();
-    dirs
-}
-
-/// Rule 6: no `std::thread::spawn` outside the rayon shim.
-fn check_no_raw_spawn(path: &Path, findings: &mut Vec<Finding>) {
-    // Assembled at compile time so this scanner never flags itself.
-    const SPAWN_NEEDLE: &str = concat!("thread::", "spawn(");
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    for (i, line) in text.lines().enumerate() {
-        if allowed(line, "no-raw-spawn") {
-            continue;
-        }
-        if code_part(line).contains(SPAWN_NEEDLE) {
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line: i + 1,
-                rule: "no-raw-spawn",
-                message: "`thread::spawn` outside shims/rayon bypasses the pool size, \
-                          ordered collection, and panic propagation; use par_iter/join \
-                          or annotate `// xtask-allow: no-raw-spawn`"
-                    .into(),
-            });
-        }
-    }
-}
-
-/// Rule 5: kernel call sites outside tests must consume `Completeness`.
-fn check_consume_completeness(path: &Path, findings: &mut Vec<Finding>) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let lines: Vec<&str> = text.lines().collect();
-    for (i, line) in lines.iter().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break; // Test modules sit at the bottom of each file.
-        }
-        // The marker may trail the call or sit on the line above it (the
-        // latter survives rustfmt re-wrapping multi-line calls).
-        if allowed(line, "consume-completeness")
-            || (i > 0 && allowed(lines[i - 1], "consume-completeness"))
-        {
-            continue;
-        }
-        if let Some(needle) = swallowed_kernel_call(code_part(line)) {
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line: i + 1,
-                rule: "consume-completeness",
-                message: format!(
-                    "`{}...)` drops the Completeness tag; use the _tagged/audited \
-                     variant or annotate `// xtask-allow: consume-completeness`",
-                    needle
-                ),
-            });
-        }
-    }
-}
-
-/// Find a bare call to a swallowing kernel wrapper on this line.
-///
-/// A match is a finding only when it is a free-function call: a needle
-/// preceded by an identifier character is a different function (for
-/// example `contains_tagged(` never matches, `brute_force_contains(`
-/// is some local helper), a needle preceded by `.` is a method call
-/// (`Vec::contains`, `RangeInclusive::contains`), and a needle preceded
-/// by `fn` is the definition of an unrelated same-named item.
-fn swallowed_kernel_call(code: &str) -> Option<&'static str> {
-    for needle in SWALLOWING_KERNELS {
-        let mut k = 0;
-        while let Some(off) = code[k..].find(needle) {
-            let at = k + off;
-            let before = code[..at].chars().next_back();
-            let part_of_ident = before.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
-            let method_call = before == Some('.');
-            let definition = code[..at].trim_end().ends_with("fn");
-            if !part_of_ident && !method_call && !definition {
-                return Some(needle);
-            }
-            k = at + needle.len();
-        }
-    }
-    None
-}
-
-/// Dirs rule 7 scans: everything rule 6 covers except `crates/obs`
-/// (which owns the clock and registers counters from computed names),
-/// plus `examples/`.
-fn obs_covered_dirs(root: &Path) -> Vec<PathBuf> {
-    let mut dirs: Vec<PathBuf> = spawn_covered_dirs(root)
-        .into_iter()
-        .filter(|d| !d.starts_with(root.join("crates/obs")))
-        .filter(|d| !d.starts_with(root.join("shims")))
-        .collect();
-    dirs.push(root.join("examples"));
-    dirs.sort();
-    dirs
-}
-
-/// Rule 7a: metric names registered on a recorder follow
-/// `stage.kernel.metric` (≥ 3 lowercase dot-separated segments).
-fn check_metric_names(path: &Path, findings: &mut Vec<Finding>) {
-    const METRIC_CALLS: &[&str] = &[".counter(\"", ".histogram(\""];
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break; // Test modules sit at the bottom of each file.
-        }
-        if allowed(line, "metric-name") {
-            continue;
-        }
-        let code = code_part(line);
-        for needle in METRIC_CALLS {
-            let Some(at) = code.find(needle) else {
-                continue;
-            };
-            let lit = &code[at + needle.len()..];
-            let Some(end) = lit.find('"') else { continue };
-            let name = &lit[..end];
-            if !valid_metric_name(name) {
-                findings.push(Finding {
-                    file: path.to_path_buf(),
-                    line: i + 1,
-                    rule: "metric-name",
-                    message: format!(
-                        "metric name `{name}` violates the `stage.kernel.metric` \
-                         convention (>= 3 lowercase dot-separated segments)"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// `stage.kernel.metric`: at least three non-empty segments of
-/// `[a-z0-9_]`.
-fn valid_metric_name(name: &str) -> bool {
-    let parts: Vec<&str> = name.split('.').collect();
-    parts.len() >= 3
-        && parts.iter().all(|p| {
-            !p.is_empty()
-                && p.bytes()
-                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
-        })
-}
-
-/// Rule 7b: no `Instant::now()` outside `crates/obs` / the shims.
-fn check_no_raw_instant(path: &Path, findings: &mut Vec<Finding>) {
-    // Assembled at compile time so this scanner never flags itself.
-    const INSTANT_NEEDLE: &str = concat!("Instant::", "now(");
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            break; // Test modules sit at the bottom of each file.
-        }
-        if allowed(line, "raw-instant") {
-            continue;
-        }
-        if code_part(line).contains(INSTANT_NEEDLE) {
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line: i + 1,
-                rule: "raw-instant",
-                message: format!(
-                    "`{INSTANT_NEEDLE}...)` outside crates/obs bypasses the recorder \
-                     epoch; use catapult_obs::now()/Stopwatch or a span, or \
-                     annotate `// xtask-allow: raw-instant`"
-                ),
-            });
-        }
-    }
+/// Used by `lint` to locate the baseline next to the root manifest; kept
+/// as a free function so the path logic stays testable.
+#[allow(dead_code)]
+fn baseline_path(root: &Path) -> PathBuf {
+    root.join(BASELINE_FILE)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn float_eq_detection() {
-        assert!(has_float_eq("if x == 0.0 {"));
-        assert!(has_float_eq("if 1.5 != y {"));
-        assert!(has_float_eq("a == 2.5f64"));
-        assert!(!has_float_eq("if x <= 0.0 {"));
-        assert!(!has_float_eq("if x >= 1.0 {"));
-        assert!(!has_float_eq("if n == 0 {"));
-        assert!(!has_float_eq("Some(x) => 0.0,"));
-        assert!(!has_float_eq("let y = x * 2.0;"));
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
     }
 
     #[test]
-    fn float_literal_tokens() {
-        assert!(is_float_literal("0.0"));
-        assert!(is_float_literal("12.5f64"));
-        assert!(!is_float_literal("0"));
-        assert!(!is_float_literal("x0"));
-        assert!(!is_float_literal("v.len"));
+    fn parses_flags_in_any_order() {
+        let opts = parse_lint_args(&s(&[
+            "--rule",
+            "float-eq",
+            "--json",
+            "out.json",
+            "--rule",
+            "lock-order",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.json.as_deref(), Some(Path::new("out.json")));
+        assert_eq!(opts.rules, s(&["float-eq", "lock-order"]));
+        assert!(!opts.update_baseline);
     }
 
     #[test]
-    fn swallowed_kernel_call_detection() {
-        // Free-function calls to swallowing wrappers are findings.
-        assert_eq!(
-            swallowed_kernel_call("if contains(&g, &p) {"),
-            Some("contains(")
-        );
-        assert_eq!(
-            swallowed_kernel_call("let ok = iso::are_isomorphic(a, b);"),
-            Some("are_isomorphic(")
-        );
-        assert_eq!(
-            swallowed_kernel_call(".filter(|g| contains(g, p))"),
-            Some("contains(")
-        );
-        // `_tagged` variants and other suffixed names consume the tag.
-        assert_eq!(swallowed_kernel_call("contains_tagged(&g, &p, &b)"), None);
-        assert_eq!(
-            swallowed_kernel_call("mccs_similarity_tagged(a, b, &s)"),
-            None
-        );
-        // Different functions sharing the suffix are not kernels.
-        assert_eq!(swallowed_kernel_call("brute_force_contains(&g, &p)"), None);
-        // Method calls are collection/range membership, not kernels.
-        assert_eq!(swallowed_kernel_call("set.contains(&x)"), None);
-        // Definitions of unrelated same-named items are not call sites.
-        assert_eq!(
-            swallowed_kernel_call("pub fn contains(&self, id: u32) -> bool {"),
-            None
-        );
-        assert_eq!(swallowed_kernel_call("(3..=8).contains(&n)"), None);
-        // Field access has no call paren.
-        assert_eq!(swallowed_kernel_call("out.embeddings > 0"), None);
+    fn rejects_missing_values_and_unknown_flags() {
+        assert!(parse_lint_args(&s(&["--json"])).is_err());
+        assert!(parse_lint_args(&s(&["--rule"])).is_err());
+        assert!(parse_lint_args(&s(&["--frobnicate"])).is_err());
     }
 
     #[test]
-    fn metric_name_convention() {
-        assert!(valid_metric_name("mining.iso.calls"));
-        assert!(valid_metric_name("scoring.greedy.iterations"));
-        assert!(valid_metric_name("eval.workload.steps"));
-        assert!(valid_metric_name("mining.iso.probes_per_call"));
-        assert!(!valid_metric_name("mining"));
-        assert!(!valid_metric_name("mining.calls"));
-        assert!(!valid_metric_name("Mining.Iso.Calls"));
-        assert!(!valid_metric_name("mining..calls"));
-        assert!(!valid_metric_name("mining.iso."));
-    }
-
-    #[test]
-    fn allow_marker_matches_rule() {
-        assert!(allowed(
-            "let x = a == 0.0; // xtask-allow: float-eq",
-            "float-eq"
-        ));
-        assert!(!allowed(
-            "let x = a == 0.0; // xtask-allow: float-eq",
-            "doc-coverage"
-        ));
-        assert!(!allowed("let x = a == 0.0;", "float-eq"));
+    fn update_baseline_excludes_rule_filter() {
+        assert!(parse_lint_args(&s(&["--update-baseline"])).is_ok());
+        assert!(parse_lint_args(&s(&["--update-baseline", "--rule", "float-eq"])).is_err());
     }
 }

@@ -60,7 +60,7 @@ impl From<ManifestError> for CliError {
             ManifestError::Io(io) => CliError::Io(io),
             // Schema mismatch is an operator decision point (`--force`),
             // not an I/O failure.
-            other => CliError::Usage(other.to_string()),
+            other @ ManifestError::SchemaMismatch { .. } => CliError::Usage(other.to_string()),
         }
     }
 }
