@@ -27,9 +27,9 @@ use std::time::Duration;
 pub struct ParallelBench {
     /// Workload name ("mining" or "fine-clustering").
     pub workload: &'static str,
-    /// Best-of-N wall clock with the pool pinned to one worker.
+    /// Median-of-N wall clock with the pool pinned to one worker.
     pub sequential: Duration,
-    /// Best-of-N wall clock with the pool auto-sized.
+    /// Median-of-N wall clock with the pool auto-sized.
     pub auto: Duration,
     /// Worker count the auto pool resolved to.
     pub auto_threads: usize,
@@ -46,17 +46,48 @@ impl ParallelBench {
     }
 }
 
-/// Best-of-`reps` wall clock of `f` under a pool of `threads` workers.
+/// Warmup iterations discarded before timing starts. The first run under
+/// a freshly resized pool pays thread spawn-up, allocator growth and cold
+/// caches; folding it into the measurement is where the noisy sub-1.0
+/// "speedups" in early `BENCH_parallel.json` artifacts came from. One
+/// discarded run absorbs all three without doubling the harness cost.
+const WARMUP_REPS: usize = 1;
+
+/// Median-of-`reps` wall clock of `f` under a pool of `threads` workers,
+/// after [`WARMUP_REPS`] untimed runs.
+///
+/// Median rather than min or mean: the min rewards a single lucky
+/// scheduling roll (and biases the sequential/auto ratio whichever way
+/// got luckier), the mean is dragged by one preempted outlier; the
+/// median is stable under both.
 fn time_with_threads(threads: usize, reps: usize, mut f: impl FnMut()) -> Duration {
     rayon::set_threads(threads);
-    let mut best = Duration::MAX;
-    for _ in 0..reps.max(1) {
-        let start = Stopwatch::start();
+    for _ in 0..WARMUP_REPS {
         f();
-        best = best.min(start.elapsed());
     }
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let start = Stopwatch::start();
+            f();
+            start.elapsed()
+        })
+        .collect();
     rayon::set_threads(0);
-    best
+    samples.sort();
+    median_of_sorted(&samples)
+}
+
+/// Median of a sorted, non-empty sample list (even length → mean of the
+/// middle pair).
+fn median_of_sorted(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    debug_assert!(n > 0, "median of empty sample set");
+    let mid = n / 2;
+    if n % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    }
 }
 
 /// Run both workloads; `scale` multiplies the repository size (1 = the
@@ -163,5 +194,18 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         // The pool must be back to auto after timing.
         assert!(rayon::current_threads() >= 1);
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_outliers() {
+        let ms = Duration::from_millis;
+        assert_eq!(median_of_sorted(&[ms(5)]), ms(5));
+        assert_eq!(median_of_sorted(&[ms(1), ms(3), ms(500)]), ms(3));
+        assert_eq!(median_of_sorted(&[ms(2), ms(4)]), ms(3));
+        assert_eq!(
+            median_of_sorted(&[ms(1), ms(2), ms(3), ms(900)]),
+            ms(2) + ms(1) / 2,
+            "one preempted outlier must not drag the result"
+        );
     }
 }

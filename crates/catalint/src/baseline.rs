@@ -1,43 +1,64 @@
-//! The grandfathering baseline (`catalint.baseline.json`).
+//! The grandfathering baseline (`catalint.baseline.json`), schema v2.
 //!
-//! A baseline entry records, per `(rule, path)`, how many findings were
-//! known and accepted when the rule landed. The comparison is a ratchet:
+//! v1 recorded a *count* per `(rule, path)` — a ratchet that kept the
+//! file stable but had a masking hole: fixing one finding in a file
+//! freed up head-room a brand-new finding in the same file could hide
+//! behind. v2 entries are **fingerprints**:
 //!
-//! - current count **>** recorded count → the debt grew; those findings
-//!   stay active and fail the build;
-//! - current count **≤** recorded count → the findings are suppressed as
-//!   `Baselined` (reported, but non-fatal);
-//! - current count **<** recorded count → additionally surfaced as a
-//!   *stale* entry so `--update-baseline` can ratchet the number down.
+//! ```text
+//! { rule, path, fn, hash, count }
+//! ```
 //!
-//! Counts rather than line numbers keep the file stable across unrelated
-//! edits: a finding that merely moves does not churn the baseline, and a
-//! new one cannot hide behind a stale line. The file is written by
-//! `cargo xtask lint --update-baseline`, rendered through the
-//! insertion-ordered `catapult_obs::json` serializer with entries sorted
-//! by `(rule, path)` so diffs stay minimal and reviewable.
+//! where `fn` is the enclosing function and `hash` the FNV-1a of the
+//! offending line's trimmed text. A finding that merely moves (code
+//! added above it) keeps its fingerprint; a finding whose line is
+//! *edited* gets a new one and fails the build until fixed or
+//! re-baselined. Fixing one finding can therefore never mask another.
+//!
+//! Matching semantics per fingerprint:
+//!
+//! - current matches **>** recorded count → the excess stays active;
+//! - current matches **≤** recorded count → suppressed as `Baselined`;
+//! - current matches **<** recorded count → additionally surfaced as a
+//!   *stale* entry so `--update-baseline` can shrink the file.
+//!
+//! Schema-v1 files are rejected with a migration hint: run
+//! `cargo xtask lint --update-baseline` to rewrite the ledger (CI fails
+//! on v1 files so the migration cannot be deferred silently).
 
 use crate::diag::{Report, Suppression};
 use catapult_obs::json::{self, Value};
 use std::collections::BTreeMap;
 
 /// Schema version of `catalint.baseline.json`.
-pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+pub const BASELINE_SCHEMA_VERSION: u64 = 2;
 
-/// Grandfathered finding counts keyed by `(rule, path)`.
+/// A finding's baseline identity: `(rule, path, enclosing fn, snippet
+/// hash)`.
+type Fingerprint = (String, String, String, String);
+
+/// Grandfathered finding counts keyed by fingerprint.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Baseline {
-    entries: BTreeMap<(String, String), u64>,
+    entries: BTreeMap<Fingerprint, u64>,
 }
 
 impl Baseline {
     /// Parse a baseline document. Returns a descriptive error for a
     /// malformed or wrong-schema file (the build should fail loudly
-    /// rather than silently ignore its debt ledger).
+    /// rather than silently ignore its debt ledger); a v1 file gets an
+    /// explicit migration hint.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let doc = json::parse(text).map_err(|e| e.to_string())?;
         match doc.get("schema_version") {
             Some(Value::UInt(BASELINE_SCHEMA_VERSION)) => {}
+            Some(Value::UInt(1)) => {
+                return Err(
+                    "baseline is schema v1 (per-file count ratchet); run `cargo xtask \
+                     lint --update-baseline` to migrate it to v2 fingerprints"
+                        .to_string(),
+                )
+            }
             other => {
                 return Err(format!(
                     "unsupported baseline schema_version {other:?} (expected {BASELINE_SCHEMA_VERSION})"
@@ -51,13 +72,23 @@ impl Baseline {
         for item in items {
             let rule = item.get("rule").and_then(as_str);
             let path = item.get("path").and_then(as_str);
+            let func = item.get("fn").and_then(as_str);
+            let hash = item.get("hash").and_then(as_str);
             let count = match item.get("count") {
                 Some(Value::UInt(n)) => Some(*n),
                 _ => None,
             };
-            match (rule, path, count) {
-                (Some(rule), Some(path), Some(count)) => {
-                    entries.insert((rule.to_string(), path.to_string()), count);
+            match (rule, path, func, hash, count) {
+                (Some(rule), Some(path), Some(func), Some(hash), Some(count)) => {
+                    entries.insert(
+                        (
+                            rule.to_string(),
+                            path.to_string(),
+                            func.to_string(),
+                            hash.to_string(),
+                        ),
+                        count,
+                    );
                 }
                 _ => return Err(format!("malformed baseline entry: {item:?}")),
             }
@@ -69,19 +100,17 @@ impl Baseline {
     /// `report` (allowed findings keep their inline markers instead).
     #[must_use]
     pub fn from_report(report: &Report) -> Baseline {
-        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut entries: BTreeMap<Fingerprint, u64> = BTreeMap::new();
         for d in &report.findings {
             if d.suppressed == Suppression::Allowed {
                 continue;
             }
-            *entries
-                .entry((d.rule.to_string(), d.path.clone()))
-                .or_insert(0) += 1;
+            *entries.entry(d.fingerprint()).or_insert(0) += 1;
         }
         Baseline { entries }
     }
 
-    /// Number of `(rule, path)` entries.
+    /// Number of fingerprint entries.
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -93,35 +122,34 @@ impl Baseline {
         self.entries.is_empty()
     }
 
-    /// Apply the ratchet to `report`: suppress grandfathered findings and
-    /// record stale entries. Findings already suppressed by an inline
-    /// allow are untouched.
+    /// Apply the baseline to `report`: suppress findings whose
+    /// fingerprint has head-room and record stale entries. Findings
+    /// already suppressed by an inline allow are untouched.
     pub fn apply(&self, report: &mut Report) {
-        // Current active counts per (rule, path).
-        let mut current: BTreeMap<(String, String), u64> = BTreeMap::new();
-        for d in &report.findings {
-            if d.suppressed == Suppression::None {
-                *current
-                    .entry((d.rule.to_string(), d.path.clone()))
-                    .or_insert(0) += 1;
-            }
-        }
-        for (key, &recorded) in &self.entries {
-            let now = current.get(key).copied().unwrap_or(0);
-            if now > recorded {
-                // Debt grew: leave every finding active so the report
-                // shows all candidate sites, not an arbitrary excess.
+        let mut used: BTreeMap<Fingerprint, u64> = BTreeMap::new();
+        for d in &mut report.findings {
+            if d.suppressed != Suppression::None {
                 continue;
             }
-            if now < recorded {
-                report
-                    .stale_baseline
-                    .push((key.0.clone(), key.1.clone(), recorded, now));
+            let fp = d.fingerprint();
+            let Some(&recorded) = self.entries.get(&fp) else {
+                continue;
+            };
+            let seen = used.entry(fp).or_insert(0);
+            if *seen < recorded {
+                *seen += 1;
+                d.suppressed = Suppression::Baselined;
             }
-            for d in &mut report.findings {
-                if d.suppressed == Suppression::None && d.rule == key.0 && d.path == key.1 {
-                    d.suppressed = Suppression::Baselined;
-                }
+        }
+        for (fp, &recorded) in &self.entries {
+            let now = used.get(fp).copied().unwrap_or(0);
+            if now < recorded {
+                report.stale_baseline.push((
+                    fp.0.clone(),
+                    format!("{} (fn {}, hash {})", fp.1, display_fn(&fp.2), fp.3),
+                    recorded,
+                    now,
+                ));
             }
         }
     }
@@ -130,10 +158,12 @@ impl Baseline {
     #[must_use]
     pub fn to_json(&self) -> Value {
         let mut items = Value::array();
-        for ((rule, path), count) in &self.entries {
+        for ((rule, path, func, hash), count) in &self.entries {
             let mut e = Value::object();
             e.set("rule", rule.as_str())
                 .set("path", path.as_str())
+                .set("fn", func.as_str())
+                .set("hash", hash.as_str())
                 .set("count", *count);
             items.push(e);
         }
@@ -141,6 +171,14 @@ impl Baseline {
         v.set("schema_version", BASELINE_SCHEMA_VERSION)
             .set("entries", items);
         v
+    }
+}
+
+fn display_fn(name: &str) -> &str {
+    if name.is_empty() {
+        "<file>"
+    } else {
+        name
     }
 }
 
@@ -156,13 +194,14 @@ mod tests {
     use super::*;
     use crate::diag::Diagnostic;
 
-    fn diag(rule: &'static str, path: &str, line: usize) -> Diagnostic {
+    fn diag(rule: &'static str, path: &str, line: usize, snippet: &str) -> Diagnostic {
         Diagnostic {
             rule,
             path: path.into(),
             line,
             col: 1,
-            snippet: String::new(),
+            snippet: snippet.into(),
+            enclosing_fn: "f".into(),
             message: String::new(),
             suppressed: Suppression::None,
         }
@@ -180,64 +219,102 @@ mod tests {
     #[test]
     fn round_trips_through_json() {
         let mut r = report(vec![
-            diag("cast-truncation", "a.rs", 1),
-            diag("cast-truncation", "a.rs", 5),
+            diag("cast-truncation", "a.rs", 1, "x as u32"),
+            diag("cast-truncation", "a.rs", 5, "y as u16"),
         ]);
         r.finalize();
         let b = Baseline::from_report(&r);
         let text = b.to_json().render();
         let back = Baseline::parse(&text).expect("parses");
         assert_eq!(back, b);
-        assert_eq!(back.len(), 1);
+        assert_eq!(back.len(), 2, "distinct snippets get distinct fingerprints");
+        assert!(text.contains("\"schema_version\": 2"));
+        assert!(text.contains("\"hash\""));
     }
 
     #[test]
-    fn ratchet_suppresses_when_at_or_below_recorded() {
-        let mut r = report(vec![diag("r", "a.rs", 1), diag("r", "a.rs", 2)]);
-        let text = "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\"rule\": \"r\", \"path\": \"a.rs\", \"count\": 2}\n  ]\n}\n";
-        let b = Baseline::parse(text).expect("parses");
+    fn suppresses_matching_fingerprints_only() {
+        let mut r = report(vec![
+            diag("r", "a.rs", 1, "old debt line"),
+            diag("r", "a.rs", 9, "brand new line"),
+        ]);
+        let b = Baseline::from_report(&report(vec![diag("r", "a.rs", 1, "old debt line")]));
         b.apply(&mut r);
-        assert_eq!(r.count(Suppression::Baselined), 2);
-        assert_eq!(r.count(Suppression::None), 0);
-        assert!(r.stale_baseline.is_empty());
-    }
-
-    #[test]
-    fn ratchet_fails_open_when_debt_grows() {
-        let mut r = report(vec![diag("r", "a.rs", 1), diag("r", "a.rs", 2)]);
-        let text = "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\"rule\": \"r\", \"path\": \"a.rs\", \"count\": 1}\n  ]\n}\n";
-        Baseline::parse(text).expect("parses").apply(&mut r);
-        assert_eq!(r.count(Suppression::None), 2, "all sites stay visible");
-    }
-
-    #[test]
-    fn ratchet_reports_stale_entries() {
-        let mut r = report(vec![diag("r", "a.rs", 1)]);
-        let text = "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\"rule\": \"r\", \"path\": \"a.rs\", \"count\": 3},\n    {\"rule\": \"r\", \"path\": \"gone.rs\", \"count\": 2}\n  ]\n}\n";
-        Baseline::parse(text).expect("parses").apply(&mut r);
         assert_eq!(r.count(Suppression::Baselined), 1);
-        assert_eq!(r.stale_baseline.len(), 2);
+        assert_eq!(
+            r.count(Suppression::None),
+            1,
+            "a new finding in the same file cannot hide behind fixed debt"
+        );
     }
 
     #[test]
-    fn rejects_wrong_schema_and_malformed_entries() {
+    fn line_moves_keep_identity_edits_do_not() {
+        let b = Baseline::from_report(&report(vec![diag("r", "a.rs", 10, "x as u32")]));
+        let mut moved = report(vec![diag("r", "a.rs", 99, "x as u32")]);
+        b.apply(&mut moved);
+        assert_eq!(
+            moved.count(Suppression::Baselined),
+            1,
+            "moved line still suppressed"
+        );
+        let mut edited = report(vec![diag("r", "a.rs", 10, "x as u64")]);
+        b.apply(&mut edited);
+        assert_eq!(
+            edited.count(Suppression::None),
+            1,
+            "edited line fails the build"
+        );
+        assert_eq!(
+            edited.stale_baseline.len(),
+            1,
+            "the old fingerprint goes stale"
+        );
+    }
+
+    #[test]
+    fn excess_matches_stay_active() {
+        let mut r = report(vec![
+            diag("r", "a.rs", 1, "same line"),
+            diag("r", "a.rs", 2, "same line"),
+        ]);
+        let b = Baseline::from_report(&report(vec![diag("r", "a.rs", 1, "same line")]));
+        b.apply(&mut r);
+        assert_eq!(r.count(Suppression::Baselined), 1);
+        assert_eq!(
+            r.count(Suppression::None),
+            1,
+            "head-room is bounded by count"
+        );
+    }
+
+    #[test]
+    fn rejects_v1_with_migration_hint_and_malformed_entries() {
+        let v1 = "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\"rule\": \"r\", \"path\": \"a.rs\", \"count\": 2}\n  ]\n}\n";
+        let err = Baseline::parse(v1).expect_err("v1 is rejected");
+        assert!(err.contains("--update-baseline"), "migration hint: {err}");
         assert!(Baseline::parse("{\"schema_version\": 9, \"entries\": []}").is_err());
-        assert!(Baseline::parse("{\"schema_version\": 1}").is_err());
+        assert!(Baseline::parse("{\"schema_version\": 2}").is_err());
         assert!(
-            Baseline::parse("{\"schema_version\": 1, \"entries\": [{\"rule\": \"r\"}]}").is_err()
+            Baseline::parse("{\"schema_version\": 2, \"entries\": [{\"rule\": \"r\"}]}").is_err()
         );
     }
 
     #[test]
     fn inline_allows_are_not_baselined() {
-        let mut allowed = diag("r", "a.rs", 1);
+        let mut allowed = diag("r", "a.rs", 1, "line one");
         allowed.suppressed = Suppression::Allowed;
-        let r = report(vec![allowed, diag("r", "a.rs", 2)]);
+        let r = report(vec![allowed, diag("r", "a.rs", 2, "line two")]);
         let b = Baseline::from_report(&r);
+        assert_eq!(b.len(), 1, "only the active finding is grandfathered");
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::from_report(&report(vec![]));
+        assert!(b.is_empty());
         let text = b.to_json().render();
-        assert!(
-            text.contains("\"count\": 1"),
-            "only the active finding: {text}"
-        );
+        let back = Baseline::parse(&text).expect("parses");
+        assert!(back.is_empty());
     }
 }

@@ -10,8 +10,21 @@
 use catapult_obs::json::Value;
 use std::fmt::Write as _;
 
-/// Schema version of the JSON report (`--json`).
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// Schema version of the JSON report (`--json`). v2 added the
+/// `fn` (enclosing function) field per finding.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
+/// FNV-1a 64-bit hash, rendered as fixed-width hex. Used for baseline
+/// fingerprints; zero-dependency and stable across platforms.
+#[must_use]
+pub fn fnv1a_hex(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
 
 /// Why a finding does not fail the build (if it doesn't).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +60,8 @@ pub struct Diagnostic {
     pub col: usize,
     /// The trimmed source line (truncated for display).
     pub snippet: String,
+    /// Name of the innermost enclosing `fn` (empty at file scope).
+    pub enclosing_fn: String,
     /// What the rule objects to, with the sanctioned alternative.
     pub message: String,
     /// Whether (and why) the finding is suppressed.
@@ -54,12 +69,27 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
+    /// The baseline-v2 identity of this finding: rule + path + enclosing
+    /// fn + a hash of the trimmed source line. Stable when unrelated code
+    /// moves the finding to another line; changes when the offending line
+    /// itself is edited, so a fixed finding can never mask a new one.
+    #[must_use]
+    pub fn fingerprint(&self) -> (String, String, String, String) {
+        (
+            self.rule.to_string(),
+            self.path.clone(),
+            self.enclosing_fn.clone(),
+            fnv1a_hex(&self.snippet),
+        )
+    }
+
     fn to_json(&self) -> Value {
         let mut v = Value::object();
         v.set("rule", self.rule)
             .set("path", self.path.as_str())
             .set("line", self.line)
             .set("col", self.col)
+            .set("fn", self.enclosing_fn.as_str())
             .set("message", self.message.as_str())
             .set("snippet", self.snippet.as_str())
             .set("suppressed", self.suppressed != Suppression::None);
@@ -189,9 +219,34 @@ mod tests {
             line,
             col: 1,
             snippet: "let x = 1;".into(),
+            enclosing_fn: "f".into(),
             message: "msg".into(),
             suppressed: s,
         }
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_distinct() {
+        assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex("a"), "af63dc4c8601ec8c");
+        assert_ne!(fnv1a_hex("let x = 1;"), fnv1a_hex("let x = 2;"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_snippet_not_line() {
+        let a = diag("a-rule", "a.rs", 1, Suppression::None);
+        let mut b = diag("a-rule", "a.rs", 99, Suppression::None);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "line moves are identity-preserving"
+        );
+        b.snippet = "let x = 2;".into();
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "edited line changes identity"
+        );
     }
 
     #[test]
@@ -226,7 +281,8 @@ mod tests {
         };
         r.finalize();
         let text = r.to_json().render();
-        assert!(text.starts_with("{\n  \"schema_version\": 1"));
+        assert!(text.starts_with("{\n  \"schema_version\": 2"));
+        assert!(text.contains("\"fn\": \"f\""));
         assert!(text.contains("\"suppressed\": true"));
         assert!(text.contains("\"suppressed_by\": \"baseline\""));
         assert!(text.contains("\"recorded\": 3"));

@@ -31,12 +31,15 @@ pub mod diag;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod xrules;
 
 use diag::Report;
 use rules::FileCtx;
 use scan::SourceFile;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use symbols::Workspace;
 
 /// Top-level directories scanned for Rust sources.
 const SCAN_ROOTS: &[&str] = &["src", "crates", "shims", "tests", "examples", "benches"];
@@ -112,20 +115,25 @@ pub fn crate_roots(files: &[String]) -> BTreeSet<&str> {
         .collect()
 }
 
+/// Every rule name, file-level then interprocedural, in registry order.
+pub fn all_rules() -> impl Iterator<Item = &'static rules::RuleInfo> {
+    rules::RULES.iter().chain(xrules::XRULES.iter())
+}
+
 /// The set of enabled rule names for a `--rule` filter (empty filter →
 /// every rule). Returns an error naming any unknown rule.
 pub fn enabled_rules(filter: &[String]) -> Result<BTreeSet<&'static str>, String> {
     if filter.is_empty() {
-        return Ok(rules::RULES.iter().map(|r| r.name).collect());
+        return Ok(all_rules().map(|r| r.name).collect());
     }
     let mut on = BTreeSet::new();
     for name in filter {
-        match rules::rule_named(name) {
+        match rules::rule_named(name).or_else(|| xrules::xrule_named(name)) {
             Some(info) => {
                 on.insert(info.name);
             }
             None => {
-                let known: Vec<&str> = rules::RULES.iter().map(|r| r.name).collect();
+                let known: Vec<&str> = all_rules().map(|r| r.name).collect();
                 return Err(format!(
                     "unknown rule `{name}` (known rules: {})",
                     known.join(", ")
@@ -136,10 +144,21 @@ pub fn enabled_rules(filter: &[String]) -> Result<BTreeSet<&'static str>, String
     Ok(on)
 }
 
-/// Run the enabled rules over the workspace at `root`. The returned
-/// report is finalized (deterministically sorted) but has no baseline
-/// applied — callers layer [`baseline::Baseline::apply`] on top.
-pub fn run(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result<Report> {
+/// A full analysis: the finalized lint report plus the workspace symbol
+/// index / call graph it ran on (for `--callgraph` exports and tests).
+#[derive(Debug)]
+pub struct Analysis {
+    /// The finalized report (no baseline applied — callers layer
+    /// [`baseline::Baseline::apply`] on top).
+    pub report: Report,
+    /// The workspace index the interprocedural rules consumed.
+    pub workspace: Workspace,
+}
+
+/// Run the enabled rules over the workspace at `root`: the per-file
+/// token rules stream over each source, then the symbol index and call
+/// graph are built once and the interprocedural rules run on top.
+pub fn analyze(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result<Analysis> {
     let files = discover(root)?;
     let roots = crate_roots(&files);
     let mut report = Report {
@@ -147,6 +166,7 @@ pub fn run(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result<Rep
         files_scanned: files.len(),
         ..Report::default()
     };
+    let mut parsed = Vec::with_capacity(files.len());
     for rel in &files {
         let text = std::fs::read_to_string(root.join(rel))?;
         let file = SourceFile::parse(rel.clone(), text);
@@ -155,9 +175,17 @@ pub fn run(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result<Rep
             is_crate_root: roots.contains(rel.as_str()),
         };
         rules::check_file(&file, &ctx, enabled, &mut report.findings);
+        parsed.push(file);
     }
+    let workspace = Workspace::build(parsed);
+    xrules::check_workspace(&workspace, enabled, &mut report.findings);
     report.finalize();
-    Ok(report)
+    Ok(Analysis { report, workspace })
+}
+
+/// Run the enabled rules and return just the report (see [`analyze`]).
+pub fn run(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result<Report> {
+    analyze(root, enabled).map(|a| a.report)
 }
 
 #[cfg(test)]
@@ -187,9 +215,11 @@ mod tests {
 
     #[test]
     fn rule_filter_validates_names() {
-        assert_eq!(enabled_rules(&[]).map(|s| s.len()), Ok(rules::RULES.len()));
+        assert_eq!(enabled_rules(&[]).map(|s| s.len()), Ok(all_rules().count()));
         let one = enabled_rules(&["float-eq".to_string()]).expect("known rule");
         assert_eq!(one.len(), 1);
+        let x = enabled_rules(&["budget-threading".to_string()]).expect("xrule name");
+        assert_eq!(x.len(), 1);
         assert!(enabled_rules(&["bogus".to_string()])
             .unwrap_err()
             .contains("unknown rule"));

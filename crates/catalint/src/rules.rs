@@ -110,7 +110,7 @@ pub struct FileCtx<'a> {
 // ---- scopes ------------------------------------------------------------
 
 /// Files holding the NP-hard search kernels.
-const KERNEL_FILES: &[&str] = &[
+pub(crate) const KERNEL_FILES: &[&str] = &[
     "crates/graph/src/iso.rs",
     "crates/graph/src/mcs.rs",
     "crates/graph/src/ged.rs",
@@ -134,7 +134,7 @@ const DOC_COVERED_DIRS: &[&str] = &["crates/graph/src/", "crates/core/src/"];
 
 /// Pipeline dirs that must consume `Completeness` (graph defines the
 /// swallowing conveniences and is exempt).
-const COMPLETENESS_DIRS: &[&str] = &[
+pub(crate) const COMPLETENESS_DIRS: &[&str] = &[
     "crates/cluster/src/",
     "crates/core/src/",
     "crates/csg/src/",
@@ -151,13 +151,13 @@ const INTERIOR_MUT_ALLOWED: &[&str] =
 /// The agreed crate-root marker line.
 pub const LINT_HEADER: &str = "// Lint policy: see [workspace.lints] in the root Cargo.toml.";
 
-fn in_dirs(rel: &str, dirs: &[&str]) -> bool {
+pub(crate) fn in_dirs(rel: &str, dirs: &[&str]) -> bool {
     dirs.iter().any(|d| rel.starts_with(d))
 }
 
 /// Library source files: `src/`, `crates/*/src/`, `shims/*/src/` (tests,
 /// benches, and examples live elsewhere).
-fn is_library_src(rel: &str) -> bool {
+pub(crate) fn is_library_src(rel: &str) -> bool {
     rel.starts_with("src/")
         || ((rel.starts_with("crates/") || rel.starts_with("shims/")) && rel.contains("/src/"))
 }
@@ -219,13 +219,15 @@ pub fn check_file(
 /// Record a finding at code token `ci`, honoring the escape hatch.
 fn emit(f: &SourceFile, ci: usize, rule: &'static str, message: String, out: &mut Vec<Diagnostic>) {
     let (line, col) = f.cpos(ci);
-    emit_at(f, line, col, rule, message, out);
+    let enclosing = f.enclosing_fn(ci).unwrap_or_default().to_string();
+    emit_at(f, line, col, enclosing, rule, message, out);
 }
 
 fn emit_at(
     f: &SourceFile,
     line: usize,
     col: usize,
+    enclosing_fn: String,
     rule: &'static str,
     message: String,
     out: &mut Vec<Diagnostic>,
@@ -241,6 +243,7 @@ fn emit_at(
         line,
         col,
         snippet: f.line_snippet(line),
+        enclosing_fn,
         message,
         suppressed,
     });
@@ -437,6 +440,7 @@ fn lint_header(f: &SourceFile, out: &mut Vec<Diagnostic>) {
             f,
             1,
             1,
+            String::new(),
             "lint-header",
             format!("crate root is missing the marker line `{LINT_HEADER}`"),
             out,
@@ -445,7 +449,7 @@ fn lint_header(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 /// Completeness-swallowing kernel conveniences.
-const SWALLOWING_KERNELS: &[&str] = &[
+pub(crate) const SWALLOWING_KERNELS: &[&str] = &[
     "contains",
     "are_isomorphic",
     "mcs_similarity",

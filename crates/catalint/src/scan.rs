@@ -45,6 +45,25 @@ pub struct SourceFile {
     line_starts: Vec<usize>,
     /// Line number → rules allowed on that line via `xtask-allow`.
     allows: BTreeMap<usize, Vec<String>>,
+    /// Every `fn` definition in the file, in source order.
+    fn_spans: Vec<FnSpan>,
+}
+
+/// The lexical extent of one `fn` definition (used for enclosing-fn
+/// lookups by baseline fingerprints and the symbol index).
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// Code index of the `fn` keyword.
+    pub kw: usize,
+    /// Code index of the name identifier.
+    pub name_ci: usize,
+    /// Code index of the body `{` (None for a body-less declaration).
+    pub open: Option<usize>,
+    /// Code index of the body `}` (None for a body-less declaration).
+    pub close: Option<usize>,
+    /// Last code index belonging to the definition (body `}` when present,
+    /// else the terminating `;` — or the signature's end at EOF).
+    pub end: usize,
 }
 
 /// The escape-hatch marker inside a comment.
@@ -76,11 +95,82 @@ impl SourceFile {
             test_mask: Vec::new(),
             line_starts,
             allows: BTreeMap::new(),
+            fn_spans: Vec::new(),
         };
         f.build_tree();
         f.build_test_mask();
         f.build_allows();
+        f.build_fn_spans();
         f
+    }
+
+    /// Locate every `fn` definition: keyword, name, and body range. A
+    /// `fn` token immediately followed by `(` is a fn-pointer type, not a
+    /// definition, and is skipped. The body `{` is the first brace at the
+    /// keyword's own nesting depth (generics and parameter lists nest
+    /// deeper or use unmatched `<`/`>`, which the delimiter tree ignores);
+    /// a `;` first means a body-less trait declaration.
+    fn build_fn_spans(&mut self) {
+        let n = self.code.len();
+        let mut spans = Vec::new();
+        for kw in 0..n {
+            if !self.is_ident(kw, "fn") || kw + 1 >= n || self.ckind(kw + 1) != TokenKind::Ident {
+                continue;
+            }
+            let d = self.depth[kw];
+            let (mut open, mut close) = (None, None);
+            let mut end = kw + 1;
+            let mut j = kw + 2;
+            while j < n {
+                if self.depth[j] < d {
+                    break;
+                }
+                if self.depth[j] == d {
+                    if self.is_punct(j, ";") {
+                        end = j;
+                        break;
+                    }
+                    if self.is_punct(j, "{") {
+                        open = Some(j);
+                        close = self.match_of[j];
+                        end = close.unwrap_or(n - 1);
+                        break;
+                    }
+                }
+                end = j;
+                j += 1;
+            }
+            spans.push(FnSpan {
+                kw,
+                name_ci: kw + 1,
+                open,
+                close,
+                end,
+            });
+        }
+        self.fn_spans = spans;
+    }
+
+    /// Every `fn` definition in the file, in source order.
+    #[must_use]
+    pub fn fn_spans(&self) -> &[FnSpan] {
+        &self.fn_spans
+    }
+
+    /// Name of the innermost `fn` whose definition contains code token
+    /// `ci` (None at file scope). Nested fns shadow their parent.
+    #[must_use]
+    pub fn enclosing_fn(&self, ci: usize) -> Option<&str> {
+        let mut best: Option<&FnSpan> = None;
+        for s in &self.fn_spans {
+            if s.kw <= ci && ci <= s.end {
+                best = match best {
+                    Some(b) if b.kw >= s.kw => Some(b),
+                    _ => Some(s),
+                };
+            }
+        }
+        best.map(|s| self.ctext(s.name_ci))
     }
 
     fn build_tree(&mut self) {
@@ -461,6 +551,26 @@ mod tests {
         assert_eq!(s, for_ci);
         assert!(f.range_any((s, e), |ci| f.is_ident(ci, "keys")));
         assert!(!f.range_any((s, e), |ci| f.is_ident(ci, "body")));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_nesting() {
+        let f = file(
+            "fn outer() { fn inner() { x(); } inner(); }\n\
+             trait T { fn decl(&self); }\n\
+             type F = fn(u32) -> u32;\n",
+        );
+        let names: Vec<&str> = f.fn_spans().iter().map(|s| f.ctext(s.name_ci)).collect();
+        assert_eq!(names, ["outer", "inner", "decl"], "fn-pointer type skipped");
+        let x_ci = (0..f.n_code()).find(|&ci| f.is_ident(ci, "x")).unwrap();
+        assert_eq!(f.enclosing_fn(x_ci), Some("inner"), "innermost wins");
+        let call_ci = (x_ci + 1..f.n_code())
+            .find(|&ci| f.is_ident(ci, "inner") && f.is_punct(ci + 1, "("))
+            .unwrap();
+        assert_eq!(f.enclosing_fn(call_ci), Some("outer"));
+        assert_eq!(f.enclosing_fn(0), Some("outer"), "kw belongs to its fn");
+        let decl = f.fn_spans().iter().find(|s| f.ctext(s.name_ci) == "decl");
+        assert!(decl.is_some_and(|s| s.open.is_none()), "body-less decl");
     }
 
     #[test]

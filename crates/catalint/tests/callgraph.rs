@@ -1,0 +1,106 @@
+//! Whole-workspace call-graph properties over the *real* repository:
+//! determinism of the exported artifact and resolution of the paths the
+//! budget-threading rule depends on (CLI entry points must reach the
+//! iso/mcs/ged kernels through resolved edges, or the rule is blind).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/catalint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn callgraph_json_is_byte_identical_across_scans() {
+    let root = repo_root();
+    let none = BTreeSet::new();
+    let a = catalint::analyze(&root, &none).expect("first scan");
+    let b = catalint::analyze(&root, &none).expect("second scan");
+    let (ja, jb) = (
+        a.workspace.callgraph_json().render(),
+        b.workspace.callgraph_json().render(),
+    );
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "call-graph export must be deterministic");
+    assert!(ja.contains("\"schema_version\""));
+}
+
+#[test]
+fn kernel_budget_paths_resolve_from_cli_entry_points() {
+    let root = repo_root();
+    let ws = catalint::analyze(&root, &BTreeSet::new())
+        .expect("scan")
+        .workspace;
+
+    // Forward closure over resolved edges from every CLI-crate def.
+    let mut seen: BTreeSet<usize> = ws
+        .defs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.in_test && ws.files[d.file].rel.starts_with("src/"))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!seen.is_empty(), "no CLI entry points found under src/");
+    let mut stack: Vec<usize> = seen.iter().copied().collect();
+    while let Some(id) = stack.pop() {
+        for &si in ws.calls_of(id) {
+            if let Some(t) = catalint::xrules::resolved_target(&ws.calls[si]) {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    // Budget-carrying type names, via the same struct-embedding fixpoint
+    // budget-threading uses (SearchBudget riding inside config structs).
+    let mut carrying: BTreeSet<String> = ["SearchBudget", "BudgetMeter"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    loop {
+        let mut grew = false;
+        for s in &ws.structs {
+            if !carrying.contains(&s.name)
+                && s.fields
+                    .iter()
+                    .any(|f| f.type_idents.iter().any(|t| carrying.contains(t)))
+            {
+                carrying.insert(s.name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    for kernel in [
+        "crates/graph/src/iso.rs",
+        "crates/graph/src/mcs.rs",
+        "crates/graph/src/ged.rs",
+    ] {
+        let reached: Vec<usize> = seen
+            .iter()
+            .copied()
+            .filter(|&id| ws.files[ws.defs[id].file].rel == kernel)
+            .collect();
+        assert!(
+            !reached.is_empty(),
+            "no resolved call path from CLI entry points into {kernel}"
+        );
+        assert!(
+            reached.iter().any(|&id| ws.sig_mentions(id, &carrying)),
+            "no budget-threading path into {kernel}: reached only {:?}",
+            reached
+                .iter()
+                .map(|&id| ws.defs[id].name.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+}

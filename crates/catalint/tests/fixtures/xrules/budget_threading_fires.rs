@@ -1,0 +1,39 @@
+//@ file: crates/graph/src/mcs.rs
+pub struct SearchBudget {
+    pub nodes: u64,
+}
+
+/// Bare convenience: pins an unbounded budget internally, with no way
+/// for the caller to pass one.
+pub fn mcs_similarity(a: u32, b: u32) -> f64 {
+    search(a, b, &SearchBudget { nodes: u64::MAX })
+}
+
+/// Budgeted entry point.
+pub fn mcs_with_budget(a: u32, b: u32, budget: &SearchBudget) -> f64 {
+    search(a, b, budget)
+}
+
+fn search(a: u32, b: u32, budget: &SearchBudget) -> f64 {
+    let _ = budget.nodes;
+    0.0
+}
+
+//@ file: crates/eval/src/run.rs
+use catapult_graph::mcs::{mcs_similarity, mcs_with_budget};
+
+/// Fires (bare): enters the unbudgetable kernel convenience.
+pub fn score_unbounded(a: u32, b: u32) -> f64 {
+    mcs_similarity(a, b)
+}
+
+/// Fires (unthreaded): reaches the budgeted kernel but neither receives
+/// nor constructs any budget-carrying value.
+pub fn score_raw_cap(a: u32, b: u32, cap: u64) -> f64 {
+    let _ = cap;
+    mcs_with_budget(a, b, make(cap))
+}
+
+fn make(cap: u64) -> f64 {
+    cap as f64
+}

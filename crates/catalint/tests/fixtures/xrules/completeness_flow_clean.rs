@@ -1,0 +1,40 @@
+//@ file: crates/graph/src/ged.rs
+pub struct Completeness {
+    pub exact: bool,
+}
+
+pub struct GedResult {
+    pub distance: u32,
+    pub completeness: Completeness,
+}
+
+pub fn ged_compute(a: u32) -> GedResult {
+    make(a)
+}
+
+fn make(a: u32) -> GedResult {
+    loop {}
+}
+
+//@ file: crates/eval/src/measures.rs
+use catapult_graph::ged::ged_compute;
+
+/// Clean: the tag is read in the same statement.
+pub fn distance_checked(a: u32) -> u32 {
+    let r = ged_compute(a);
+    if r.completeness.exact {
+        r.distance
+    } else {
+        0
+    }
+}
+
+/// Clean: tail expression — the tagged value propagates to the caller.
+pub fn forward(a: u32) -> GedResult {
+    ged_compute(a)
+}
+
+/// Clean: explicit return keeps the tag.
+pub fn forward_return(a: u32) -> GedResult {
+    return ged_compute(a);
+}

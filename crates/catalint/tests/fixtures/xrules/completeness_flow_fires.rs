@@ -1,0 +1,39 @@
+//@ file: crates/graph/src/ged.rs
+pub struct Completeness {
+    pub exact: bool,
+}
+
+/// Tagged result type (picked up by the struct-embedding fixpoint).
+pub struct GedResult {
+    pub distance: u32,
+    pub completeness: Completeness,
+}
+
+pub fn ged_compute(a: u32) -> GedResult {
+    make(a)
+}
+
+fn make(a: u32) -> GedResult {
+    loop {}
+}
+
+//@ file: crates/eval/src/measures.rs
+use catapult_graph::ged::ged_compute;
+
+/// Fires: the tagged result (and its tag) is discarded outright.
+pub fn warm_cache(a: u32) {
+    ged_compute(a);
+}
+
+/// Fires: the result is bound to `_`.
+pub fn warm_quietly(a: u32) {
+    let _ = ged_compute(a);
+}
+
+/// Fires: only `.distance` is projected out; the tag is dropped.
+pub fn total_distance(a: u32, b: u32) -> u32 {
+    let mut sum = 0;
+    sum += ged_compute(a).distance;
+    sum += ged_compute(b).distance;
+    sum
+}

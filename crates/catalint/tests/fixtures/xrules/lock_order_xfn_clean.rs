@@ -1,0 +1,31 @@
+//@ file: src/locks.rs
+use std::sync::Mutex;
+
+pub static REGISTRY: Mutex<u32> = Mutex::new(0);
+pub static JOURNAL: Mutex<u32> = Mutex::new(0);
+
+/// Same order everywhere: REGISTRY strictly before JOURNAL.
+pub fn flush() {
+    let g = REGISTRY.lock();
+    append();
+    drop(g);
+}
+
+fn append() {
+    let j = JOURNAL.lock();
+    drop(j);
+}
+
+/// Both locks inline, same global order.
+pub fn snapshot() {
+    let g = REGISTRY.lock();
+    let j = JOURNAL.lock();
+    drop(j);
+    drop(g);
+}
+
+/// Takes JOURNAL alone — no ordering edge at all.
+pub fn tail() {
+    let j = JOURNAL.lock();
+    drop(j);
+}

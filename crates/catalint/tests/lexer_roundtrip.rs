@@ -61,7 +61,10 @@ fn every_fixture_round_trips() {
             n += 1;
         }
     }
-    assert_eq!(n, 26, "13 rules x (fires + clean)");
+    assert_eq!(
+        n, 34,
+        "13 file rules x (fires + clean) + 4 xrules x (fires + clean)"
+    );
 }
 
 #[test]

@@ -1,0 +1,170 @@
+//! Fixture tests for the interprocedural rules.
+//!
+//! Each fixture under `tests/fixtures/xrules/` is a miniature multi-file
+//! workspace: `//@ file: <rel>` headers split it into virtual sources
+//! whose paths place them in the directories the rules scope to (kernel
+//! files, pipeline crates). `_fires` fixtures must produce exactly the
+//! expected findings; `_clean` twins exercise the same shapes written
+//! correctly and must stay silent — the pairing keeps each rule's
+//! false-positive and false-negative edges pinned.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use catalint::diag::Diagnostic;
+use catalint::scan::SourceFile;
+use catalint::symbols::Workspace;
+use catalint::xrules;
+use std::collections::BTreeSet;
+
+/// Parse a fixture into a [`Workspace`] of virtual files.
+fn fixture_workspace(name: &str) -> Workspace {
+    let path = format!(
+        "{}/tests/fixtures/xrules/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let mut files = Vec::new();
+    let mut rel: Option<String> = None;
+    let mut body = String::new();
+    for line in text.lines() {
+        if let Some(next) = line.strip_prefix("//@ file: ") {
+            if let Some(r) = rel.take() {
+                files.push(SourceFile::parse(r, std::mem::take(&mut body)));
+            }
+            rel = Some(next.trim().to_string());
+        } else {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    let r = rel.expect("fixture declares at least one `//@ file:` header");
+    files.push(SourceFile::parse(r, body));
+    Workspace::build(files)
+}
+
+/// Run one interprocedural rule over a fixture.
+fn run_rule(fixture: &str, rule: &'static str) -> Vec<Diagnostic> {
+    let ws = fixture_workspace(fixture);
+    let enabled: BTreeSet<&'static str> = [rule].into_iter().collect();
+    let mut out = Vec::new();
+    xrules::check_workspace(&ws, &enabled, &mut out);
+    out
+}
+
+fn messages(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| format!("{}:{} [{}] {}", d.path, d.line, d.enclosing_fn, d.message))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn budget_threading_fires_on_bare_and_unthreaded_calls() {
+    let diags = run_rule("budget_threading_fires.rs", "budget-threading");
+    assert_eq!(diags.len(), 2, "findings:\n{}", messages(&diags));
+    let bare = diags
+        .iter()
+        .find(|d| d.enclosing_fn == "score_unbounded")
+        .expect("bare-kernel finding");
+    assert!(
+        bare.message.contains("cannot accept a SearchBudget"),
+        "{}",
+        bare.message
+    );
+    let unthreaded = diags
+        .iter()
+        .find(|d| d.enclosing_fn == "score_raw_cap")
+        .expect("unthreaded finding");
+    assert!(
+        unthreaded
+            .message
+            .contains("path: score_raw_cap -> mcs_with_budget"),
+        "witness path names the hop: {}",
+        unthreaded.message
+    );
+}
+
+#[test]
+fn budget_threading_is_silent_when_budgets_are_threaded() {
+    let diags = run_rule("budget_threading_clean.rs", "budget-threading");
+    assert!(
+        diags.is_empty(),
+        "unexpected findings:\n{}",
+        messages(&diags)
+    );
+}
+
+#[test]
+fn panic_reachability_follows_helper_chains_into_kernels() {
+    let diags = run_rule("panic_reachability_fires.rs", "panic-reachability");
+    assert_eq!(diags.len(), 1, "findings:\n{}", messages(&diags));
+    let d = &diags[0];
+    assert_eq!(d.path, "crates/graph/src/iso.rs");
+    assert_eq!(d.enclosing_fn, "find_embedding");
+    assert!(
+        d.message.contains("find_embedding -> mid -> pick"),
+        "witness path shows the chain: {}",
+        d.message
+    );
+    assert!(d.message.contains(".unwrap()"), "{}", d.message);
+}
+
+#[test]
+fn panic_reachability_is_silent_on_total_helpers() {
+    let diags = run_rule("panic_reachability_clean.rs", "panic-reachability");
+    assert!(
+        diags.is_empty(),
+        "unexpected findings:\n{}",
+        messages(&diags)
+    );
+}
+
+#[test]
+fn completeness_flow_flags_discarded_tags() {
+    let diags = run_rule("completeness_flow_fires.rs", "completeness-flow");
+    assert_eq!(diags.len(), 4, "findings:\n{}", messages(&diags));
+    let by_fn = |name: &str| diags.iter().filter(|d| d.enclosing_fn == name).count();
+    assert_eq!(by_fn("warm_cache"), 1, "bare statement discard");
+    assert_eq!(by_fn("warm_quietly"), 1, "`let _` discard");
+    assert_eq!(by_fn("total_distance"), 2, "both `.distance` projections");
+}
+
+#[test]
+fn completeness_flow_is_silent_when_the_tag_is_consumed() {
+    let diags = run_rule("completeness_flow_clean.rs", "completeness-flow");
+    assert!(
+        diags.is_empty(),
+        "unexpected findings:\n{}",
+        messages(&diags)
+    );
+}
+
+#[test]
+fn lock_order_xfn_finds_cross_function_cycles_and_reentry() {
+    let diags = run_rule("lock_order_xfn_fires.rs", "lock-order-xfn");
+    assert_eq!(diags.len(), 2, "findings:\n{}", messages(&diags));
+    let cycle = diags
+        .iter()
+        .find(|d| d.message.contains("lock-order cycle"))
+        .expect("cycle finding");
+    assert!(
+        cycle.message.contains("REGISTRY") && cycle.message.contains("JOURNAL"),
+        "{}",
+        cycle.message
+    );
+    let reentry = diags
+        .iter()
+        .find(|d| d.message.contains("re-entrant"))
+        .expect("re-entrancy finding");
+    assert_eq!(reentry.enclosing_fn, "compact");
+}
+
+#[test]
+fn lock_order_xfn_is_silent_under_a_global_order() {
+    let diags = run_rule("lock_order_xfn_clean.rs", "lock-order-xfn");
+    assert!(
+        diags.is_empty(),
+        "unexpected findings:\n{}",
+        messages(&diags)
+    );
+}

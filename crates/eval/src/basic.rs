@@ -80,7 +80,7 @@ pub fn top_basic_patterns(db: &[Graph], m: usize) -> Vec<BasicPattern> {
 pub fn verify_support(db: &[Graph], basic: &BasicPattern) -> bool {
     // Offline sanity check under the default 10M-node cap; a tripped
     // probe can only undercount, which this helper reports as a failure.
-    let count = db.iter().filter(|g| contains(g, &basic.pattern)).count(); // xtask-allow: consume-completeness
+    let count = db.iter().filter(|g| contains(g, &basic.pattern)).count(); // xtask-allow: consume-completeness, budget-threading
     count == basic.support
 }
 

@@ -7,7 +7,7 @@ use crate::steps::{formulate, Formulation, DEFAULT_EMBEDDING_CAP};
 use catapult_graph::ged::ged_with_budget;
 use catapult_graph::iso::contains;
 use catapult_graph::metrics::cognitive_load;
-use catapult_graph::Graph;
+use catapult_graph::{Graph, SearchBudget};
 use rayon::prelude::*;
 
 /// `scov(P, D)`: fraction of data graphs containing at least one pattern.
@@ -17,9 +17,10 @@ pub fn subgraph_coverage(patterns: &[Graph], db: &[Graph]) -> f64 {
     }
     let covered = db
         .par_iter()
-        // Offline evaluation measure: a tripped probe only lowers the
-        // reported coverage (a conservative estimate), never correctness.
-        .filter(|g| patterns.iter().any(|p| contains(g, p))) // xtask-allow: consume-completeness
+        // Offline evaluation measure under the default node cap: a
+        // tripped probe only lowers the reported coverage (a conservative
+        // estimate), never correctness.
+        .filter(|g| patterns.iter().any(|p| contains(g, p))) // xtask-allow: consume-completeness, budget-threading
         .count();
     covered as f64 / db.len() as f64
 }
@@ -161,7 +162,10 @@ pub fn mean_diversity(patterns: &[Graph]) -> f64 {
         .map(|i| {
             (0..patterns.len())
                 .filter(|&j| j != i)
-                .map(|j| ged_with_budget(&patterns[i], &patterns[j], 30_000).distance as f64)
+                .map(|j| {
+                    let budget = SearchBudget::nodes(30_000);
+                    ged_with_budget(&patterns[i], &patterns[j], budget).distance as f64
+                })
                 .fold(f64::INFINITY, f64::min)
         })
         .collect();

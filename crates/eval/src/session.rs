@@ -146,7 +146,7 @@ impl Session {
     pub fn completed(&self, target: &Graph) -> bool {
         // Canvas graphs are interactive-query sized (§1); the default
         // 10M-node cap cannot trip on them.
-        are_isomorphic(&self.canvas, target) // xtask-allow: consume-completeness
+        are_isomorphic(&self.canvas, target) // xtask-allow: consume-completeness, budget-threading
     }
 }
 

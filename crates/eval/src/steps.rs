@@ -80,7 +80,7 @@ pub fn occurrences(q: &Graph, patterns: &[Graph], cap: usize) -> Vec<Occurrence>
         // Occurrence mining for step accounting: a tripped enumeration
         // just misses some pattern placements, inflating step_P slightly
         // (conservative for the GUI-benefit claims of §6.1).
-        // xtask-allow: consume-completeness
+        // xtask-allow: consume-completeness, budget-threading
         for emb in embeddings(q, p, cap) {
             let mut vertices: Vec<VertexId> = emb.clone();
             vertices.sort_unstable();
@@ -115,6 +115,10 @@ pub fn occurrences(q: &Graph, patterns: &[Graph], cap: usize) -> Vec<Occurrence>
 /// pattern vertices to query vertices.
 pub fn occurrence_embedding(q: &Graph, p: &Graph, occ: &Occurrence) -> Option<Vec<VertexId>> {
     let mut found = None;
+    // Replay binding is best-effort: the occurrence was produced by the
+    // same enumeration, so re-finding it under the same default cap can
+    // only miss if the first pass already did — GUI replay degrades, no
+    // metric is affected. xtask-allow: completeness-flow
     catapult_graph::iso::for_each_embedding(
         q,
         p,

@@ -92,12 +92,12 @@ pub fn induced_edit_cost(a: &Graph, b: &Graph, mapping: &[Option<VertexId>]) -> 
     assert_eq!(mapping.len(), a.vertex_count());
     let mut cost = 0usize;
     let mut b_used = vec![false; b.vertex_count()];
-    for (i, m) in mapping.iter().enumerate() {
+    for (vi, m) in a.vertices().zip(mapping.iter()) {
         match m {
             Some(t) => {
                 assert!(!b_used[t.index()], "mapping must be injective");
                 b_used[t.index()] = true;
-                if a.label(VertexId(i as u32)) != b.label(*t) {
+                if a.label(vi) != b.label(*t) {
                     cost += 1; // relabel
                 }
             }
@@ -114,9 +114,9 @@ pub fn induced_edit_cost(a: &Graph, b: &Graph, mapping: &[Option<VertexId>]) -> 
     }
     // Edge insertions: B edges with no matched A preimage edge.
     let mut preimage = vec![None; b.vertex_count()];
-    for (i, m) in mapping.iter().enumerate() {
+    for (vi, m) in a.vertices().zip(mapping.iter()) {
         if let Some(t) = m {
-            preimage[t.index()] = Some(VertexId(i as u32));
+            preimage[t.index()] = Some(vi);
         }
     }
     for (_, e) in b.edges() {
@@ -147,19 +147,22 @@ pub fn ged_upper_bound_mapping(a: &Graph, b: &Graph) -> (usize, Vec<Option<Verte
         return (0, Vec::new());
     }
     let big = 1e9;
+    // Dense id tables sidestep any usize→u32 narrowing in the hot loops.
+    let avs: Vec<VertexId> = a.vertices().collect();
+    let bvs: Vec<VertexId> = b.vertices().collect();
     let mut cost = vec![vec![0.0f64; n]; n];
     for (i, row) in cost.iter_mut().enumerate() {
         for (j, cell) in row.iter_mut().enumerate() {
             *cell = match (i < na, j < nb) {
                 (true, true) => {
-                    let (vi, vj) = (VertexId(i as u32), VertexId(j as u32));
+                    let (vi, vj) = (avs[i], bvs[j]);
                     let sub = if a.label(vi) == b.label(vj) { 0.0 } else { 1.0 };
                     sub + (a.degree(vi) as f64 - b.degree(vj) as f64).abs()
                 }
                 (true, false) => {
                     // Deletion of A vertex i, only on its own slot.
                     if j - nb == i {
-                        1.0 + a.degree(VertexId(i as u32)) as f64
+                        1.0 + a.degree(avs[i]) as f64
                     } else {
                         big
                     }
@@ -167,7 +170,7 @@ pub fn ged_upper_bound_mapping(a: &Graph, b: &Graph) -> (usize, Vec<Option<Verte
                 (false, true) => {
                     // Insertion of B vertex j, only on its own slot.
                     if i - na == j {
-                        1.0 + b.degree(VertexId(j as u32)) as f64
+                        1.0 + b.degree(bvs[j]) as f64
                     } else {
                         big
                     }
@@ -181,7 +184,7 @@ pub fn ged_upper_bound_mapping(a: &Graph, b: &Graph) -> (usize, Vec<Option<Verte
         .map(|i| {
             let j = assign[i];
             if j < nb {
-                Some(VertexId(j as u32))
+                Some(bvs[j])
             } else {
                 None
             }
@@ -273,7 +276,7 @@ impl<'a> GedSearch<'a> {
         let rb = self.b.vertex_count() - self.b_used_count;
         let mut matched = 0usize;
         for (x, y) in self.rem_a.iter().zip(&self.avail_b) {
-            matched += (*x).min(*y).max(0) as usize;
+            matched += usize::try_from((*x).min(*y)).unwrap_or(0);
         }
         let v_h = ra.max(rb) - matched.min(ra.min(rb));
         let ea = self.a.edge_count() - self.prefix_a_edges[depth];
@@ -340,7 +343,7 @@ impl<'a> GedSearch<'a> {
             .vertices()
             .filter(|t| !self.b_used[t.index()])
             .collect();
-        targets.sort_by_key(|&t| (self.b.label(t) != self.a.label(v)) as u8);
+        targets.sort_by_key(|&t| self.b.label(t) != self.a.label(v));
         for t in targets {
             let dc = self.step_cost(v, Some(t), depth);
             if g + dc >= self.best {

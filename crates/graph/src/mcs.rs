@@ -159,11 +159,11 @@ impl<'a> Search<'a> {
     }
 
     fn current_pairs(&self) -> Vec<(VertexId, VertexId)> {
-        self.map
-            .iter()
-            .enumerate()
+        self.a
+            .vertices()
+            .zip(self.map.iter())
             .filter(|&(_, &m)| m != UNMAPPED)
-            .map(|(i, &m)| (VertexId(i as u32), VertexId(m)))
+            .map(|(v, &m)| (v, VertexId(m)))
             .collect()
     }
 

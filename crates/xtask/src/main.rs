@@ -9,13 +9,16 @@
 //! ```text
 //! cargo xtask lint                      # human-readable report
 //! cargo xtask lint --json report.json   # also write the JSON artifact
-//! cargo xtask lint --rule hash-iter-order --rule float-eq
+//! cargo xtask lint --rule hash-iter-order,float-eq --rule budget-threading
+//! cargo xtask lint --callgraph cg.json  # export the workspace call graph
+//! cargo xtask lint --callgraph-dot cg.dot
 //! cargo xtask lint --update-baseline    # regenerate catalint.baseline.json
 //! ```
 //!
 //! Exit codes: `0` clean (or only allowed/baselined findings), `1`
-//! active findings, `2` usage or I/O errors. The baseline is a ratchet —
-//! see `crates/catalint/src/baseline.rs` for the growth semantics.
+//! active findings, `2` usage or I/O errors. The baseline grandfathers
+//! findings by fingerprint — see `crates/catalint/src/baseline.rs` for
+//! the matching semantics and v1→v2 migration.
 
 use catalint::baseline::Baseline;
 use std::path::{Path, PathBuf};
@@ -42,7 +45,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask lint [--json PATH] [--rule NAME]... [--update-baseline]";
+const USAGE: &str = "usage: cargo xtask lint [--json PATH] [--rule NAME[,NAME]...]... \
+[--callgraph PATH] [--callgraph-dot PATH] [--update-baseline]";
 
 /// Parsed `lint` subcommand options.
 #[derive(Debug, Default, PartialEq, Eq)]
@@ -51,6 +55,10 @@ struct LintOpts {
     json: Option<PathBuf>,
     /// Run only these rules (empty → all).
     rules: Vec<String>,
+    /// Write the workspace call graph as JSON here.
+    callgraph: Option<PathBuf>,
+    /// Write the workspace call graph as Graphviz DOT here.
+    callgraph_dot: Option<PathBuf>,
     /// Regenerate the baseline from current findings instead of checking.
     update_baseline: bool,
 }
@@ -65,8 +73,24 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
                 opts.json = Some(PathBuf::from(path));
             }
             "--rule" => {
-                let name = it.next().ok_or("--rule requires a NAME argument")?;
-                opts.rules.push(name.clone());
+                let names = it.next().ok_or("--rule requires a NAME argument")?;
+                for name in names.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err(format!("--rule got an empty name in `{names}`"));
+                    }
+                    opts.rules.push(name.to_string());
+                }
+            }
+            "--callgraph" => {
+                let path = it.next().ok_or("--callgraph requires a PATH argument")?;
+                opts.callgraph = Some(PathBuf::from(path));
+            }
+            "--callgraph-dot" => {
+                let path = it
+                    .next()
+                    .ok_or("--callgraph-dot requires a PATH argument")?;
+                opts.callgraph_dot = Some(PathBuf::from(path));
             }
             "--update-baseline" => opts.update_baseline = true,
             other => return Err(format!("unknown argument `{other}`")),
@@ -91,13 +115,31 @@ fn lint(opts: &LintOpts) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut report = match catalint::run(&root, &enabled) {
-        Ok(r) => r,
+    let analysis = match catalint::analyze(&root, &enabled) {
+        Ok(a) => a,
         Err(err) => {
             eprintln!("xtask lint: scan failed: {err}");
             return ExitCode::from(2);
         }
     };
+    let catalint::Analysis {
+        mut report,
+        workspace,
+    } = analysis;
+
+    if let Some(path) = &opts.callgraph {
+        let text = workspace.callgraph_json().render();
+        if let Err(err) = std::fs::write(path, text + "\n") {
+            eprintln!("xtask lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.callgraph_dot {
+        if let Err(err) = std::fs::write(path, workspace.callgraph_dot()) {
+            eprintln!("xtask lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     let baseline_path = root.join(BASELINE_FILE);
     if opts.update_baseline {
@@ -194,17 +236,42 @@ mod tests {
             "out.json",
             "--rule",
             "lock-order",
+            "--callgraph",
+            "cg.json",
+            "--callgraph-dot",
+            "cg.dot",
         ]))
         .expect("parses");
         assert_eq!(opts.json.as_deref(), Some(Path::new("out.json")));
         assert_eq!(opts.rules, s(&["float-eq", "lock-order"]));
+        assert_eq!(opts.callgraph.as_deref(), Some(Path::new("cg.json")));
+        assert_eq!(opts.callgraph_dot.as_deref(), Some(Path::new("cg.dot")));
         assert!(!opts.update_baseline);
+    }
+
+    #[test]
+    fn rule_lists_split_on_commas() {
+        let opts = parse_lint_args(&s(&[
+            "--rule",
+            "float-eq, lock-order",
+            "--rule",
+            "budget-threading",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            opts.rules,
+            s(&["float-eq", "lock-order", "budget-threading"])
+        );
+        assert!(parse_lint_args(&s(&["--rule", "float-eq,,lock-order"])).is_err());
+        assert!(parse_lint_args(&s(&["--rule", ","])).is_err());
     }
 
     #[test]
     fn rejects_missing_values_and_unknown_flags() {
         assert!(parse_lint_args(&s(&["--json"])).is_err());
         assert!(parse_lint_args(&s(&["--rule"])).is_err());
+        assert!(parse_lint_args(&s(&["--callgraph"])).is_err());
+        assert!(parse_lint_args(&s(&["--callgraph-dot"])).is_err());
         assert!(parse_lint_args(&s(&["--frobnicate"])).is_err());
     }
 
