@@ -90,6 +90,10 @@ pub const RULES: &[RuleInfo] = &[
         name: "lock-order",
         summary: "scopes taking two locks are flagged for order audit",
     },
+    RuleInfo {
+        name: "unwind-safety",
+        summary: "catch_unwind/resume_unwind only in shims/rayon and crates/ckpt",
+    },
 ];
 
 /// Look up a rule by name.
@@ -143,10 +147,15 @@ pub(crate) const COMPLETENESS_DIRS: &[&str] = &[
     "src/",
 ];
 
-/// Modules sanctioned to own shared state: the fault-injection plan in
-/// the budget module, the observability crate, and the executor shim.
-const INTERIOR_MUT_ALLOWED: &[&str] =
-    &["crates/graph/src/budget.rs", "crates/obs/", "shims/rayon/"];
+/// Modules sanctioned to own shared state: the fault-injection plans
+/// (kernel faults in the budget module, persistence faults in the
+/// checkpoint crate), the observability crate, and the executor shim.
+const INTERIOR_MUT_ALLOWED: &[&str] = &[
+    "crates/graph/src/budget.rs",
+    "crates/ckpt/src/fault.rs",
+    "crates/obs/",
+    "shims/rayon/",
+];
 
 /// The agreed crate-root marker line.
 pub const LINT_HEADER: &str = "// Lint policy: see [workspace.lints] in the root Cargo.toml.";
@@ -213,6 +222,11 @@ pub fn check_file(
     }
     if on("lock-order") {
         lock_order(f, out);
+    }
+    let unwind_scope =
+        is_library_src(rel) && !rel.starts_with("shims/rayon/") && !rel.starts_with("crates/ckpt/");
+    if on("unwind-safety") && unwind_scope {
+        unwind_safety(f, out);
     }
 }
 
@@ -926,7 +940,8 @@ fn interior_mutability(f: &SourceFile, out: &mut Vec<Diagnostic>) {
             "interior-mutability",
             format!(
                 "`{text}` outside the sanctioned modules (graph/src/budget.rs, \
-                 crates/obs, shims/rayon) introduces shared state that threatens \
+                 ckpt/src/fault.rs, crates/obs, shims/rayon) introduces shared \
+                 state that threatens \
                  cross-thread determinism; thread the value explicitly or annotate \
                  `// xtask-allow: interior-mutability` with a justification"
             ),
@@ -987,6 +1002,36 @@ fn lock_order(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                         "this fn body acquires {} locks; document the acquisition \
                          order and annotate `// xtask-allow: lock-order` once audited",
                         locks.len()
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Rule `unwind-safety`: `catch_unwind`/`resume_unwind` only inside the
+/// supervised executor (shims/rayon) and the checkpoint store
+/// (crates/ckpt) — ad-hoc unwind handling elsewhere hides worker deaths
+/// from the supervision policy and the `Completeness` tally, so a
+/// panicked item would neither abort the run (fail-fast) nor be counted
+/// as `failed` (keep-going).
+fn unwind_safety(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for ci in 0..f.n_code() {
+        if f.in_test(ci) {
+            continue;
+        }
+        for name in ["catch_unwind", "resume_unwind"] {
+            if f.is_ident(ci, name) && f.is_punct(ci + 1, "(") {
+                emit(
+                    f,
+                    ci,
+                    "unwind-safety",
+                    format!(
+                        "`{name}` outside shims/rayon and crates/ckpt bypasses the \
+                         supervised executor's panic accounting; route worker \
+                         isolation through `rayon::collect_isolated` or annotate \
+                         `// xtask-allow: unwind-safety`"
                     ),
                     out,
                 );

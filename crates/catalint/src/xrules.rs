@@ -308,25 +308,46 @@ fn witness(ws: &Workspace, from: usize, hops: &BTreeMap<usize, Option<usize>>) -
 
 // ---- panic-reachability ------------------------------------------------
 
-/// How a fn's own body panics, if it does.
+/// How a fn's own body panics, if it does. A `// xtask-allow:
+/// panic-reachability` on the panicking line sanctions that one site at
+/// its source (e.g. the deliberate, feature-gated crash of the
+/// fault-injection plans) instead of forcing an annotation onto every
+/// kernel call site whose closure passes through it.
 fn direct_panic(ws: &Workspace, id: usize) -> Option<&'static str> {
     let f = &ws.files[ws.defs[id].file];
+    let sanctioned = |ci: usize| {
+        let (line, _) = f.cpos(ci);
+        f.allowed(line, "panic-reachability")
+    };
     for ci in ws.own_body(id) {
         if f.ckind(ci) == TokenKind::Ident && f.is_punct(ci + 1, "!") {
-            match f.ctext(ci) {
-                "panic" => return Some("panic!"),
-                "unreachable" => return Some("unreachable!"),
-                "todo" => return Some("todo!"),
-                "unimplemented" => return Some("unimplemented!"),
-                _ => {}
+            let kind = match f.ctext(ci) {
+                "panic" => Some("panic!"),
+                "unreachable" => Some("unreachable!"),
+                "todo" => Some("todo!"),
+                "unimplemented" => Some("unimplemented!"),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                if sanctioned(ci) {
+                    continue;
+                }
+                return Some(kind);
             }
         }
         if f.is_punct(ci, ".") && f.is_punct(ci + 2, "(") {
-            if f.is_ident(ci + 1, "unwrap") {
-                return Some(".unwrap()");
-            }
-            if f.is_ident(ci + 1, "expect") {
-                return Some(".expect()");
+            let kind = if f.is_ident(ci + 1, "unwrap") {
+                Some(".unwrap()")
+            } else if f.is_ident(ci + 1, "expect") {
+                Some(".expect()")
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                if sanctioned(ci) {
+                    continue;
+                }
+                return Some(kind);
             }
         }
     }

@@ -1,0 +1,5 @@
+fn shielded() -> bool {
+    let s = "catch_unwind in a string never fires";
+    let _ = s;
+    std::panic::catch_unwind(|| ()).is_ok()
+}

@@ -12,8 +12,13 @@
 //! falls back to an exact label-multiset similarity instead, and the
 //! degradation is surfaced in [`FineOutcome::kernel`].
 
+use crate::ckpt_io::{
+    decode_fine_state, encode_fine_state, FineState, NoSnap, SnapRng, SplitProgress,
+};
+use catapult_ckpt::{CkptError, StageStore};
 use catapult_graph::mcs::{mcs, McsConfig};
-use catapult_graph::{Graph, SearchBudget, Tally, TallyCounts};
+use catapult_graph::{Completeness, Graph, SearchBudget, Tally, TallyCounts};
+use rand::rngs::StdRng;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -36,6 +41,11 @@ pub struct FineConfig {
     /// Execution budget for each MCS/MCCS computation (node cap defaulting
     /// to 100k expansions per search).
     pub budget: SearchBudget,
+    /// Supervised execution: isolate a panicking similarity worker to its
+    /// item instead of aborting the fan-out. The isolated item is tagged
+    /// [`Completeness::Degraded`] and its split decision falls back to the
+    /// panic-free label-vector similarity. Off (fail-fast) by default.
+    pub keep_going: bool,
 }
 
 impl Default for FineConfig {
@@ -44,6 +54,7 @@ impl Default for FineConfig {
             max_cluster_size: 20,
             similarity: SimilarityKind::Mccs,
             budget: SearchBudget::nodes(DEFAULT_MCS_CAP),
+            keep_going: false,
         }
     }
 }
@@ -103,56 +114,105 @@ fn similarity(a: &Graph, b: &Graph, cfg: &FineConfig, tally: &Tally) -> f64 {
     }
 }
 
-/// Split one oversized cluster into two by seed dissimilarity
-/// (Algorithm 3, lines 6–21).
-fn split_cluster<R: Rng>(
+/// ω(G, `seed`) for each of `targets` (∞ for the seed itself, so it can
+/// never be pulled away from its own side).
+///
+/// Parallel audit: no RNG is captured (seeds were drawn before the
+/// fan-out), the closure reads only shared state plus the commutative
+/// `Tally`, and ordered collection keeps result `[i]` aligned with
+/// `targets[i]` — identical across thread counts. With `keep_going`,
+/// each item runs isolated: a panicking worker loses only its own
+/// entry, which is tagged [`Completeness::Degraded`] and falls back to
+/// the panic-free label-vector similarity.
+fn omega_chunk(
     db: &[Graph],
-    cluster: &[u32],
+    targets: &[u32],
+    seed: u32,
     cfg: &FineConfig,
-    rng: &mut R,
     tally: &Tally,
-) -> (Vec<u32>, Vec<u32>) {
-    debug_assert!(cluster.len() >= 2);
-    let seed1 = cluster[rng.gen_range(0..cluster.len())];
-    let rest: Vec<u32> = cluster.iter().copied().filter(|&g| g != seed1).collect();
-    // ω(G, Seed1) for every remaining graph. Parallel audit: `rng` is NOT
-    // captured (seeds were drawn before the fan-out), the closure reads
-    // only shared state plus the commutative `Tally`, and ordered
-    // collection keeps `omega1[i]` aligned with `rest[i]` — identical
-    // across thread counts.
-    let omega1: Vec<f64> = rest
+) -> Vec<f64> {
+    let compute = |&g: &u32| {
+        if g == seed {
+            f64::INFINITY
+        } else {
+            similarity(&db[g as usize], &db[seed as usize], cfg, tally)
+        }
+    };
+    if !cfg.keep_going {
+        return targets.par_iter().map(compute).collect();
+    }
+    targets
         .par_iter()
-        .map(|&g| similarity(&db[g as usize], &db[seed1 as usize], cfg, tally))
+        .map(compute)
+        .collect_isolated()
+        .into_iter()
+        .zip(targets)
+        .map(|(r, &g)| match r {
+            Ok(v) => v,
+            Err(_panic) => {
+                tally.record(Completeness::Degraded);
+                label_vector_similarity(&db[g as usize], &db[seed as usize])
+            }
+        })
+        .collect()
+}
+
+/// Split one oversized cluster into two by seed dissimilarity
+/// (Algorithm 3, lines 6–21), continuing from — and checkpointing via
+/// `flush` — the similarity rows already in `progress`.
+fn resume_split(
+    db: &[Graph],
+    cfg: &FineConfig,
+    tally: &Tally,
+    progress: &mut SplitProgress,
+    chunk: usize,
+    flush: &mut dyn FnMut(&SplitProgress) -> Result<(), CkptError>,
+) -> Result<(Vec<u32>, Vec<u32>), CkptError> {
+    debug_assert!(progress.cluster.len() >= 2);
+    let seed1 = progress.seed1;
+    let rest: Vec<u32> = progress
+        .cluster
+        .iter()
+        .copied()
+        .filter(|&g| g != seed1)
         .collect();
+    // ω(G, Seed1) for every remaining graph, `chunk` rows per
+    // checkpoint flush. Chunking cannot change the values — every row
+    // is computed independently — so chunked and monolithic runs agree.
+    while progress.omega1.len() < rest.len() {
+        let lo = progress.omega1.len();
+        let hi = lo.saturating_add(chunk).min(rest.len());
+        let vals = omega_chunk(db, &rest[lo..hi], seed1, cfg, tally);
+        progress.omega1.extend(vals);
+        flush(progress)?;
+    }
     // Second seed: the most dissimilar graph (deterministic tie-break on id).
     // Callers split only oversized clusters (`> max_cluster_size ≥ 1`), so
     // `rest` — and with it `omega1` — is never empty here. `total_cmp`
     // keeps the selection well-defined even if a similarity turned NaN.
     #[allow(clippy::expect_used)]
-    let (seed2_pos, _) = omega1
+    let (seed2_pos, _) = progress
+        .omega1
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.total_cmp(b.1).then(rest[a.0].cmp(&rest[b.0])))
         .expect("cluster has at least two members");
     let seed2 = rest[seed2_pos];
 
+    while progress.omega2.len() < rest.len() {
+        let lo = progress.omega2.len();
+        let hi = lo.saturating_add(chunk).min(rest.len());
+        let vals = omega_chunk(db, &rest[lo..hi], seed2, cfg, tally);
+        progress.omega2.extend(vals);
+        flush(progress)?;
+    }
     let mut c1 = vec![seed1];
     let mut c2 = vec![seed2];
-    let omega2: Vec<f64> = rest
-        .par_iter()
-        .map(|&g| {
-            if g == seed2 {
-                f64::INFINITY
-            } else {
-                similarity(&db[g as usize], &db[seed2 as usize], cfg, tally)
-            }
-        })
-        .collect();
     for (i, &g) in rest.iter().enumerate() {
         if g == seed2 {
             continue;
         }
-        if omega1[i] > omega2[i] {
+        if progress.omega1[i] > progress.omega2[i] {
             c1.push(g);
         } else {
             c2.push(g);
@@ -160,7 +220,7 @@ fn split_cluster<R: Rng>(
     }
     c1.sort_unstable();
     c2.sort_unstable();
-    (c1, c2)
+    Ok((c1, c2))
 }
 
 /// Result of a fine-clustering run: the clusters plus an audit of every
@@ -195,21 +255,151 @@ pub fn fine_cluster_audited<R: Rng>(
     cfg: &FineConfig,
     rng: &mut R,
 ) -> FineOutcome {
+    match fine_inner(db, clusters, cfg, &mut NoSnap(rng), None) {
+        Ok(out) => out,
+        // A store-free run performs no checkpoint I/O and cannot fail.
+        Err(_) => unreachable!("checkpoint-free fine clustering cannot fail"),
+    }
+}
+
+/// As [`fine_cluster_audited`], checkpointing progress into `store`'s
+/// `fine` slot every [`StageStore::chunk_pairs`] similarity rows and —
+/// when the store is resuming — continuing from any compatible `fine`
+/// checkpoint already on disk, mid-split included. Given the same seed
+/// and inputs, an interrupted-then-resumed run returns exactly what the
+/// uninterrupted run would have.
+pub fn fine_cluster_resumable(
+    db: &[Graph],
+    clusters: Vec<Vec<u32>>,
+    cfg: &FineConfig,
+    rng: &mut StdRng,
+    store: &StageStore,
+) -> Result<FineOutcome, CkptError> {
+    fine_inner(db, clusters, cfg, rng, Some(store))
+}
+
+/// Flush the fine stage's state to the store (no-op without one, or
+/// when the RNG cannot snapshot — the two always coincide).
+fn write_state(
+    store: Option<&StageStore>,
+    seq: &mut u64,
+    done: &[Vec<u32>],
+    work: &[Vec<u32>],
+    rng: Option<[u64; 4]>,
+    tally: TallyCounts,
+    current: Option<&SplitProgress>,
+) -> Result<(), CkptError> {
+    let (Some(st), Some(rng)) = (store, rng) else {
+        return Ok(());
+    };
+    let state = FineState {
+        done: done.to_vec(),
+        work: work.to_vec(),
+        rng,
+        tally,
+        current: current.cloned(),
+    };
+    st.save("fine", *seq, &encode_fine_state(&state))?;
+    *seq += 1;
+    Ok(())
+}
+
+/// The shared engine behind [`fine_cluster_audited`] and
+/// [`fine_cluster_resumable`] (and the pipeline's store-aware fine
+/// stage).
+pub(crate) fn fine_inner<R: SnapRng>(
+    db: &[Graph],
+    clusters: Vec<Vec<u32>>,
+    cfg: &FineConfig,
+    rng: &mut R,
+    store: Option<&StageStore>,
+) -> Result<FineOutcome, CkptError> {
     let n = cfg.max_cluster_size;
     let tally = Tally::new();
+    // Counts restored from a checkpoint; this process's own records live
+    // in `tally` and the two are merged at every flush and at the end.
+    let mut baseline = TallyCounts::default();
     let mut done: Vec<Vec<u32>> = Vec::new();
     let mut work: Vec<Vec<u32>> = Vec::new();
-    for c in clusters {
-        if c.len() > n {
-            work.push(c);
-        } else if !c.is_empty() {
-            done.push(c);
+    let mut current: Option<SplitProgress> = None;
+    let mut seq: u64 = 0;
+    let mut resumed = false;
+    if let Some(st) = store {
+        if let Some((loaded_seq, payload)) = st.load("fine")? {
+            match decode_fine_state(&payload) {
+                Ok(state) => {
+                    done = state.done;
+                    work = state.work;
+                    rng.restore(state.rng);
+                    baseline = state.tally;
+                    current = state.current;
+                    seq = loaded_seq + 1;
+                    resumed = true;
+                }
+                Err(e) => {
+                    // Checksummed but undecodable: schema drift within a
+                    // version. Recomputing is safe; reusing is not.
+                    eprintln!(
+                        "warning: discarding undecodable fine checkpoint ({e}); \
+                         recomputing stage `fine`"
+                    );
+                    st.discard("fine")?;
+                }
+            }
         }
     }
-    while let Some(cluster) = work.pop() {
-        let (c1, c2) = split_cluster(db, &cluster, cfg, rng, &tally);
+    if !resumed {
+        for c in clusters {
+            if c.len() > n {
+                work.push(c);
+            } else if !c.is_empty() {
+                done.push(c);
+            }
+        }
+    }
+    let chunk = store.map_or(usize::MAX, StageStore::chunk_pairs);
+    loop {
+        let mut progress = match current.take() {
+            Some(p) => p,
+            None => match work.pop() {
+                None => break,
+                Some(cluster) => {
+                    let seed1 = cluster[rng.gen_range(0..cluster.len())];
+                    SplitProgress {
+                        cluster,
+                        seed1,
+                        omega1: Vec::new(),
+                        omega2: Vec::new(),
+                    }
+                }
+            },
+        };
+        // The RNG is untouched for the rest of the split, so this
+        // post-draw snapshot stays valid for every mid-split flush.
+        let rng_state = rng.snapshot();
+        write_state(
+            store,
+            &mut seq,
+            &done,
+            &work,
+            rng_state,
+            baseline.merge(tally.counts()),
+            Some(&progress),
+        )?;
+        let (c1, c2) = resume_split(db, cfg, &tally, &mut progress, chunk, &mut |p| {
+            write_state(
+                store,
+                &mut seq,
+                &done,
+                &work,
+                rng_state,
+                baseline.merge(tally.counts()),
+                Some(p),
+            )
+        })?;
+        let cluster_len = progress.cluster.len();
         for mut c in [c1, c2] {
-            if c.len() == cluster.len() {
+            if c.len() == cluster_len {
                 // Degenerate split (all graphs identical): halve by index.
                 let tail = c.split_off(c.len() / 2);
                 for piece in [c, tail] {
@@ -227,12 +417,21 @@ pub fn fine_cluster_audited<R: Rng>(
                 done.push(c);
             }
         }
+        write_state(
+            store,
+            &mut seq,
+            &done,
+            &work,
+            rng.snapshot(),
+            baseline.merge(tally.counts()),
+            None,
+        )?;
     }
     done.sort_by_key(|c| c[0]);
-    FineOutcome {
+    Ok(FineOutcome {
         clusters: done,
-        kernel: tally.counts(),
-    }
+        kernel: baseline.merge(tally.counts()),
+    })
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 // itself forbids; the policy targets production code paths only.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+mod ckpt_io;
 pub mod coarse;
 pub mod fine;
 pub mod invariants;
@@ -30,4 +31,7 @@ pub mod quality;
 pub mod sampling;
 
 pub use fine::{FineOutcome, SimilarityKind};
-pub use pipeline::{cluster_graphs, Clustering, ClusteringConfig, SamplingConfig, Strategy};
+pub use pipeline::{
+    cluster_graphs, cluster_graphs_resumable, Clustering, ClusteringConfig, SamplingConfig,
+    Strategy,
+};

@@ -5,15 +5,21 @@
 //! or MCS (`mccsFC` / `mcsFC`), and the hybrid coarse-then-fine pipelines
 //! (`mccsH` / `mcsH`, the paper's recommended configuration).
 
+use crate::ckpt_io::{
+    decode_clustering, decode_coarse, decode_mining, encode_clustering, encode_coarse,
+    encode_mining, ClusteringCkpt, CoarseCkpt, MiningCkpt, NoSnap, SnapRng,
+};
 use crate::coarse::{coarse_cluster_with_subtrees, CoarseConfig, CoarseResult};
-use crate::fine::{fine_cluster_audited, FineConfig, SimilarityKind};
+use crate::fine::{fine_inner, FineConfig, SimilarityKind};
 use crate::sampling::{
     eager_sample, lazy_sample_clusters, lowered_support, EagerConfig, LazyConfig,
 };
+use catapult_ckpt::{CkptError, StageStore};
 use catapult_graph::iso::contains_tagged;
 use catapult_graph::{Graph, SearchBudget, Tally, TallyCounts};
 use catapult_mining::subtree::{mine_subtrees, FrequentSubtree, SubtreeMinerConfig};
 use catapult_obs::{Recorder, Stopwatch};
+use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::Duration;
 
@@ -59,6 +65,11 @@ pub struct ClusteringConfig {
     pub search: SearchBudget,
     /// Enable §4.3 sampling (eager + lazy).
     pub sampling: Option<SamplingConfig>,
+    /// Supervised execution for the fine stage's parallel similarity
+    /// rows: a panicking worker loses only its own item (tagged
+    /// `Degraded`, label-vector fallback) instead of aborting the run.
+    /// Off (fail-fast) by default.
+    pub keep_going: bool,
     /// Observability recorder (disabled by default). When enabled, the
     /// phase emits `clustering` spans (with `mining` / `coarse` /
     /// `lazy_sample` / `fine` children) and attributes kernel effort to
@@ -84,6 +95,7 @@ impl Default for ClusteringConfig {
             max_features: 64,
             search: SearchBudget::nodes(100_000),
             sampling: None,
+            keep_going: false,
             recorder: Recorder::disabled(),
         }
     }
@@ -174,7 +186,141 @@ fn mine_features<R: Rng>(
 
 /// Run the configured small-graph clustering strategy over `db`.
 pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R) -> Clustering {
+    match cluster_inner(db, cfg, &mut NoSnap(rng), None) {
+        Ok(c) => c,
+        // A store-free run performs no checkpoint I/O and cannot fail.
+        Err(_) => unreachable!("checkpoint-free clustering cannot fail"),
+    }
+}
+
+/// As [`cluster_graphs`], writing a checkpoint at every stage boundary
+/// (`mining` → `coarse` → `fine` → `clustering`) and — when `store` is
+/// resuming — continuing from the furthest compatible checkpoint on
+/// disk, including mid-fine-clustering. An interrupted-then-resumed run
+/// returns exactly what the uninterrupted run would have (`elapsed`
+/// excepted: wall-clock restarts with the process).
+pub fn cluster_graphs_resumable(
+    db: &[Graph],
+    cfg: &ClusteringConfig,
+    rng: &mut StdRng,
+    store: &StageStore,
+) -> Result<Clustering, CkptError> {
+    cluster_inner(db, cfg, rng, Some(store))
+}
+
+/// Warn about a checkpoint whose checksum held but whose payload no
+/// longer decodes (schema drift within a version), and drop it so the
+/// stage recomputes.
+fn discard_undecodable(
+    st: &StageStore,
+    stage: &str,
+    err: &dyn std::fmt::Display,
+) -> Result<(), CkptError> {
+    eprintln!("warning: discarding undecodable {stage} checkpoint ({err}); recomputing");
+    st.discard(stage)
+}
+
+/// The mining stage with checkpoint load/save around [`mine_features`].
+fn mining_stage<R: SnapRng>(
+    db: &[Graph],
+    cfg: &ClusteringConfig,
+    search: &SearchBudget,
+    rng: &mut R,
+    store: Option<&StageStore>,
+) -> Result<(Vec<FrequentSubtree>, TallyCounts), CkptError> {
+    if let Some(st) = store {
+        if let Some((_seq, payload)) = st.load("mining")? {
+            match decode_mining(&payload) {
+                Ok(m) => {
+                    rng.restore(m.rng);
+                    return Ok((m.features, m.mining));
+                }
+                Err(e) => discard_undecodable(st, "mining", &e)?,
+            }
+        }
+    }
+    let (features, kernel) = mine_features(db, cfg, search, rng);
+    if let (Some(st), Some(state)) = (store, rng.snapshot()) {
+        let ck = MiningCkpt {
+            features,
+            mining: kernel,
+            rng: state,
+        };
+        st.save("mining", 0, &encode_mining(&ck))?;
+        return Ok((ck.features, ck.mining));
+    }
+    Ok((features, kernel))
+}
+
+/// The coarse stage (mining → k-means → lazy sampling) with checkpoint
+/// load/save. The returned [`CoarseCkpt`] carries the post-lazy
+/// clusters, the selected features, and the mining audit.
+fn coarse_stage<R: SnapRng>(
+    db: &[Graph],
+    cfg: &ClusteringConfig,
+    mining_search: &SearchBudget,
+    coarse_cfg: &CoarseConfig,
+    rng: &mut R,
+    store: Option<&StageStore>,
+) -> Result<CoarseCkpt, CkptError> {
+    if let Some(st) = store {
+        if let Some((_seq, payload)) = st.load("coarse")? {
+            match decode_coarse(&payload) {
+                Ok(c) => {
+                    rng.restore(c.rng);
+                    return Ok(c);
+                }
+                Err(e) => discard_undecodable(st, "coarse", &e)?,
+            }
+        }
+    }
+    let (subtrees, mine_kernel) = mining_stage(db, cfg, mining_search, rng, store)?;
+    let CoarseResult { clusters, features } = {
+        let _s = cfg.recorder.span("coarse");
+        coarse_cluster_with_subtrees(db, subtrees, coarse_cfg, rng)
+    };
+    // Lazy sampling shrinks oversized clusters before fine clustering.
+    let clusters = match &cfg.sampling {
+        Some(s) => {
+            let _s2 = cfg.recorder.span("lazy_sample");
+            lazy_sample_clusters(&clusters, db.len(), cfg.max_cluster_size, &s.lazy, rng)
+        }
+        None => clusters,
+    };
+    let ck = CoarseCkpt {
+        clusters,
+        features,
+        mining: mine_kernel,
+        rng: rng.snapshot().unwrap_or_default(),
+    };
+    if let (Some(st), Some(_)) = (store, rng.snapshot()) {
+        st.save("coarse", 0, &encode_coarse(&ck))?;
+    }
+    Ok(ck)
+}
+
+/// The shared engine behind [`cluster_graphs`] and
+/// [`cluster_graphs_resumable`].
+fn cluster_inner<R: SnapRng>(
+    db: &[Graph],
+    cfg: &ClusteringConfig,
+    rng: &mut R,
+    store: Option<&StageStore>,
+) -> Result<Clustering, CkptError> {
     let _span = cfg.recorder.span("clustering");
+    // Whole-phase checkpoint present: the phase already ran to
+    // completion — reuse its output and fast-forward the RNG.
+    if let Some(st) = store {
+        if let Some((_seq, payload)) = st.load("clustering")? {
+            match decode_clustering(&payload) {
+                Ok(c) => {
+                    rng.restore(c.rng);
+                    return Ok(c.clustering);
+                }
+                Err(e) => discard_undecodable(st, "clustering", &e)?,
+            }
+        }
+    }
     let start = Stopwatch::start();
     // Kernel effort is attributed per stage: subtree mining (and its
     // sampling recounts) to `mining.*`, fine-clustering MCS/MCCS to
@@ -191,6 +337,7 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
         max_cluster_size: cfg.max_cluster_size,
         similarity: kind,
         budget: fine_search.clone(),
+        keep_going: cfg.keep_going,
     };
     let coarse_cfg = CoarseConfig {
         max_cluster_size: cfg.max_cluster_size,
@@ -206,32 +353,20 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
             let all: Vec<u32> = (0..db.len() as u32).collect();
             let initial = if all.is_empty() { vec![] } else { vec![all] };
             let _s = cfg.recorder.span("fine");
-            let out = fine_cluster_audited(db, initial, &fine_cfg(kind), rng);
+            let out = fine_inner(db, initial, &fine_cfg(kind), rng, store)?;
             fine = out.kernel;
             (out.clusters, Vec::new())
         }
         Strategy::CoarseOnly | Strategy::Hybrid(_) => {
-            let (subtrees, mine_kernel) = mine_features(db, cfg, &mining_search, rng);
-            mining = mine_kernel;
-            let CoarseResult { clusters, features } = {
-                let _s = cfg.recorder.span("coarse");
-                coarse_cluster_with_subtrees(db, subtrees, &coarse_cfg, rng)
-            };
-            // Lazy sampling shrinks oversized clusters before fine clustering.
-            let clusters = match &cfg.sampling {
-                Some(s) => {
-                    let _s2 = cfg.recorder.span("lazy_sample");
-                    lazy_sample_clusters(&clusters, db.len(), cfg.max_cluster_size, &s.lazy, rng)
-                }
-                None => clusters,
-            };
+            let coarse = coarse_stage(db, cfg, &mining_search, &coarse_cfg, rng, store)?;
+            mining = coarse.mining;
             match cfg.strategy {
-                Strategy::CoarseOnly => (clusters, features),
+                Strategy::CoarseOnly => (coarse.clusters, coarse.features),
                 Strategy::Hybrid(kind) => {
                     let _s = cfg.recorder.span("fine");
-                    let out = fine_cluster_audited(db, clusters, &fine_cfg(kind), rng);
+                    let out = fine_inner(db, coarse.clusters, &fine_cfg(kind), rng, store)?;
                     fine = out.kernel;
-                    (out.clusters, features)
+                    (out.clusters, coarse.features)
                 }
                 Strategy::FineOnly(_) => unreachable!(),
             }
@@ -244,13 +379,22 @@ pub fn cluster_graphs<R: Rng>(db: &[Graph], cfg: &ClusteringConfig, rng: &mut R)
         &clusters,
         cfg.sampling.is_none(),
     ));
-    Clustering {
+    let clustering = Clustering {
         clusters,
         features,
         elapsed: start.elapsed(),
         mining,
         fine,
+    };
+    if let (Some(st), Some(state)) = (store, rng.snapshot()) {
+        let ck = ClusteringCkpt {
+            clustering,
+            rng: state,
+        };
+        st.save("clustering", 0, &encode_clustering(&ck))?;
+        return Ok(ck.clustering);
     }
+    Ok(clustering)
 }
 
 #[cfg(test)]
@@ -353,5 +497,94 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let c = cluster_graphs(&[], &ClusteringConfig::default(), &mut rng);
         assert!(c.clusters.is_empty());
+    }
+
+    fn ckpt_store(dir: &std::path::Path, resume: bool) -> StageStore {
+        let mut ck = catapult_ckpt::CheckpointConfig::new(dir);
+        ck.resume = resume;
+        // Tiny chunks so fine clustering flushes mid-split many times.
+        ck.chunk_pairs = 2;
+        let fp = catapult_ckpt::Fingerprint {
+            dataset_hash: 0xDB,
+            config_hash: 0xCF6,
+            eta_min: 3,
+            eta_max: 8,
+            gamma: 30,
+        };
+        StageStore::open(&ck, fp, Recorder::disabled()).unwrap()
+    }
+
+    #[test]
+    fn resumable_run_matches_plain_run_and_resumes_from_disk() {
+        let db = db();
+        for (i, strategy) in [
+            Strategy::CoarseOnly,
+            Strategy::Hybrid(SimilarityKind::Mccs),
+            Strategy::FineOnly(SimilarityKind::Mcs),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = ClusteringConfig {
+                strategy,
+                max_cluster_size: 6,
+                ..Default::default()
+            };
+            let mut plain_rng = rand::rngs::StdRng::seed_from_u64(9);
+            let plain = cluster_graphs(&db, &cfg, &mut plain_rng);
+
+            let dir = std::env::temp_dir().join(format!("catapult-cluster-resume-{i}"));
+            std::fs::remove_dir_all(&dir).ok();
+            let store = ckpt_store(&dir, false);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let first = cluster_graphs_resumable(&db, &cfg, &mut rng, &store).unwrap();
+            assert_eq!(first.clusters, plain.clusters, "strategy {strategy:?}");
+            assert_eq!(first.mining, plain.mining, "strategy {strategy:?}");
+            assert_eq!(first.fine, plain.fine, "strategy {strategy:?}");
+            assert_eq!(rng.state(), plain_rng.state(), "strategy {strategy:?}");
+
+            // A full re-run in resume mode short-circuits on the
+            // whole-phase checkpoint and fast-forwards the RNG to the
+            // same post-phase state.
+            let store2 = ckpt_store(&dir, true);
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+            let second = cluster_graphs_resumable(&db, &cfg, &mut rng2, &store2).unwrap();
+            assert_eq!(second.clusters, first.clusters);
+            assert_eq!(second.fine, first.fine);
+            assert_eq!(rng2.state(), rng.state());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn resume_recomputes_only_missing_stages() {
+        // Simulate a crash between fine clustering and the phase-level
+        // checkpoint: delete the later checkpoints and resume. The
+        // earlier stage snapshots (mining/coarse + their RNG states)
+        // must be enough to reproduce the uninterrupted result.
+        let db = db();
+        let cfg = ClusteringConfig {
+            strategy: Strategy::Hybrid(SimilarityKind::Mccs),
+            max_cluster_size: 5,
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir().join("catapult-cluster-resume-stage");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ckpt_store(&dir, false);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let full = cluster_graphs_resumable(&db, &cfg, &mut rng, &store).unwrap();
+
+        for doomed in [&["clustering"][..], &["clustering", "fine"][..]] {
+            let resumed = ckpt_store(&dir, true);
+            for stage in doomed {
+                resumed.discard(stage).unwrap();
+            }
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(11);
+            let redo = cluster_graphs_resumable(&db, &cfg, &mut rng2, &resumed).unwrap();
+            assert_eq!(redo.clusters, full.clusters, "deleted {doomed:?}");
+            assert_eq!(redo.fine, full.fine, "deleted {doomed:?}");
+            assert_eq!(rng2.state(), rng.state(), "deleted {doomed:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

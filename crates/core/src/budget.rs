@@ -117,6 +117,11 @@ impl PatternBudget {
         self.gamma
     }
 
+    /// The size distribution `Ψ_dist`.
+    pub fn distribution(&self) -> &SizeDistribution {
+        &self.distribution
+    }
+
     /// Number of distinct pattern sizes.
     pub fn size_count(&self) -> usize {
         self.eta_max - self.eta_min + 1

@@ -15,9 +15,11 @@
 //! pattern-generation time, PGT).
 
 use crate::budget::PatternBudget;
+use crate::ckpt_io;
 use crate::report::PipelineReport;
 use crate::select::{find_canned_patterns, SelectionConfig, SelectionResult};
-use catapult_cluster::{cluster_graphs, Clustering, ClusteringConfig};
+use catapult_ckpt::{CheckpointConfig, CkptError, StageStore};
+use catapult_cluster::{cluster_graphs, cluster_graphs_resumable, Clustering, ClusteringConfig};
 use catapult_csg::{build_csgs_recorded, Csg};
 use catapult_graph::{Graph, SearchBudget};
 use catapult_obs::Recorder;
@@ -96,6 +98,39 @@ impl CatapultResult {
 
 /// Run Algorithm 1 end to end over `db`.
 pub fn run_catapult(db: &[Graph], cfg: &CatapultConfig) -> CatapultResult {
+    match run_inner(db, cfg, None) {
+        Ok(r) => r,
+        // A store-free run performs no checkpoint I/O and cannot fail.
+        Err(_) => unreachable!("checkpoint-free pipeline cannot fail"),
+    }
+}
+
+/// As [`run_catapult`], writing a checkpoint at every stage boundary
+/// (clustering's `mining`/`coarse`/`fine`/`clustering` slots, then
+/// `csg` and `selection`) and — when `ckpt.resume` is set — continuing
+/// from the furthest compatible checkpoint in `ckpt.dir`, including
+/// mid-fine-clustering. Checkpoints are fingerprinted by
+/// [`ckpt_io::fingerprint`]: a directory written under a different
+/// dataset, config, or budget is rejected with a diagnostic naming the
+/// mismatched field. Given the same seed and inputs, an
+/// interrupted-then-resumed run reproduces the uninterrupted run's
+/// [`ckpt_io::result_digest`] exactly.
+pub fn run_catapult_resumable(
+    db: &[Graph],
+    cfg: &CatapultConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<CatapultResult, CkptError> {
+    let store = StageStore::open(ckpt, ckpt_io::fingerprint(db, cfg), cfg.recorder.clone())?;
+    run_inner(db, cfg, Some(&store))
+}
+
+/// The shared engine behind [`run_catapult`] and
+/// [`run_catapult_resumable`].
+fn run_inner(
+    db: &[Graph],
+    cfg: &CatapultConfig,
+    store: Option<&StageStore>,
+) -> Result<CatapultResult, CkptError> {
     let _span = cfg.recorder.span("pipeline");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let clustering_cfg = ClusteringConfig {
@@ -105,28 +140,75 @@ pub fn run_catapult(db: &[Graph], cfg: &CatapultConfig) -> CatapultResult {
         recorder: cfg.recorder.clone(),
         ..cfg.clustering.clone()
     };
-    let clustering = cluster_graphs(db, &clustering_cfg, &mut rng);
-    let csgs = build_csgs_recorded(db, &clustering.clusters, &cfg.recorder);
-    let mut selection = find_canned_patterns(
-        db,
-        &csgs,
-        &SelectionConfig {
-            budget: cfg.budget.clone(),
-            walks: cfg.walks,
-            search: cfg.search.clone(),
-            recorder: cfg.recorder.clone(),
-            ..Default::default()
-        },
-        &mut rng,
-    );
-    // Selection only audited its own kernels; splice in the earlier stages
-    // so the report covers the full Algorithm 1 run.
-    selection.report.mining = clustering.mining;
-    selection.report.clustering = clustering.fine;
-    CatapultResult {
+    let clustering = match store {
+        Some(st) => cluster_graphs_resumable(db, &clustering_cfg, &mut rng, st)?,
+        None => cluster_graphs(db, &clustering_cfg, &mut rng),
+    };
+    // CSG summarization is RNG-free, so its checkpoint carries no RNG
+    // state: the stream position entering selection is exactly the one
+    // the clustering checkpoint restored.
+    let csgs = match load_stage(store, "csg", ckpt_io::decode_csgs)? {
+        Some(csgs) => csgs,
+        None => {
+            let csgs = build_csgs_recorded(db, &clustering.clusters, &cfg.recorder);
+            if let Some(st) = store {
+                st.save("csg", 0, &ckpt_io::encode_csgs(&csgs))?;
+            }
+            csgs
+        }
+    };
+    let selection = match load_stage(store, "selection", ckpt_io::decode_selection)? {
+        Some(selection) => selection,
+        None => {
+            let mut selection = find_canned_patterns(
+                db,
+                &csgs,
+                &SelectionConfig {
+                    budget: cfg.budget.clone(),
+                    walks: cfg.walks,
+                    search: cfg.search.clone(),
+                    recorder: cfg.recorder.clone(),
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            // Selection only audited its own kernels; splice in the
+            // earlier stages so the report covers the full Algorithm 1
+            // run. The checkpoint stores the post-splice result, so a
+            // resumed load is already complete.
+            selection.report.mining = clustering.mining;
+            selection.report.clustering = clustering.fine;
+            if let Some(st) = store {
+                st.save("selection", 0, &ckpt_io::encode_selection(&selection))?;
+            }
+            selection
+        }
+    };
+    Ok(CatapultResult {
         selection,
         csgs,
         clustering,
+    })
+}
+
+/// Load and decode one stage checkpoint, discarding (with a warning) a
+/// checksummed-but-undecodable payload so the stage recomputes.
+fn load_stage<T>(
+    store: Option<&StageStore>,
+    stage: &str,
+    decode: impl Fn(&[u8]) -> Result<T, catapult_ckpt::wire::WireError>,
+) -> Result<Option<T>, CkptError> {
+    let Some(st) = store else { return Ok(None) };
+    let Some((_seq, payload)) = st.load(stage)? else {
+        return Ok(None);
+    };
+    match decode(&payload) {
+        Ok(v) => Ok(Some(v)),
+        Err(e) => {
+            eprintln!("warning: discarding undecodable {stage} checkpoint ({e}); recomputing");
+            st.discard(stage)?;
+            Ok(None)
+        }
     }
 }
 
@@ -247,6 +329,87 @@ mod tests {
         let r = run_catapult(&[], &cfg);
         assert!(r.patterns().is_empty());
         assert!(r.csgs.is_empty());
+    }
+
+    #[test]
+    fn resumable_run_matches_plain_and_resumes_from_disk() {
+        let db = small_db();
+        let cfg = CatapultConfig {
+            budget: PatternBudget::new(3, 4, 3).unwrap(),
+            walks: 10,
+            seed: 42,
+            ..Default::default()
+        };
+        let plain = run_catapult(&db, &cfg);
+        let dir = std::env::temp_dir().join("catapult-core-resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let ck = CheckpointConfig::new(&dir);
+        let first = run_catapult_resumable(&db, &cfg, &ck).unwrap();
+        assert_eq!(
+            ckpt_io::result_digest(&first),
+            ckpt_io::result_digest(&plain),
+            "checkpointed run must reproduce the plain run"
+        );
+
+        // Resuming from the completed run reloads every stage from disk.
+        let mut resume = CheckpointConfig::new(&dir);
+        resume.resume = true;
+        let second = run_catapult_resumable(&db, &cfg, &resume).unwrap();
+        assert_eq!(
+            ckpt_io::result_digest(&second),
+            ckpt_io::result_digest(&first)
+        );
+
+        // Deleting the later stages resumes mid-pipeline and still
+        // reproduces the original bytes.
+        for stage in ["selection", "csg", "clustering"] {
+            std::fs::remove_file(dir.join(format!("{stage}.ckpt"))).unwrap();
+            let redo = run_catapult_resumable(&db, &cfg, &resume).unwrap();
+            assert_eq!(
+                ckpt_io::result_digest(&redo),
+                ckpt_io::result_digest(&first),
+                "after deleting {stage}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_rejected_by_fingerprint() {
+        let db = small_db();
+        let cfg = CatapultConfig {
+            budget: PatternBudget::new(3, 4, 2).unwrap(),
+            walks: 10,
+            seed: 7,
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir().join("catapult-core-foreign");
+        std::fs::remove_dir_all(&dir).ok();
+        let ck = CheckpointConfig::new(&dir);
+        run_catapult_resumable(&db, &cfg, &ck).unwrap();
+
+        let mut resume = CheckpointConfig::new(&dir);
+        resume.resume = true;
+        // A different seed changes the config hash.
+        let reseeded = CatapultConfig {
+            seed: 8,
+            ..cfg.clone()
+        };
+        let err = run_catapult_resumable(&db, &reseeded, &resume).unwrap_err();
+        assert!(err.to_string().contains("config_hash"), "{err}");
+        // A different budget changes a first-class fingerprint field.
+        let rebudgeted = CatapultConfig {
+            budget: PatternBudget::new(3, 4, 3).unwrap(),
+            ..cfg.clone()
+        };
+        let err = run_catapult_resumable(&db, &rebudgeted, &resume).unwrap_err();
+        assert!(err.to_string().contains("budget.gamma"), "{err}");
+        // A different database changes the dataset hash.
+        let mut other_db = db;
+        other_db.pop();
+        let err = run_catapult_resumable(&other_db, &cfg, &resume).unwrap_err();
+        assert!(err.to_string().contains("dataset_hash"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod budget;
 pub mod catapult;
+pub mod ckpt_io;
 pub mod fcp;
 pub mod incremental;
 pub mod querylog;
@@ -43,7 +44,7 @@ pub mod select;
 pub mod walk;
 
 pub use budget::{BudgetError, PatternBudget, SizeCounts, SizeDistribution};
-pub use catapult::{run_catapult, CatapultConfig, CatapultResult};
+pub use catapult::{run_catapult, run_catapult_resumable, CatapultConfig, CatapultResult};
 pub use incremental::{IncrementalCatapult, IncrementalConfig, UpdateStats};
 pub use querylog::QueryLog;
 pub use report::PipelineReport;

@@ -57,6 +57,12 @@ pub enum Completeness {
     DeadlineExceeded,
     /// The [`CancelToken`] was triggered; best-so-far result.
     Cancelled,
+    /// The work item never produced a result at all: its worker panicked
+    /// and the supervised executor (`--keep-going`) isolated the panic,
+    /// substituting a panic-free fallback value. The most severe tag —
+    /// unlike the budget variants there is no best-so-far result behind
+    /// it.
+    Degraded,
 }
 
 impl Completeness {
@@ -77,6 +83,7 @@ impl Completeness {
             Completeness::BudgetExhausted => "budget-exhausted",
             Completeness::DeadlineExceeded => "deadline-exceeded",
             Completeness::Cancelled => "cancelled",
+            Completeness::Degraded => "degraded",
         }
     }
 }
@@ -476,6 +483,7 @@ pub struct Tally {
     budget_exhausted: AtomicU64,
     deadline_exceeded: AtomicU64,
     cancelled: AtomicU64,
+    failed: AtomicU64,
 }
 
 impl Tally {
@@ -491,6 +499,7 @@ impl Tally {
             Completeness::BudgetExhausted => &self.budget_exhausted,
             Completeness::DeadlineExceeded => &self.deadline_exceeded,
             Completeness::Cancelled => &self.cancelled,
+            Completeness::Degraded => &self.failed,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -502,6 +511,7 @@ impl Tally {
             budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -517,6 +527,10 @@ pub struct TallyCounts {
     pub deadline_exceeded: u64,
     /// Calls stopped by cancellation.
     pub cancelled: u64,
+    /// Calls whose worker panicked and was isolated by the supervised
+    /// executor (tagged [`Completeness::Degraded`]); their results are
+    /// panic-free fallback values, not truncated searches.
+    pub failed: u64,
 }
 
 impl TallyCounts {
@@ -527,7 +541,7 @@ impl TallyCounts {
 
     /// Calls that returned a degraded (non-exact) result.
     pub fn degraded(&self) -> u64 {
-        self.budget_exhausted + self.deadline_exceeded + self.cancelled
+        self.budget_exhausted + self.deadline_exceeded + self.cancelled + self.failed
     }
 
     /// Whether every recorded call was exact.
@@ -537,7 +551,9 @@ impl TallyCounts {
 
     /// The worst outcome observed (Exact for an empty tally).
     pub fn worst(&self) -> Completeness {
-        if self.cancelled > 0 {
+        if self.failed > 0 {
+            Completeness::Degraded
+        } else if self.cancelled > 0 {
             Completeness::Cancelled
         } else if self.deadline_exceeded > 0 {
             Completeness::DeadlineExceeded
@@ -559,6 +575,7 @@ impl TallyCounts {
             budget_exhausted: self.budget_exhausted + other.budget_exhausted,
             deadline_exceeded: self.deadline_exceeded + other.deadline_exceeded,
             cancelled: self.cancelled + other.cancelled,
+            failed: self.failed + other.failed,
         }
     }
 
@@ -569,6 +586,7 @@ impl TallyCounts {
             Completeness::BudgetExhausted => self.budget_exhausted += 1,
             Completeness::DeadlineExceeded => self.deadline_exceeded += 1,
             Completeness::Cancelled => self.cancelled += 1,
+            Completeness::Degraded => self.failed += 1,
         }
     }
 }
@@ -602,6 +620,11 @@ pub mod fault {
         /// Force [`Completeness::Cancelled`] (pre-tripped token, polled on
         /// the first expansion).
         Cancel,
+        /// Panic inside the K-th kernel invocation — the executor-layer
+        /// fault. Without supervised execution the fan-out aborts (the
+        /// fail-fast default); under `--keep-going` the item is isolated
+        /// and tagged [`Completeness::Degraded`].
+        Panic,
     }
 
     impl FaultKind {
@@ -611,6 +634,7 @@ pub mod fault {
                 FaultKind::Exhaust => Completeness::BudgetExhausted,
                 FaultKind::Deadline => Completeness::DeadlineExceeded,
                 FaultKind::Cancel => Completeness::Cancelled,
+                FaultKind::Panic => Completeness::Degraded,
             }
         }
     }
@@ -679,6 +703,13 @@ pub mod fault {
                 token.cancel();
                 meter.cancel = Some(token);
                 meter.check_every = 1;
+            }
+            // The whole point of this fault is an uncontrolled worker
+            // death; test-only (feature-gated) by construction.
+            #[allow(clippy::panic)]
+            FaultKind::Panic => {
+                // xtask-allow: panic-reachability
+                panic!("injected worker panic (fault-injection plan, kernel invocation {n})")
             }
         }
     }

@@ -129,6 +129,14 @@ pub fn schema_version_of(text: &str) -> Option<u64> {
     json::extract_uint_field(text, "schema_version")
 }
 
+/// The one overwrite-refusal message format, shared by every output the
+/// `--force` flag governs (manifests, `BENCH_*.json`, checkpoint
+/// directories): `"<path>: <reason>; pass --force to overwrite"`.
+#[must_use]
+pub fn overwrite_refusal(path: &str, reason: &str) -> String {
+    format!("{path}: {reason}; pass --force to overwrite")
+}
+
 /// Why a manifest could not be written.
 #[derive(Debug)]
 pub enum ManifestError {
@@ -148,11 +156,10 @@ impl std::fmt::Display for ManifestError {
         match self {
             ManifestError::SchemaMismatch { path, found } => {
                 let found = found.map_or_else(|| "none".to_string(), |v| v.to_string());
-                write!(
-                    f,
-                    "{path}: existing manifest has schema_version {found}, \
-                     current is {SCHEMA_VERSION}; pass --force to overwrite"
-                )
+                let reason = format!(
+                    "existing manifest has schema_version {found}, current is {SCHEMA_VERSION}"
+                );
+                write!(f, "{}", overwrite_refusal(path, &reason))
             }
             ManifestError::Io(e) => write!(f, "{e}"),
         }

@@ -204,6 +204,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot the raw xoshiro256++ state.
+        ///
+        /// Together with [`StdRng::from_state`] this lets a checkpointing
+        /// pipeline persist its generator mid-run and resume the exact
+        /// stream later — the whole-pipeline determinism guarantee extends
+        /// across process restarts only because the state round-trips
+        /// losslessly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot. The
+        /// restored generator continues the original stream bit-for-bit.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ step.
@@ -294,6 +313,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(41);
+        // Burn part of the stream, snapshot, and check the restored
+        // generator replays the remainder exactly.
+        for _ in 0..17 {
+            let _: u64 = a.gen();
+        }
+        let snap = a.state();
+        let mut b = StdRng::from_state(snap);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * **Panic propagation** — a panicking worker closure does not poison
 //!   anything: the panic payload is re-raised on the calling thread
 //!   after the remaining scoped threads are joined.
+//! * **Supervised mode** — [`prelude::ParIter::collect_isolated`] opts a
+//!   fan-out into per-item `catch_unwind` isolation: a panicking work
+//!   item becomes a per-item [`ItemPanic`] value and the remaining items
+//!   still run. Every other consumer keeps the fail-fast default above.
 //!
 //! The thread-safety contract this imposes on call sites: item types
 //! must be `Send`, closures `Sync` (they are shared by reference across
@@ -34,6 +38,9 @@
 //! `ThreadPoolBuilder::num_threads` instead of [`set_threads`]); the
 //! iterator surface below is call-compatible with `rayon::prelude`.
 // Lint policy: see [workspace.lints] in the root Cargo.toml.
+// Unit tests are allowed the ergonomic panicking shortcuts the library
+// itself forbids; the policy targets production code paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -44,8 +51,37 @@ const NO_OVERRIDE: usize = usize::MAX;
 /// Runtime override installed by [`set_threads`] (`NO_OVERRIDE` = unset).
 static OVERRIDE: AtomicUsize = AtomicUsize::new(NO_OVERRIDE);
 
-/// `CATAPULT_THREADS`, read once on first use (`0` = auto).
-static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+/// `CATAPULT_THREADS`, parsed once on first use (`Ok(0)` = auto; `Err` =
+/// the variable is set but not a valid thread count).
+static ENV_THREADS: OnceLock<Result<usize, String>> = OnceLock::new();
+
+/// Parse a raw `CATAPULT_THREADS` lookup. An unset variable means auto
+/// (`0`); a set-but-invalid value is an error, never a silent fallback —
+/// a user who exports `CATAPULT_THREADS=eight` asked for eight workers
+/// and must not quietly get a sequential (or all-core) run instead.
+fn parse_thread_env(raw: Result<String, std::env::VarError>) -> Result<usize, String> {
+    match raw {
+        Err(std::env::VarError::NotPresent) => Ok(0),
+        Err(std::env::VarError::NotUnicode(_)) => Err(
+            "invalid CATAPULT_THREADS value: not valid UTF-8 (expected an integer, 0 = auto)"
+                .to_string(),
+        ),
+        Ok(v) => v.trim().parse::<usize>().map_err(|e| {
+            format!("invalid CATAPULT_THREADS value {v:?}: {e} (expected an integer, 0 = auto)")
+        }),
+    }
+}
+
+fn env_threads() -> &'static Result<usize, String> {
+    ENV_THREADS.get_or_init(|| parse_thread_env(std::env::var("CATAPULT_THREADS")))
+}
+
+/// Validate `CATAPULT_THREADS` without spawning anything, so binaries can
+/// surface a malformed value as a normal usage error at startup instead
+/// of the mid-run panic [`current_threads`] would raise.
+pub fn check_thread_env() -> Result<usize, String> {
+    env_threads().clone()
+}
 
 /// Override the worker count for every subsequent parallel call in this
 /// process: `0` restores auto (`available_parallelism`), `1` forces the
@@ -63,12 +99,14 @@ pub fn set_threads(n: usize) {
 /// `CATAPULT_THREADS`, else `available_parallelism()`.
 pub fn current_threads() -> usize {
     let configured = match OVERRIDE.load(Ordering::Relaxed) {
-        NO_OVERRIDE => *ENV_THREADS.get_or_init(|| {
-            std::env::var("CATAPULT_THREADS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0)
-        }),
+        NO_OVERRIDE => match env_threads() {
+            Ok(n) => *n,
+            // A malformed override must never be swallowed into an
+            // unintended pool size; binaries that want a graceful exit
+            // validate up front with [`check_thread_env`].
+            #[allow(clippy::panic)]
+            Err(msg) => panic!("{msg}"),
+        },
         n => n,
     };
     if configured == 0 {
@@ -143,6 +181,63 @@ where
             }
         }
         out
+    })
+}
+
+/// A panic captured from one work item by the supervised executor
+/// ([`prelude::ParIter::collect_isolated`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Position of the item in the source collection.
+    pub index: usize,
+    /// Best-effort rendering of the panic payload (`&str` / `String`
+    /// payloads verbatim, a placeholder otherwise).
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// As [`run_ordered`], but with **per-item panic isolation**: each item's
+/// pipeline invocation runs under `catch_unwind`, and a panic becomes a
+/// per-item [`ItemPanic`] in the output instead of aborting the whole
+/// fan-out. The remaining items still run.
+///
+/// `AssertUnwindSafe` is sound under the same contract parallel execution
+/// already imposes on call sites: shared mutable state must be
+/// synchronized and commutative (atomics), so an item abandoned mid-flight
+/// leaves no torn invariants behind — at worst its side-effect counters
+/// recorded partially, which supervised call sites must tolerate.
+fn run_isolated_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<Result<U, ItemPanic>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> Option<U> + Sync,
+{
+    run_ordered(items, move |i, x| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, x))) {
+            Ok(Some(out)) => Some(Ok(out)),
+            Ok(None) => None,
+            Err(payload) => Some(Err(ItemPanic {
+                index: i,
+                message: panic_message(payload.as_ref()),
+            })),
+        }
     })
 }
 
@@ -413,6 +508,20 @@ pub mod prelude {
             self.drive().into_iter().collect()
         }
 
+        /// Collect outputs in input order with **per-item panic
+        /// isolation** (the supervised executor): a panicking item
+        /// becomes `Err(ItemPanic)` in its slot instead of aborting the
+        /// fan-out, so `--keep-going` callers can substitute a fallback
+        /// and tag the degradation. Every other consumer stays fail-fast.
+        ///
+        /// Items dropped by a `filter` stage are absent from the output
+        /// (exactly as with [`ParIter::collect`]); for map-only pipelines
+        /// the output is index-aligned with the input.
+        pub fn collect_isolated(self) -> Vec<Result<P::Out, super::ItemPanic>> {
+            let pipe = self.pipe;
+            super::run_isolated_ordered(self.items, move |i, x| pipe.apply(i, x))
+        }
+
         /// Count surviving outputs.
         pub fn count(self) -> usize {
             let pipe = self.pipe;
@@ -581,6 +690,63 @@ mod tests {
         // The executor is not poisoned: the next fan-out still works.
         let ok: Vec<u32> = with_threads(4, || (0..8u32).into_par_iter().collect());
         assert_eq!(ok, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn collect_isolated_confines_panics_to_their_item() {
+        for threads in [1, 4] {
+            let out: Vec<Result<u32, super::ItemPanic>> = with_threads(threads, || {
+                (0..32u32)
+                    .into_par_iter()
+                    .map(|x| {
+                        assert!(x % 13 != 4, "boom at {x}");
+                        x * 2
+                    })
+                    .collect_isolated()
+            });
+            assert_eq!(out.len(), 32, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 13 == 4 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, i);
+                    assert!(e.message.contains("boom"), "payload: {}", e.message);
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collect_isolated_with_no_panics_matches_collect() {
+        let plain: Vec<u32> =
+            with_threads(3, || (0..50u32).into_par_iter().map(|x| x + 1).collect());
+        let isolated: Vec<u32> = with_threads(3, || {
+            (0..50u32)
+                .into_par_iter()
+                .map(|x| x + 1)
+                .collect_isolated()
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect()
+        });
+        assert_eq!(plain, isolated);
+    }
+
+    #[test]
+    fn thread_env_parsing_is_strict() {
+        use std::env::VarError;
+        assert_eq!(super::parse_thread_env(Err(VarError::NotPresent)), Ok(0));
+        assert_eq!(super::parse_thread_env(Ok("8".into())), Ok(8));
+        assert_eq!(super::parse_thread_env(Ok(" 2 ".into())), Ok(2));
+        for bad in ["eight", "", "-1", "1.5", "99999999999999999999999999"] {
+            let err = super::parse_thread_env(Ok(bad.into()))
+                .expect_err("must reject invalid thread counts");
+            assert!(
+                err.contains("invalid CATAPULT_THREADS"),
+                "diagnostic must name the variable: {err}"
+            );
+        }
     }
 
     #[test]

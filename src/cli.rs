@@ -13,7 +13,10 @@
 //! [`catapult_graph::fmt`]. All logic lives here (unit-testable); the
 //! binary only forwards `std::env::args` and prints.
 
-use catapult_core::{run_catapult, CatapultConfig, PatternBudget, PipelineReport};
+use catapult_ckpt::{CheckpointConfig, CkptError};
+use catapult_core::{
+    run_catapult, run_catapult_resumable, CatapultConfig, PatternBudget, PipelineReport,
+};
 use catapult_datasets::{aids_profile, emol_profile, generate, pubchem_profile, random_queries};
 use catapult_eval::WorkloadEvaluation;
 use catapult_graph::fmt::{parse_graphs, write_graphs};
@@ -65,8 +68,23 @@ impl From<ManifestError> for CliError {
     }
 }
 
+impl From<CkptError> for CliError {
+    fn from(e: CkptError) -> Self {
+        match e {
+            CkptError::Io { path, source } => CliError::Io(std::io::Error::new(
+                source.kind(),
+                format!("{path}: {source}"),
+            )),
+            // Stale/foreign/guarded checkpoints are operator decision
+            // points (`--resume`, `--force`, another directory), not
+            // I/O failures.
+            other => CliError::Usage(other.to_string()),
+        }
+    }
+}
+
 /// Flags that take no value — their presence is the value.
-const BOOL_FLAGS: &[&str] = &["trace", "force"];
+const BOOL_FLAGS: &[&str] = &["trace", "force", "resume", "keep-going"];
 
 /// Parsed `--key value` flags.
 #[derive(Debug)]
@@ -170,6 +188,7 @@ fn report_value(report: &PipelineReport) -> Value {
         tv.set("budget_exhausted", t.budget_exhausted);
         tv.set("deadline_exceeded", t.deadline_exceeded);
         tv.set("cancelled", t.cancelled);
+        tv.set("failed", t.failed);
         v.set(stage, tv);
     }
     v
@@ -180,6 +199,7 @@ pub const USAGE: &str = "usage: catapult <generate|select|evaluate|stats> [--fla
   generate --profile aids|pubchem|emol --count N [--seed S] [--out FILE]\n\
   select   --db FILE [--gamma N] [--min-size A] [--max-size B] [--walks W] [--seed S]\n\
            [--search-budget NODES] [--deadline-ms MS] [--threads N] [--out FILE]\n\
+           [--checkpoint-dir DIR] [--resume] [--keep-going]\n\
   evaluate --db FILE --patterns FILE [--queries N] [--min-edges A] [--max-edges B] [--seed S]\n\
            [--threads N]\n\
   stats    --db FILE\n\
@@ -190,7 +210,16 @@ common:\n\
   --metrics-out FILE write a schema-versioned JSON run manifest (spans,\n\
                      kernel counters, environment) after the command\n\
   --trace            print a per-stage wall-time / kernel-effort table\n\
-  --force            overwrite a metrics file whose schema_version differs";
+  --force            overwrite a metrics file whose schema_version differs,\n\
+                     or wipe a checkpoint directory and start over\n\
+select crash safety:\n\
+  --checkpoint-dir D write a checkpoint at every pipeline stage boundary\n\
+                     (and mid-fine-clustering) under D\n\
+  --resume           continue from the furthest compatible checkpoint in\n\
+                     --checkpoint-dir instead of refusing a populated one\n\
+  --keep-going       isolate a panicking parallel worker to its own item\n\
+                     (reported as 'failed' in the run report) instead of\n\
+                     aborting the run";
 
 fn load_db(path: &str, interner: &mut LabelInterner) -> Result<Vec<Graph>, CliError> {
     let text = std::fs::read_to_string(path)?;
@@ -248,7 +277,7 @@ pub fn cmd_select(flags: &Flags, obs: &mut ObsSession) -> Result<String, CliErro
             .map_err(|_| CliError::Usage(format!("--deadline-ms got invalid value '{ms}'")))?;
         search = search.with_deadline(Deadline::from_now(Duration::from_millis(ms)));
     }
-    let cfg = CatapultConfig {
+    let mut cfg = CatapultConfig {
         budget,
         walks: flags.num("walks", 100)?,
         seed: flags.num("seed", 0xCA7A)?,
@@ -256,6 +285,12 @@ pub fn cmd_select(flags: &Flags, obs: &mut ObsSession) -> Result<String, CliErro
         recorder: obs.recorder.clone(),
         ..Default::default()
     };
+    cfg.clustering.keep_going = flags.switch("keep-going");
+    if flags.switch("resume") && flags.get("checkpoint-dir").is_none() {
+        return Err(CliError::Usage(
+            "--resume needs --checkpoint-dir to resume from".into(),
+        ));
+    }
     // Budget configuration as given, so a manifest is self-describing.
     let mut budget_v = Value::object();
     budget_v.set("gamma", gamma as u64);
@@ -272,7 +307,15 @@ pub fn cmd_select(flags: &Flags, obs: &mut ObsSession) -> Result<String, CliErro
         Some(ms) => budget_v.set("deadline_ms", ms.parse::<u64>().unwrap_or(0)),
     };
     obs.section("budget", budget_v);
-    let result = run_catapult(&db, &cfg);
+    let result = match flags.get("checkpoint-dir") {
+        None => run_catapult(&db, &cfg),
+        Some(dir) => {
+            let mut ckpt = CheckpointConfig::new(Path::new(dir));
+            ckpt.resume = flags.switch("resume");
+            ckpt.force = flags.switch("force");
+            run_catapult_resumable(&db, &cfg, &ckpt)?
+        }
+    };
     let patterns = result.patterns();
     let text = write_graphs(&patterns, &interner);
     let report = result.report();
@@ -385,6 +428,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         .split_first()
         .ok_or_else(|| CliError::Usage(USAGE.into()))?;
     let flags = Flags::parse(rest)?;
+    // A malformed CATAPULT_THREADS is a usage error up front, not a
+    // silently ignored setting.
+    rayon::check_thread_env().map_err(CliError::Usage)?;
     apply_threads(&flags)?;
     let metrics_out = flags.get("metrics-out").map(str::to_string);
     let trace = flags.switch("trace");
@@ -763,6 +809,67 @@ mod tests {
             catapult_obs::schema_version_of(&manifest),
             Some(catapult_obs::SCHEMA_VERSION)
         );
+    }
+
+    #[test]
+    fn select_checkpoints_and_resumes() {
+        let db_path = tmp("db_ckpt.txt");
+        let ckpt_dir = tmp("ckpt_dir");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "15",
+            "--seed",
+            "4",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        let select = |extra: &[&str]| {
+            let mut a = args(&[
+                "select",
+                "--db",
+                &db_path,
+                "--gamma",
+                "3",
+                "--min-size",
+                "3",
+                "--max-size",
+                "5",
+                "--walks",
+                "10",
+                "--checkpoint-dir",
+                &ckpt_dir,
+            ]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            run(&a)
+        };
+        let first = select(&[]).unwrap();
+        assert!(std::path::Path::new(&ckpt_dir)
+            .join("clustering.ckpt")
+            .exists());
+        // A populated directory is refused without --resume/--force…
+        let r = select(&[]);
+        assert!(
+            matches!(&r, Err(CliError::Usage(m)) if m.contains("--force")),
+            "{r:?}"
+        );
+        // …and --resume reproduces the run from its checkpoints.
+        let resumed = select(&["--resume"]).unwrap();
+        let strip_timings = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('%'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip_timings(&resumed), strip_timings(&first));
+        // --resume without a directory is a usage error.
+        let r = run(&args(&["select", "--db", &db_path, "--resume"]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     #[test]

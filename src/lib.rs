@@ -15,6 +15,7 @@
 //! * [`graph`] — labeled graphs, VF2, MCS/MCCS, GED, canonical forms;
 //! * [`mining`] — frequent subtree / subgraph / edge mining;
 //! * [`cluster`] — coarse + fine small-graph clustering and sampling;
+//! * [`ckpt`] — crash-safe stage checkpoints and resumable execution;
 //! * [`csg`] — cluster summary (closure) graphs;
 //! * [`core`] — the pattern-selection pipeline (Algorithms 1 & 4);
 //! * [`datasets`] — synthetic molecule repositories and query workloads;
@@ -42,6 +43,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 pub mod cli;
 
+pub use catapult_ckpt as ckpt;
 pub use catapult_cluster as cluster;
 pub use catapult_core as core;
 pub use catapult_csg as csg;

@@ -11,6 +11,7 @@
 //!
 //! Run with: `cargo test --features fault-injection --test fault_injection`
 #![cfg(feature = "fault-injection")]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use catapult::graph::budget::fault::{self, FaultKind, FaultPlan};
 use catapult::graph::components::is_connected;
@@ -196,6 +197,62 @@ fn sticky_fault_from_start_still_yields_conforming_output() {
         assert!(!r.report().all_exact(), "sticky {kind:?} must degrade");
         assert_eq!(r.report().worst(), kind.completeness());
     }
+}
+
+/// A config whose kernel invocations all belong to the fine-clustering
+/// fan-out (no mining stage), so a small K lands the panic inside a
+/// parallel worker item.
+fn fine_only_config(keep_going: bool) -> CatapultConfig {
+    let mut cfg = config();
+    cfg.clustering.strategy =
+        catapult::cluster::Strategy::FineOnly(catapult::cluster::SimilarityKind::Mccs);
+    cfg.clustering.max_cluster_size = 6;
+    cfg.clustering.keep_going = keep_going;
+    cfg
+}
+
+#[test]
+fn worker_panic_aborts_loudly_by_default() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = small_db();
+    fault::install(FaultPlan {
+        kind: FaultKind::Panic,
+        at: 3,
+        sticky: false,
+    });
+    // Fail-fast is the default: the injected worker death must surface
+    // as a panic of the whole run, not a silently weaker result.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_catapult(&db, &fine_only_config(false))
+    }));
+    fault::clear();
+    assert!(r.is_err(), "worker panic must abort without --keep-going");
+}
+
+#[test]
+fn keep_going_isolates_worker_panics_and_reports_them() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = small_db();
+    fault::install(FaultPlan {
+        kind: FaultKind::Panic,
+        at: 3,
+        sticky: false,
+    });
+    let r = run_catapult(&db, &fine_only_config(true));
+    let fired = fault::invocations() >= 3;
+    fault::clear();
+    assert!(fired, "the fine fan-out must reach the faulted invocation");
+    assert_valid_pattern_set(&r, "keep-going panic");
+    // The panicked item is confined and visible: tagged Degraded, which
+    // surfaces as `failed` on the clustering tally and flips the
+    // overall verdict.
+    assert!(
+        r.report().clustering.failed > 0,
+        "isolated panic must be tallied as failed, got {:?}",
+        r.report().clustering
+    );
+    assert!(!r.report().all_exact(), "degradation must not be silent");
+    assert!(r.report().degraded_stages().contains(&"clustering"));
 }
 
 #[test]

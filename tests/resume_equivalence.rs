@@ -1,0 +1,221 @@
+//! The crash-safety keystone: an interrupted-then-resumed pipeline run
+//! is byte-identical to an uninterrupted one.
+//!
+//! With the `fault-injection` feature, [`catapult::ckpt::fault`]
+//! deterministically breaks the K-th checkpoint write — a synthetic I/O
+//! error (transient or persistent), a torn write, a truncated file, a
+//! checksum-breaking bit flip, or a hard crash after corrupting the
+//! file. These tests sweep every fault kind across every write index,
+//! at 1 and 8 worker threads, and prove the resume contract:
+//!
+//! * a crashed run leaves a directory the loader either trusts
+//!   (verified checkpoints) or discards loudly — never silently
+//!   corrupted state;
+//! * resuming from that directory reproduces the uninterrupted run's
+//!   [`result_digest`] exactly (wall-clock durations excepted);
+//! * the digest is also identical across thread counts.
+//!
+//! Run with: `cargo test --features fault-injection --test resume_equivalence`
+#![cfg(feature = "fault-injection")]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use catapult::ckpt::fault::{self as pfault, PersistFaultKind, PersistFaultPlan, CRASH_PAYLOAD};
+use catapult::ckpt::CheckpointConfig;
+use catapult::core::ckpt_io::result_digest;
+use catapult::core::{run_catapult, run_catapult_resumable, CatapultConfig, PatternBudget};
+use catapult::graph::{Graph, Label, VertexId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The persistence fault plan, the write counter, and the rayon thread
+/// override are process-global; every test holds this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn ring(n: u32, label: u32) -> Graph {
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_vertex(Label(label));
+    }
+    for i in 0..n {
+        g.add_edge(VertexId(i), VertexId((i + 1) % n)).unwrap();
+    }
+    g
+}
+
+fn chain(n: u32, labels: &[u32]) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add_vertex(Label(labels[i as usize % labels.len()]));
+    }
+    for i in 0..n - 1 {
+        g.add_edge(VertexId(i), VertexId(i + 1)).unwrap();
+    }
+    g
+}
+
+fn small_db() -> Vec<Graph> {
+    let mut db = Vec::new();
+    for i in 0..8 {
+        db.push(ring(5 + i % 2, 0));
+        db.push(chain(6, &[0, 1]));
+    }
+    db
+}
+
+fn config() -> CatapultConfig {
+    CatapultConfig {
+        budget: PatternBudget::new(3, 5, 4).unwrap(),
+        walks: 10,
+        seed: 23,
+        clustering: catapult::cluster::ClusteringConfig {
+            max_cluster_size: 6,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn ckpt_cfg(dir: &PathBuf, resume: bool) -> CheckpointConfig {
+    let mut c = CheckpointConfig::new(dir);
+    c.resume = resume;
+    // Tiny chunks: many mid-fine-clustering flushes, so the write-index
+    // sweep lands faults inside a stage, not just between stages.
+    c.chunk_pairs = 4;
+    c.retry.base_backoff = std::time::Duration::from_millis(0);
+    c
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("catapult-resume-eq-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// How many checkpoint writes one uninterrupted run performs (the sweep
+/// range), measured by running with no fault installed.
+fn count_writes(db: &[Graph], cfg: &CatapultConfig, threads: usize) -> u64 {
+    rayon::set_threads(threads);
+    pfault::clear();
+    pfault::install(PersistFaultPlan {
+        // `at: u64::MAX` never fires; the counter still counts.
+        kind: PersistFaultKind::Crash,
+        at: u64::MAX,
+    });
+    let dir = fresh_dir("count");
+    run_catapult_resumable(db, cfg, &ckpt_cfg(&dir, false)).unwrap();
+    let writes = pfault::writes();
+    pfault::clear();
+    std::fs::remove_dir_all(&dir).ok();
+    writes
+}
+
+/// The keystone sweep: threads × fault kind × write index.
+#[test]
+fn interrupted_then_resumed_equals_uninterrupted() {
+    let _guard = SERIAL.lock().unwrap();
+    let db = small_db();
+    let cfg = config();
+    let mut cross_thread_digest: Option<Vec<u8>> = None;
+    for threads in [1usize, 8] {
+        rayon::set_threads(threads);
+        let baseline = result_digest(&run_catapult(&db, &cfg));
+        if let Some(prev) = &cross_thread_digest {
+            assert_eq!(prev, &baseline, "digest must not depend on threads");
+        }
+        cross_thread_digest = Some(baseline.clone());
+
+        let writes = count_writes(&db, &cfg, threads);
+        assert!(writes >= 6, "expected a multi-write run, got {writes}");
+        for kind in [
+            PersistFaultKind::IoError { times: 1 },
+            PersistFaultKind::IoError { times: u32::MAX },
+            PersistFaultKind::TornWrite,
+            PersistFaultKind::Truncate,
+            PersistFaultKind::BitFlip,
+            PersistFaultKind::Crash,
+        ] {
+            for at in 1..=writes {
+                let ctx = format!("threads={threads} kind={kind:?} at={at}");
+                let dir = fresh_dir(&format!("{threads}"));
+                pfault::clear();
+                pfault::install(PersistFaultPlan { kind, at });
+                let first = catch_unwind(AssertUnwindSafe(|| {
+                    run_catapult_resumable(&db, &cfg, &ckpt_cfg(&dir, false))
+                }));
+                pfault::clear();
+                match (kind, first) {
+                    // A transient I/O error is absorbed by the retry
+                    // loop: the run completes as if nothing happened.
+                    (PersistFaultKind::IoError { times: 1 }, run) => {
+                        let r = run.unwrap_or_else(|_| panic!("{ctx}: must not panic"));
+                        assert_eq!(
+                            result_digest(&r.unwrap()),
+                            baseline,
+                            "{ctx}: retried run must match"
+                        );
+                        continue;
+                    }
+                    // A persistent I/O error exhausts the retries and
+                    // surfaces as an error — a graceful stop, not a panic.
+                    (PersistFaultKind::IoError { .. }, run) => {
+                        let r = run.unwrap_or_else(|_| panic!("{ctx}: must not panic"));
+                        r.unwrap_err();
+                    }
+                    // Every corrupting kind crashes the process at the
+                    // faulted write (panic stands in for the kill).
+                    (_, Ok(r)) => panic!("{ctx}: expected a crash, got {:?}", r.is_ok()),
+                    (_, Err(payload)) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .unwrap_or_default();
+                        assert_eq!(msg, CRASH_PAYLOAD, "{ctx}: foreign panic");
+                    }
+                }
+                // Resume from whatever the crash left behind.
+                let resumed = run_catapult_resumable(&db, &cfg, &ckpt_cfg(&dir, true))
+                    .unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"));
+                assert_eq!(result_digest(&resumed), baseline, "{ctx}: resume diverged");
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+    rayon::set_threads(0);
+}
+
+/// Killing the process *between* stages (simulated by deleting the
+/// later stage files a finished run wrote) resumes from the surviving
+/// prefix and still reproduces the uninterrupted digest.
+#[test]
+fn kill_between_stages_resumes_from_prefix() {
+    let _guard = SERIAL.lock().unwrap();
+    pfault::clear();
+    rayon::set_threads(1);
+    let db = small_db();
+    let cfg = config();
+    let baseline = result_digest(&run_catapult(&db, &cfg));
+    // Progressively longer suffix deletions: resume lands one stage
+    // earlier each time.
+    for doomed in [
+        &["selection"][..],
+        &["selection", "csg"][..],
+        &["selection", "csg", "clustering"][..],
+        &["selection", "csg", "clustering", "fine"][..],
+        &["selection", "csg", "clustering", "fine", "coarse"][..],
+    ] {
+        let dir = fresh_dir("between");
+        run_catapult_resumable(&db, &cfg, &ckpt_cfg(&dir, false)).unwrap();
+        for stage in doomed {
+            std::fs::remove_file(dir.join(format!("{stage}.ckpt"))).unwrap();
+        }
+        let resumed = run_catapult_resumable(&db, &cfg, &ckpt_cfg(&dir, true)).unwrap();
+        assert_eq!(
+            result_digest(&resumed),
+            baseline,
+            "resume after deleting {doomed:?} diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    rayon::set_threads(0);
+}
