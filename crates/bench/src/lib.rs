@@ -40,6 +40,7 @@ pub mod exp07;
 pub mod exp08;
 pub mod exp09;
 pub mod exp10;
+pub mod kernels;
 pub mod parallel;
 pub mod report;
 pub mod scale;

@@ -47,7 +47,10 @@ use std::time::Duration;
 
 /// Version of the checkpoint layout. Bump on any field add/remove/
 /// reorder in the header or in any stage payload encoding.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the fine-clustering payload gained a persisted similarity-cache
+/// section (class-pair memoization entries).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Leading magic of every checkpoint file.
 const MAGIC: &[u8; 8] = b"CATCKPT1";

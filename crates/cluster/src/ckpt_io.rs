@@ -12,7 +12,7 @@
 
 use crate::pipeline::Clustering;
 use catapult_ckpt::wire::{Dec, Enc, WireError};
-use catapult_graph::TallyCounts;
+use catapult_graph::{Completeness, TallyCounts};
 use catapult_mining::subtree::FrequentSubtree;
 use rand::rngs::StdRng;
 use rand::RngCore;
@@ -88,6 +88,36 @@ pub(crate) struct FineState {
     pub tally: TallyCounts,
     /// The split in flight, if the checkpoint landed mid-split.
     pub current: Option<SplitProgress>,
+    /// Memoized pairwise-similarity entries, keyed by unordered
+    /// isomorphism-class pair (`a <= b`), sorted by key so the encoding
+    /// is byte-identical regardless of which worker filled which entry.
+    pub cache: Vec<CacheEntry>,
+}
+
+/// One persisted similarity-cache entry: unordered class pair, the
+/// similarity value, and the completeness tag the kernel reported when
+/// the value was first computed (replayed into the tally on every hit).
+pub(crate) type CacheEntry = (u32, u32, f64, Completeness);
+
+fn completeness_code(c: Completeness) -> u32 {
+    match c {
+        Completeness::Exact => 0,
+        Completeness::BudgetExhausted => 1,
+        Completeness::DeadlineExceeded => 2,
+        Completeness::Cancelled => 3,
+        Completeness::Degraded => 4,
+    }
+}
+
+fn completeness_from_code(v: u32) -> Result<Completeness, WireError> {
+    Ok(match v {
+        0 => Completeness::Exact,
+        1 => Completeness::BudgetExhausted,
+        2 => Completeness::DeadlineExceeded,
+        3 => Completeness::Cancelled,
+        4 => Completeness::Degraded,
+        _ => return Err(WireError::Malformed("unknown completeness tag")),
+    })
 }
 
 pub(crate) fn encode_fine_state(s: &FineState) -> Vec<u8> {
@@ -105,6 +135,13 @@ pub(crate) fn encode_fine_state(s: &FineState) -> Vec<u8> {
             e.f64s(&p.omega1);
             e.f64s(&p.omega2);
         }
+    }
+    e.usize(s.cache.len());
+    for &(a, b, value, tag) in &s.cache {
+        e.u32(a);
+        e.u32(b);
+        e.f64(value);
+        e.u32(completeness_code(tag));
     }
     e.into_bytes()
 }
@@ -125,6 +162,15 @@ pub(crate) fn decode_fine_state(bytes: &[u8]) -> Result<FineState, WireError> {
     } else {
         None
     };
+    let cache_len = d.usize()?;
+    let mut cache = Vec::with_capacity(cache_len.min(bytes.len()));
+    for _ in 0..cache_len {
+        let a = d.u32()?;
+        let b = d.u32()?;
+        let value = d.f64()?;
+        let tag = completeness_from_code(d.u32()?)?;
+        cache.push((a, b, value, tag));
+    }
     d.finish()?;
     Ok(FineState {
         done,
@@ -132,6 +178,7 @@ pub(crate) fn decode_fine_state(bytes: &[u8]) -> Result<FineState, WireError> {
         rng,
         tally,
         current,
+        cache,
     })
 }
 
@@ -312,6 +359,11 @@ mod tests {
                 rng: [1, u64::MAX, 0, 42],
                 tally: tally(),
                 current,
+                cache: vec![
+                    (0, 2, 0.5, Completeness::Exact),
+                    (1, 1, 1.0, Completeness::Exact),
+                    (1, 3, 0.125, Completeness::BudgetExhausted),
+                ],
             };
             let bytes = encode_fine_state(&s);
             let back = decode_fine_state(&bytes).unwrap();
@@ -367,11 +419,32 @@ mod tests {
             rng: [0; 4],
             tally: TallyCounts::default(),
             current: None,
+            cache: vec![(0, 1, 0.75, Completeness::Degraded)],
         };
         let bytes = encode_fine_state(&s);
         assert!(decode_fine_state(&bytes[..bytes.len() - 1]).is_err());
         let mut extended = bytes;
         extended.push(0);
         assert!(decode_fine_state(&extended).is_err());
+    }
+
+    #[test]
+    fn unknown_cache_completeness_tag_is_rejected() {
+        let s = FineState {
+            done: vec![],
+            work: vec![],
+            rng: [0; 4],
+            tally: TallyCounts::default(),
+            current: None,
+            cache: vec![(2, 3, 0.5, Completeness::Exact)],
+        };
+        let mut bytes = encode_fine_state(&s);
+        // The completeness code is the trailing little-endian u32.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            decode_fine_state(&bytes),
+            Err(WireError::Malformed(_))
+        ));
     }
 }

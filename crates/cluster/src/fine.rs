@@ -11,16 +11,26 @@
 //! common subgraph is *not* treated as the true MCS — the split decision
 //! falls back to an exact label-multiset similarity instead, and the
 //! degradation is surfaced in [`FineOutcome::kernel`].
+//!
+//! Similarities are memoized per *isomorphism class* ([`SimCache`]):
+//! DB graphs are interned by canonical form, one MCS/MCCS runs per
+//! unordered class pair (on the class representatives), and every other
+//! member pair replays the cached value and completeness tag. The cache
+//! persists through the fine-state checkpoint, so a resumed run reuses
+//! instead of recomputing.
 
 use crate::ckpt_io::{
-    decode_fine_state, encode_fine_state, FineState, NoSnap, SnapRng, SplitProgress,
+    decode_fine_state, encode_fine_state, CacheEntry, FineState, NoSnap, SnapRng, SplitProgress,
 };
 use catapult_ckpt::{CkptError, StageStore};
+use catapult_graph::canonical::{canonical_form, CanonTokens};
 use catapult_graph::mcs::{mcs, McsConfig};
 use catapult_graph::{Completeness, Graph, SearchBudget, Tally, TallyCounts};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError}; // xtask-allow: interior-mutability
 
 /// Which common-subgraph similarity drives the split (Exp 1 compares both).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,27 +101,158 @@ fn label_vector_similarity(a: &Graph, b: &Graph) -> f64 {
     common as f64 / denom as f64
 }
 
-/// MCS/MCCS similarity under the configured budget, recording kernel
-/// completeness into `tally`. Exact searches return the paper's
-/// `ω = |G_mcs| / min(|E1|, |E2|)`; degraded searches fall back to
-/// [`label_vector_similarity`] so a truncated MCS is never mistaken for
-/// the true one.
-fn similarity(a: &Graph, b: &Graph, cfg: &FineConfig, tally: &Tally) -> f64 {
+/// One MCS/MCCS similarity computation under the configured budget,
+/// *without* memoization or tally recording. Exact searches return the
+/// paper's `ω = |G_mcs| / min(|E1|, |E2|)`; degraded searches fall back
+/// to [`label_vector_similarity`] so a truncated MCS is never mistaken
+/// for the true one. The completeness tag is returned alongside the
+/// value so cache hits can replay it into the tally.
+fn raw_similarity(a: &Graph, b: &Graph, cfg: &FineConfig) -> (f64, Completeness) {
     let denom = a.edge_count().min(b.edge_count());
     if denom == 0 {
-        return 0.0;
+        return (0.0, Completeness::Exact);
     }
     let mcfg = McsConfig {
         connected: cfg.similarity == SimilarityKind::Mccs,
         budget: cfg.budget.with_default_cap(DEFAULT_MCS_CAP),
+        pruning: true,
     };
     let r = mcs(a, b, mcfg);
-    tally.record(r.completeness);
-    if r.completeness.is_exact() {
+    let value = if r.completeness.is_exact() {
         r.edges as f64 / denom as f64
     } else {
         label_vector_similarity(a, b)
+    };
+    (value, r.completeness)
+}
+
+/// Memoized pairwise-similarity matrix, keyed by *isomorphism class*:
+/// every DB graph is interned by its canonical form
+/// ([`catapult_graph::canonical::canonical_form`]), and one similarity
+/// value is computed — on the class representatives — per unordered
+/// class pair, no matter how many member pairs ask for it.
+///
+/// Determinism: class ids are assigned in first-seen DB order and the
+/// representative is the lowest DB index of each class, so the cache's
+/// keying, the inputs of every cached computation, and therefore every
+/// cached value are pure functions of the DB — independent of thread
+/// count, lookup interleaving, and resume point. Each lookup records
+/// the pair's (deterministic) completeness tag into the tally whether
+/// it hit or missed, so [`TallyCounts`] stay identical to an unmemoized
+/// schedule of the same lookups. Two racing workers may both compute
+/// the same miss — the duplicated work only shifts the hit/miss probe
+/// counters, never a value or a tally count.
+pub(crate) struct SimCache {
+    /// DB index → isomorphism-class id (dense, first-seen order).
+    class_of: Vec<u32>,
+    /// Class id → lowest DB index of that class; all cached values are
+    /// computed on these representatives.
+    rep_of: Vec<u32>,
+    /// Unordered class pair `(lo, hi)` → (similarity, completeness).
+    /// `BTreeMap` so snapshots serialize in key order byte-identically.
+    /// Writes are value-deterministic (every worker computes the same
+    /// similarity for a class pair), so insertion order cannot change
+    /// any cached value. xtask-allow: interior-mutability
+    entries: Mutex<BTreeMap<(u32, u32), (f64, Completeness)>>,
+}
+
+impl SimCache {
+    /// Intern every DB graph's canonical form. Graphs whose canonical
+    /// form hit the refinement work cap get a fallback form that may
+    /// split one true class into several — that only reduces sharing,
+    /// never correctness.
+    pub(crate) fn build(db: &[Graph]) -> SimCache {
+        let mut ids: BTreeMap<CanonTokens, u32> = BTreeMap::new();
+        let mut class_of = Vec::with_capacity(db.len());
+        let mut rep_of: Vec<u32> = Vec::new();
+        for (i, g) in db.iter().enumerate() {
+            let form = canonical_form(g);
+            let id = match ids.get(&form) {
+                Some(&id) => id,
+                None => {
+                    let id = u32::try_from(rep_of.len()).unwrap_or(u32::MAX);
+                    ids.insert(form, id);
+                    rep_of.push(u32::try_from(i).unwrap_or(u32::MAX));
+                    id
+                }
+            };
+            class_of.push(id);
+        }
+        SimCache {
+            class_of,
+            rep_of,
+            entries: Mutex::new(BTreeMap::new()), // xtask-allow: interior-mutability
+        }
     }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<(u32, u32), (f64, Completeness)>> {
+        // A poisoned lock only means some worker panicked after a plain
+        // insert/read; the map itself is always in a consistent state.
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Prefill from a checkpoint snapshot. Entries whose class ids fall
+    /// outside this DB's class space (impossible unless the checkpoint
+    /// belongs to a different DB, which the store fingerprint already
+    /// rules out) are dropped rather than trusted.
+    pub(crate) fn seed(&self, entries: &[CacheEntry]) {
+        let classes = self.rep_of.len();
+        let mut map = self.lock();
+        for &(a, b, value, tag) in entries {
+            if (a as usize) < classes && (b as usize) < classes {
+                map.insert((a, b), (value, tag));
+            }
+        }
+    }
+
+    /// Sorted, serialization-ready view of every cached entry.
+    pub(crate) fn snapshot(&self) -> Vec<CacheEntry> {
+        self.lock()
+            .iter()
+            .map(|(&(a, b), &(value, tag))| (a, b, value, tag))
+            .collect()
+    }
+
+    /// The isomorphism-class id of DB graph `g` (test hook for the
+    /// equal-canonical-forms-share-an-entry property).
+    #[cfg(test)]
+    pub(crate) fn class_of(&self, g: u32) -> u32 {
+        self.class_of[g as usize]
+    }
+}
+
+/// Memoized MCS/MCCS similarity between DB graphs `g` and `seed`,
+/// recording kernel completeness into `tally` on hits and misses alike.
+fn similarity(
+    g: u32,
+    seed: u32,
+    db: &[Graph],
+    cache: &SimCache,
+    cfg: &FineConfig,
+    tally: &Tally,
+) -> f64 {
+    let (a, b) = (&db[g as usize], &db[seed as usize]);
+    if a.edge_count().min(b.edge_count()) == 0 {
+        // Same as the unmemoized path: nothing to search, nothing to record.
+        return 0.0;
+    }
+    let (ca, cb) = (cache.class_of[g as usize], cache.class_of[seed as usize]);
+    let key = (ca.min(cb), ca.max(cb));
+    if let Some((value, tag)) = cache.lock().get(&key).copied() {
+        tally.record(tag);
+        cfg.budget.probe.add("mcs", "cache_hits", 1);
+        return value;
+    }
+    cfg.budget.probe.add("mcs", "cache_misses", 1);
+    let ra = &db[cache.rep_of[key.0 as usize] as usize];
+    let rb = &db[cache.rep_of[key.1 as usize] as usize];
+    let (value, tag) = raw_similarity(ra, rb, cfg);
+    tally.record(tag);
+    // The tag is stored, not consumed, and replayed into the caller's
+    // tally on every later hit; the single cache lock nests inside no
+    // other lock. xtask-allow: completeness-flow, lock-order
+    cache.lock().insert(key, (value, tag));
+    value
 }
 
 /// ω(G, `seed`) for each of `targets` (∞ for the seed itself, so it can
@@ -130,12 +271,13 @@ fn omega_chunk(
     seed: u32,
     cfg: &FineConfig,
     tally: &Tally,
+    cache: &SimCache,
 ) -> Vec<f64> {
     let compute = |&g: &u32| {
         if g == seed {
             f64::INFINITY
         } else {
-            similarity(&db[g as usize], &db[seed as usize], cfg, tally)
+            similarity(g, seed, db, cache, cfg, tally)
         }
     };
     if !cfg.keep_going {
@@ -164,6 +306,7 @@ fn resume_split(
     db: &[Graph],
     cfg: &FineConfig,
     tally: &Tally,
+    cache: &SimCache,
     progress: &mut SplitProgress,
     chunk: usize,
     flush: &mut dyn FnMut(&SplitProgress) -> Result<(), CkptError>,
@@ -182,7 +325,7 @@ fn resume_split(
     while progress.omega1.len() < rest.len() {
         let lo = progress.omega1.len();
         let hi = lo.saturating_add(chunk).min(rest.len());
-        let vals = omega_chunk(db, &rest[lo..hi], seed1, cfg, tally);
+        let vals = omega_chunk(db, &rest[lo..hi], seed1, cfg, tally, cache);
         progress.omega1.extend(vals);
         flush(progress)?;
     }
@@ -202,7 +345,7 @@ fn resume_split(
     while progress.omega2.len() < rest.len() {
         let lo = progress.omega2.len();
         let hi = lo.saturating_add(chunk).min(rest.len());
-        let vals = omega_chunk(db, &rest[lo..hi], seed2, cfg, tally);
+        let vals = omega_chunk(db, &rest[lo..hi], seed2, cfg, tally, cache);
         progress.omega2.extend(vals);
         flush(progress)?;
     }
@@ -280,6 +423,7 @@ pub fn fine_cluster_resumable(
 
 /// Flush the fine stage's state to the store (no-op without one, or
 /// when the RNG cannot snapshot — the two always coincide).
+#[allow(clippy::too_many_arguments)]
 fn write_state(
     store: Option<&StageStore>,
     seq: &mut u64,
@@ -288,6 +432,7 @@ fn write_state(
     rng: Option<[u64; 4]>,
     tally: TallyCounts,
     current: Option<&SplitProgress>,
+    cache: &SimCache,
 ) -> Result<(), CkptError> {
     let (Some(st), Some(rng)) = (store, rng) else {
         return Ok(());
@@ -298,6 +443,7 @@ fn write_state(
         rng,
         tally,
         current: current.cloned(),
+        cache: cache.snapshot(),
     };
     st.save("fine", *seq, &encode_fine_state(&state))?;
     *seq += 1;
@@ -322,6 +468,7 @@ pub(crate) fn fine_inner<R: SnapRng>(
     let mut done: Vec<Vec<u32>> = Vec::new();
     let mut work: Vec<Vec<u32>> = Vec::new();
     let mut current: Option<SplitProgress> = None;
+    let mut restored_cache: Vec<CacheEntry> = Vec::new();
     let mut seq: u64 = 0;
     let mut resumed = false;
     if let Some(st) = store {
@@ -333,6 +480,7 @@ pub(crate) fn fine_inner<R: SnapRng>(
                     rng.restore(state.rng);
                     baseline = state.tally;
                     current = state.current;
+                    restored_cache = state.cache;
                     seq = loaded_seq + 1;
                     resumed = true;
                 }
@@ -358,6 +506,11 @@ pub(crate) fn fine_inner<R: SnapRng>(
         }
     }
     let chunk = store.map_or(usize::MAX, StageStore::chunk_pairs);
+    // Memoized similarity matrix, shared across every split this run
+    // performs and — through the checkpoint — across resumes, so no
+    // class pair's MCS is ever computed twice.
+    let cache = SimCache::build(db);
+    cache.seed(&restored_cache);
     loop {
         let mut progress = match current.take() {
             Some(p) => p,
@@ -385,8 +538,9 @@ pub(crate) fn fine_inner<R: SnapRng>(
             rng_state,
             baseline.merge(tally.counts()),
             Some(&progress),
+            &cache,
         )?;
-        let (c1, c2) = resume_split(db, cfg, &tally, &mut progress, chunk, &mut |p| {
+        let (c1, c2) = resume_split(db, cfg, &tally, &cache, &mut progress, chunk, &mut |p| {
             write_state(
                 store,
                 &mut seq,
@@ -395,6 +549,7 @@ pub(crate) fn fine_inner<R: SnapRng>(
                 rng_state,
                 baseline.merge(tally.counts()),
                 Some(p),
+                &cache,
             )
         })?;
         let cluster_len = progress.cluster.len();
@@ -425,6 +580,7 @@ pub(crate) fn fine_inner<R: SnapRng>(
             rng.snapshot(),
             baseline.merge(tally.counts()),
             None,
+            &cache,
         )?;
     }
     done.sort_by_key(|c| c[0]);
@@ -541,6 +697,79 @@ mod tests {
         let mut all: Vec<u32> = out.clusters.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equal_canonical_forms_share_one_cache_entry() {
+        // Graph 1 is graph 0 with vertices relabeled (same ring, rotated
+        // edge insertion order) — isomorphic, so one class; the chain is
+        // its own class.
+        let mut rotated = Graph::new();
+        for _ in 0..6 {
+            rotated.add_vertex(Label(0));
+        }
+        for i in 0..6u32 {
+            rotated
+                .add_edge(VertexId((i + 3) % 6), VertexId((i + 4) % 6))
+                .unwrap();
+        }
+        let db = vec![ring(6), rotated, chain(6)];
+        let cache = SimCache::build(&db);
+        assert_eq!(cache.class_of(0), cache.class_of(1));
+        assert_ne!(cache.class_of(0), cache.class_of(2));
+
+        let cfg = FineConfig::default();
+        let tally = Tally::new();
+        let first = similarity(0, 2, &db, &cache, &cfg, &tally);
+        let second = similarity(1, 2, &db, &cache, &cfg, &tally);
+        assert_eq!(first.to_bits(), second.to_bits(), "hit replays the value");
+        assert_eq!(
+            cache.snapshot().len(),
+            1,
+            "isomorphic graphs share a single entry"
+        );
+        // Hit and miss both recorded, so the audit still counts 2 calls.
+        assert_eq!(tally.counts().total(), 2);
+    }
+
+    #[test]
+    fn same_class_mccs_is_not_assumed_to_be_one() {
+        // Two copies of a disconnected graph (two triangles): the MCCS of
+        // the pair is a single triangle, so ω = 3/6 — a cache that
+        // shortcut same-class pairs to 1.0 would get this wrong.
+        let mut g = Graph::new();
+        for _ in 0..6 {
+            g.add_vertex(Label(0));
+        }
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(VertexId(a), VertexId(b)).unwrap();
+        }
+        let db = vec![g.clone(), g];
+        let cache = SimCache::build(&db);
+        assert_eq!(cache.class_of(0), cache.class_of(1));
+        let cfg = FineConfig::default();
+        let tally = Tally::new();
+        let s = similarity(0, 1, &db, &cache, &cfg, &tally);
+        assert!((s - 0.5).abs() < 1e-12, "got {s}");
+        assert!(tally.counts().all_exact());
+    }
+
+    #[test]
+    fn cache_seed_prefills_and_skips_foreign_classes() {
+        let db = vec![ring(6), chain(6)];
+        let cache = SimCache::build(&db);
+        cache.seed(&[
+            (0, 1, 0.25, Completeness::Exact),
+            (7, 9, 0.5, Completeness::Exact), // outside this DB's class space
+        ]);
+        assert_eq!(cache.snapshot(), vec![(0, 1, 0.25, Completeness::Exact)]);
+        // A lookup on the seeded pair is a pure hit: the (made-up) value
+        // is replayed rather than recomputed.
+        let cfg = FineConfig::default();
+        let tally = Tally::new();
+        let s = similarity(0, 1, &db, &cache, &cfg, &tally);
+        assert!((s - 0.25).abs() < 1e-12);
+        assert_eq!(tally.counts().total(), 1);
     }
 
     #[test]

@@ -446,6 +446,14 @@ impl BudgetMeter {
     pub fn note_improvement(&mut self) {
         self.improved += 1;
     }
+
+    /// Reset a tripped limit back to [`Completeness::Exact`]: the caller
+    /// proved its best-so-far optimal (e.g. an a-priori upper bound was
+    /// met), so the answer is exact no matter why expansion stopped. The
+    /// Drop-flushed `exact`/`degraded` counters follow the corrected tag.
+    pub fn note_proven_exact(&mut self) {
+        self.status = Completeness::Exact;
+    }
 }
 
 impl Drop for BudgetMeter {

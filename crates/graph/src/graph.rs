@@ -248,9 +248,18 @@ impl Graph {
 
     /// Distinct edge labels appearing in the graph, sorted.
     pub fn edge_label_set(&self) -> Vec<EdgeLabel> {
+        let mut ls = self.sorted_edge_labels();
+        ls.dedup();
+        ls
+    }
+
+    /// Sorted edge-label *multiset* (duplicates kept, unlike
+    /// [`Graph::edge_label_set`]). The size of the multiset intersection of
+    /// two graphs' sorted edge labels is an upper bound on their common
+    /// subgraph size, since any common edge must carry a shared edge label.
+    pub fn sorted_edge_labels(&self) -> Vec<EdgeLabel> {
         let mut ls: Vec<EdgeLabel> = self.edges().map(|(e, _)| self.edge_label(e)).collect();
         ls.sort_unstable();
-        ls.dedup();
         ls
     }
 

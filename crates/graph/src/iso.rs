@@ -12,6 +12,7 @@
 //! semantics of subgraph search in graph databases [36]. Induced matching
 //! is available via [`MatchOptions::induced`].
 
+use crate::bitadj::BitAdjacency;
 use crate::budget::{BudgetMeter, Completeness, Kernel, SearchBudget};
 use crate::graph::{Graph, VertexId};
 use std::ops::ControlFlow;
@@ -81,6 +82,11 @@ where
     map: Vec<u32>,
     /// target vertex used?
     used: Vec<bool>,
+    /// Bitset adjacency of the target: O(1) edge probes in `feasible`.
+    tbits: BitAdjacency,
+    /// Per-depth candidate buffers, reused across branches so the
+    /// backtracking loop is allocation-free after warmup.
+    scratch: Vec<Vec<VertexId>>,
     meter: BudgetMeter,
     found: usize,
     callback: F,
@@ -186,6 +192,8 @@ where
             back_non_neighbors,
             map: vec![UNMAPPED; np],
             used: vec![false; target.vertex_count()],
+            tbits: BitAdjacency::new(target),
+            scratch: vec![Vec::new(); np + 1],
             meter,
             found: 0,
             callback,
@@ -204,14 +212,14 @@ where
         }
         for &bn in &self.back_neighbors[depth] {
             let mapped = VertexId(self.map[bn.index()]);
-            if !self.target.has_edge(mapped, tv) {
+            if !self.tbits.has_edge(mapped, tv) {
                 return false;
             }
         }
         if self.opts.induced {
             for &nn in &self.back_non_neighbors[depth] {
                 let mapped = VertexId(self.map[nn.index()]);
-                if self.target.has_edge(mapped, tv) {
+                if self.tbits.has_edge(mapped, tv) {
                     return false;
                 }
             }
@@ -235,31 +243,28 @@ where
             return ControlFlow::Break(());
         }
         let pv = self.order[depth];
+        let mut candidates = std::mem::take(&mut self.scratch[depth]);
+        candidates.clear();
         if let Some(&anchor) = self.back_neighbors[depth].first() {
             // Candidates restricted to target-neighbors of the mapped anchor.
             let mapped = VertexId(self.map[anchor.index()]);
-            let candidates: Vec<VertexId> = self
-                .target
-                .neighbors(mapped)
-                .iter()
-                .map(|&(w, _)| w)
-                .collect();
-            for tv in candidates {
-                if self.feasible(depth, pv, tv) {
-                    self.assign(pv, tv);
-                    self.descend(depth + 1)?;
-                    self.unassign(pv, tv);
-                }
-            }
+            candidates.extend(self.target.neighbors(mapped).iter().map(|&(w, _)| w));
         } else {
-            for tv in self.target.vertices() {
-                if self.feasible(depth, pv, tv) {
-                    self.assign(pv, tv);
-                    self.descend(depth + 1)?;
-                    self.unassign(pv, tv);
+            candidates.extend(self.target.vertices());
+        }
+        for ci in 0..candidates.len() {
+            let tv = candidates[ci];
+            if self.feasible(depth, pv, tv) {
+                self.assign(pv, tv);
+                let flow = self.descend(depth + 1);
+                self.unassign(pv, tv);
+                if flow.is_break() {
+                    self.scratch[depth] = candidates;
+                    return flow;
                 }
             }
         }
+        self.scratch[depth] = candidates;
         ControlFlow::Continue(())
     }
 
@@ -276,23 +281,59 @@ where
     }
 }
 
-/// Quick necessary conditions for `pattern ⊆ target`.
+/// Quick necessary conditions for `pattern ⊆ target` (monomorphism):
+/// size bounds, edge-label multiset containment (a vertex-injective map is
+/// edge-injective, so every pattern edge label must be matched by a
+/// distinct target edge with the same label), and per-label degree
+/// dominance (the i-th largest pattern degree within each label class must
+/// not exceed the i-th largest target degree in that class — if it did,
+/// more pattern vertices would need high-degree images than exist).
 fn quick_reject(pattern: &Graph, target: &Graph) -> bool {
     if pattern.vertex_count() > target.vertex_count() || pattern.edge_count() > target.edge_count()
     {
         return true;
     }
-    // Label multiset containment.
-    let mut need = std::collections::HashMap::new();
-    for v in pattern.vertices() {
-        *need.entry(pattern.label(v)).or_insert(0i64) += 1;
+    // Edge-label multiset containment (sorted two-pointer sweep).
+    let pe = pattern.sorted_edge_labels();
+    let te = target.sorted_edge_labels();
+    let mut j = 0usize;
+    for l in &pe {
+        while j < te.len() && te[j] < *l {
+            j += 1;
+        }
+        if j == te.len() || te[j] != *l {
+            return true;
+        }
+        j += 1;
     }
+    // Per-label degree-sequence dominance (subsumes vertex-label multiset
+    // containment: the length check is exactly the per-label count check).
+    let mut pd: std::collections::BTreeMap<crate::labels::Label, Vec<usize>> = Default::default();
+    for v in pattern.vertices() {
+        pd.entry(pattern.label(v))
+            .or_default()
+            .push(pattern.degree(v));
+    }
+    let mut td: std::collections::BTreeMap<crate::labels::Label, Vec<usize>> = Default::default();
     for v in target.vertices() {
-        if let Some(c) = need.get_mut(&target.label(v)) {
-            *c -= 1;
+        td.entry(target.label(v))
+            .or_default()
+            .push(target.degree(v));
+    }
+    for (l, ps) in &mut pd {
+        let Some(ts) = td.get_mut(l) else {
+            return true;
+        };
+        if ps.len() > ts.len() {
+            return true;
+        }
+        ps.sort_unstable_by(|a, b| b.cmp(a));
+        ts.sort_unstable_by(|a, b| b.cmp(a));
+        if ps.iter().zip(ts.iter()).any(|(p, t)| p > t) {
+            return true;
         }
     }
-    need.values().any(|&c| c > 0)
+    false
 }
 
 /// Enumerate embeddings of `pattern` in `target`, invoking `callback` with
@@ -525,6 +566,38 @@ mod tests {
         let p = Graph::from_parts(&[l(9), l(9)], &[(0, 1)]);
         let t = triangle();
         assert!(!contains(&t, &p));
+    }
+
+    #[test]
+    fn quick_reject_on_edge_labels() {
+        // Vertex-label multisets are compatible ({0,0,1} ⊆ {0,0,1}), but
+        // the pattern needs a (0,0) edge the target does not have.
+        let p = Graph::from_parts(&[l(0), l(0), l(1)], &[(0, 1), (1, 2)]);
+        let t = Graph::from_parts(&[l(0), l(1), l(0)], &[(0, 1), (1, 2)]);
+        assert!(quick_reject(&p, &t));
+        assert!(!contains(&t, &p));
+        // Flip the middle label and containment holds again.
+        let t2 = Graph::from_parts(&[l(0), l(0), l(1)], &[(0, 1), (1, 2)]);
+        assert!(!quick_reject(&p, &t2));
+        assert!(contains(&t2, &p));
+    }
+
+    #[test]
+    fn quick_reject_on_degree_dominance() {
+        // Star K1,3 into a path of 4: same labels, same counts, same edge
+        // labels, but the star's center needs degree 3 and the path tops
+        // out at 2 — rejected without any search.
+        let star = Graph::from_parts(&[l(0); 4], &[(0, 1), (0, 2), (0, 3)]);
+        let p4 = path(4);
+        assert!(quick_reject(&star, &p4));
+        assert!(!contains(&p4, &star));
+        // The reverse is also rejected by dominance alone: the path needs
+        // two degree-2 images and the star has only one such vertex.
+        assert!(quick_reject(&p4, &star));
+        assert!(!contains(&star, &p4));
+        // A shape that survives all pre-filters still reaches the search.
+        assert!(!quick_reject(&path(3), &p4));
+        assert!(contains(&p4, &path(3)));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 // itself forbids; the policy targets production code paths only.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod bitadj;
 pub mod budget;
 pub mod canonical;
 pub mod components;
@@ -42,6 +43,7 @@ pub mod mcs;
 pub mod metrics;
 pub mod random;
 
+pub use bitadj::BitAdjacency;
 pub use budget::{CancelToken, Completeness, Deadline, SearchBudget, Tally, TallyCounts};
 pub use graph::{CorruptionKind, Edge, EdgeId, Graph, GraphError, VertexId};
 pub use invariants::InvariantViolation;

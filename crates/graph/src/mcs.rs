@@ -16,8 +16,10 @@
 //! implementations benchmarked in [13]. A degraded result is a *lower
 //! bound* on the true common-subgraph size.
 
+use crate::bitadj::BitAdjacency;
 use crate::budget::{BudgetMeter, Completeness, Kernel, SearchBudget};
 use crate::graph::{Graph, VertexId};
+use crate::labels::Label;
 
 /// Default backtracking-node cap for MCS/MCCS searches.
 pub const DEFAULT_NODE_CAP: u64 = 500_000;
@@ -30,6 +32,13 @@ pub struct McsConfig {
     /// Execution budget; on a tripped limit the search stops with the best
     /// common subgraph found so far (a lower bound on the true MCS).
     pub budget: SearchBudget,
+    /// Use the edge-label-multiset upper bound to prune and short-circuit
+    /// the search (on by default, and always sound — a pruned search that
+    /// meets the bound is provably optimal, hence still *Exact*). Turning
+    /// it off reproduces the reference unpruned search; the
+    /// kernel-equivalence suite and the kernel benchmark's before/after
+    /// comparison rely on that.
+    pub pruning: bool,
 }
 
 impl Default for McsConfig {
@@ -37,6 +46,7 @@ impl Default for McsConfig {
         McsConfig {
             connected: false,
             budget: SearchBudget::nodes(DEFAULT_NODE_CAP),
+            pruning: true,
         }
     }
 }
@@ -71,9 +81,120 @@ impl McsResult {
     }
 }
 
+/// Incremental largest-common-component tracker for the MCCS search: a
+/// union-find over the decided graph's vertices with union-by-rank, **no
+/// path compression**, and an undo stack, so every `link` can be rolled
+/// back in O(1) when the search backtracks. Each component root carries
+/// its common-edge count; `max_edges` is the running size of the largest
+/// component, which turns the per-leaf "did the connected best improve?"
+/// question from an O(k²) component sweep into an O(1) comparison. The
+/// actual component extraction (pairs, BFS order) still goes through
+/// [`largest_common_component`] on the rare improving leaf, so recorded
+/// results stay byte-identical to the unoptimized search.
+struct CcForest {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Common-edge count of the component, valid at roots only.
+    edges: Vec<usize>,
+    max_edges: usize,
+    undo: Vec<CcUndo>,
+}
+
+enum CcUndo {
+    /// An intra-component edge was counted at `root`.
+    Edge { root: usize, prev_max: usize },
+    /// `child` (a former root) was attached under `parent`.
+    Link {
+        child: usize,
+        parent: usize,
+        rank_bumped: bool,
+        prev_max: usize,
+    },
+}
+
+impl CcForest {
+    fn new(n: usize) -> CcForest {
+        CcForest {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            edges: vec![0; n],
+            max_edges: 0,
+            undo: Vec::new(),
+        }
+    }
+
+    fn find(&self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            v = self.parent[v];
+        }
+        v
+    }
+
+    /// Record one common edge between the components of `a` and `b`.
+    fn link(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        let prev_max = self.max_edges;
+        if ra == rb {
+            self.edges[ra] += 1;
+            self.max_edges = self.max_edges.max(self.edges[ra]);
+            self.undo.push(CcUndo::Edge { root: ra, prev_max });
+            return;
+        }
+        // Attach the lower-rank root under the higher-rank one.
+        let (child, parent) = if self.rank[ra] < self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let rank_bumped = self.rank[child] == self.rank[parent];
+        if rank_bumped {
+            self.rank[parent] += 1;
+        }
+        self.parent[child] = parent;
+        self.edges[parent] += self.edges[child] + 1;
+        self.max_edges = self.max_edges.max(self.edges[parent]);
+        self.undo.push(CcUndo::Link {
+            child,
+            parent,
+            rank_bumped,
+            prev_max,
+        });
+    }
+
+    fn mark(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Undo every `link` past `mark`, most recent first. LIFO order keeps
+    /// the stale `edges[child]` values (untouched while non-root) valid.
+    fn rollback(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            match self.undo.pop() {
+                Some(CcUndo::Edge { root, prev_max }) => {
+                    self.edges[root] -= 1;
+                    self.max_edges = prev_max;
+                }
+                Some(CcUndo::Link {
+                    child,
+                    parent,
+                    rank_bumped,
+                    prev_max,
+                }) => {
+                    self.edges[parent] -= self.edges[child] + 1;
+                    if rank_bumped {
+                        self.rank[parent] -= 1;
+                    }
+                    self.parent[child] = child;
+                    self.max_edges = prev_max;
+                }
+                None => return,
+            }
+        }
+    }
+}
+
 struct Search<'a> {
     a: &'a Graph, // decided graph (fewer vertices)
-    b: &'a Graph,
     order: Vec<VertexId>,
     cfg: McsConfig,
     map: Vec<u32>,   // a-vertex -> b-vertex or MAX
@@ -86,6 +207,23 @@ struct Search<'a> {
     swapped: bool,
     /// Whether each a-vertex has been decided (mapped or skipped) yet.
     decided: Vec<bool>,
+    /// Bitset adjacency of `a`/`b`: O(1) `has_edge` in the hot loops.
+    abits: BitAdjacency,
+    bbits: BitAdjacency,
+    /// b-vertices grouped by label (in vertex order), so candidate
+    /// generation touches only label-compatible targets.
+    buckets: Vec<(Label, Vec<VertexId>)>,
+    /// Global upper bound on the common-edge count (edge-label multiset
+    /// intersection capped by both edge counts). Once `best_edges` reaches
+    /// it, the result is provably optimal and the search stops *Exact*.
+    ub: usize,
+    /// Set when `best_edges == ub`: unwind without exploring further.
+    proven: bool,
+    /// Per-depth candidate buffers, reused across branches to keep the
+    /// backtracking loop allocation-free after warmup.
+    scratch: Vec<Vec<(usize, usize, VertexId)>>,
+    /// Largest-common-component tracker (MCCS only; empty for plain MCS).
+    cc: CcForest,
 }
 
 const UNMAPPED: u32 = u32::MAX;
@@ -107,7 +245,7 @@ impl<'a> Search<'a> {
                 // Neighbor was skipped: the edge (v,w) was already counted
                 // as lost at skip time (see `loss_on_skip`).
                 continue;
-            } else if self.b.has_edge(VertexId(m), t) {
+            } else if self.bbits.has_edge(VertexId(m), t) {
                 gain += 1;
             } else {
                 loss += 1;
@@ -145,16 +283,32 @@ impl<'a> Search<'a> {
             self.best_edges = self.score;
             self.best_pairs = self.current_pairs();
             self.meter.note_improvement();
-            return;
+        } else {
+            // MCCS: take the largest connected component of the common-edge
+            // subgraph induced by the current mapping. The incremental
+            // tracker answers "can this leaf improve?" in O(1); only actual
+            // improvements (rare) pay for the full component extraction,
+            // which remains the ground truth for the recorded pairs.
+            if self.cc.max_edges > self.best_edges {
+                let pairs = self.current_pairs();
+                let (cc_edges, cc_pairs) =
+                    largest_common_component(&self.abits, &self.bbits, &pairs);
+                debug_assert_eq!(
+                    cc_edges, self.cc.max_edges,
+                    "incremental component tracker drifted from ground truth"
+                );
+                if cc_edges > self.best_edges {
+                    self.best_edges = cc_edges;
+                    self.best_pairs = cc_pairs;
+                    self.meter.note_improvement();
+                }
+            }
         }
-        // MCCS: take the largest connected component of the common-edge
-        // subgraph induced by the current mapping.
-        let pairs = self.current_pairs();
-        let (cc_edges, cc_pairs) = largest_common_component(self.a, self.b, &pairs);
-        if cc_edges > self.best_edges {
-            self.best_edges = cc_edges;
-            self.best_pairs = cc_pairs;
-            self.meter.note_improvement();
+        // Meeting the global bound proves optimality: no mapping can have
+        // more common edges than the edge-label multiset intersection, so
+        // the rest of the tree cannot improve and the search ends Exact.
+        if self.best_edges >= self.ub {
+            self.proven = true;
         }
     }
 
@@ -168,6 +322,9 @@ impl<'a> Search<'a> {
     }
 
     fn descend(&mut self, depth: usize) {
+        if self.proven {
+            return;
+        }
         if self.meter.tick() {
             // Keep the best-so-far invariant: the partial mapping on the
             // stack at the moment the budget trips is itself a valid common
@@ -177,8 +334,8 @@ impl<'a> Search<'a> {
             return;
         }
         // Bound: total a-edges minus those already lost can still become
-        // common in the best case.
-        let potential = self.a.edge_count() - self.lost;
+        // common in the best case, never exceeding the global label bound.
+        let potential = (self.a.edge_count() - self.lost).min(self.ub);
         if potential <= self.best_edges {
             self.record_leaf();
             return;
@@ -189,29 +346,55 @@ impl<'a> Search<'a> {
         }
         let v = self.order[depth];
         // Try candidate targets ordered by immediate gain (desc) so good
-        // solutions are found early and the bound tightens.
-        let mut candidates: Vec<(usize, usize, VertexId)> = Vec::new();
-        for t in self.b.vertices() {
-            if self.used[t.index()] || self.b.label(t) != self.a.label(v) {
-                continue;
+        // solutions are found early and the bound tightens. Only the label
+        // bucket of `v` is scanned; a reused per-depth buffer keeps the
+        // loop allocation-free.
+        let mut candidates = std::mem::take(&mut self.scratch[depth]);
+        candidates.clear();
+        let want = self.a.label(v);
+        if let Ok(i) = self.buckets.binary_search_by_key(&want, |e| e.0) {
+            for idx in 0..self.buckets[i].1.len() {
+                let t = self.buckets[i].1[idx];
+                if self.used[t.index()] {
+                    continue;
+                }
+                let (gain, loss) = self.gain_and_loss(v, t, &self.decided);
+                candidates.push((gain, loss, t));
             }
-            let (gain, loss) = self.gain_and_loss(v, t, &self.decided);
-            candidates.push((gain, loss, t));
         }
-        candidates.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        candidates.sort_unstable_by(|x, y| {
+            y.0.cmp(&x.0)
+                .then(x.1.cmp(&y.1))
+                .then((x.2).0.cmp(&(y.2).0))
+        });
         self.decided[v.index()] = true;
-        for (gain, loss, t) in candidates {
+        for ci in 0..candidates.len() {
+            let (gain, loss, t) = candidates[ci];
             self.map[v.index()] = t.0;
             self.used[t.index()] = true;
             self.score += gain;
             self.lost += loss;
+            let cc_mark = self.cc.mark();
+            if self.cfg.connected && gain > 0 {
+                // Mirror `gain_and_loss`: each commonable neighbor edge
+                // joins (v, t)'s pair to the neighbor's component.
+                let a = self.a;
+                for &(w, _) in a.neighbors(v) {
+                    let m = self.map[w.index()];
+                    if w != v && m != UNMAPPED && self.bbits.has_edge(VertexId(m), t) {
+                        self.cc.link(v.index(), w.index());
+                    }
+                }
+            }
             self.descend(depth + 1);
+            self.cc.rollback(cc_mark);
             self.score -= gain;
             self.lost -= loss;
             self.map[v.index()] = UNMAPPED;
             self.used[t.index()] = false;
-            if self.meter.tripped() {
+            if self.meter.tripped() || self.proven {
                 self.decided[v.index()] = false;
+                self.scratch[depth] = candidates;
                 return;
             }
         }
@@ -221,19 +404,29 @@ impl<'a> Search<'a> {
         self.descend(depth + 1);
         self.lost -= loss;
         self.decided[v.index()] = false;
+        self.scratch[depth] = candidates;
     }
 }
 
 // `decided` lives outside the struct init for borrow simplicity.
 impl<'a> Search<'a> {
-    fn run(a: &'a Graph, b: &'a Graph, cfg: McsConfig, swapped: bool) -> McsResult {
+    fn run(a: &'a Graph, b: &'a Graph, cfg: McsConfig, swapped: bool, ub: usize) -> McsResult {
         let mut order: Vec<VertexId> = a.vertices().collect();
         // Decide high-degree vertices first: they constrain the most edges.
         order.sort_by_key(|&v| std::cmp::Reverse(a.degree(v)));
+        let mut buckets: Vec<(Label, Vec<VertexId>)> = Vec::new();
+        for t in b.vertices() {
+            let l = b.label(t);
+            match buckets.binary_search_by_key(&l, |e| e.0) {
+                Ok(i) => buckets[i].1.push(t),
+                Err(i) => buckets.insert(i, (l, vec![t])),
+            }
+        }
         let meter = BudgetMeter::new(&cfg.budget, Kernel::Mcs);
+        let depth_count = a.vertex_count() + 1;
+        let cc = CcForest::new(if cfg.connected { a.vertex_count() } else { 0 });
         let mut s = Search {
             a,
-            b,
             order,
             cfg,
             map: vec![UNMAPPED; a.vertex_count()],
@@ -245,6 +438,13 @@ impl<'a> Search<'a> {
             meter,
             swapped,
             decided: vec![false; a.vertex_count()],
+            abits: BitAdjacency::new(a),
+            bbits: BitAdjacency::new(b),
+            buckets,
+            ub,
+            proven: false,
+            scratch: vec![Vec::new(); depth_count],
+            cc,
         };
         s.descend(0);
         let mut pairs = s.best_pairs;
@@ -253,10 +453,17 @@ impl<'a> Search<'a> {
                 *p = (p.1, p.0);
             }
         }
+        // A search stopped because `best_edges` met the global upper bound
+        // holds a provably maximum common subgraph: the tag is Exact even
+        // if a budget limit also tripped along the way.
+        if s.best_edges >= s.ub {
+            s.meter.note_proven_exact();
+        }
+        let completeness = s.meter.status();
         McsResult {
             pairs,
             edges: s.best_edges,
-            completeness: s.meter.status(),
+            completeness,
         }
     }
 }
@@ -264,8 +471,8 @@ impl<'a> Search<'a> {
 /// Largest connected component (by edge count) of the common-edge subgraph
 /// induced by `pairs`. Returns `(edge_count, pairs in that component)`.
 fn largest_common_component(
-    a: &Graph,
-    b: &Graph,
+    a: &BitAdjacency,
+    b: &BitAdjacency,
     pairs: &[(VertexId, VertexId)],
 ) -> (usize, Vec<(VertexId, VertexId)>) {
     let k = pairs.len();
@@ -303,17 +510,36 @@ fn largest_common_component(
                 }
             }
         }
-        // Count edges inside the component.
-        let mut edges = 0;
-        for &x in &comp {
-            edges += adj[x].iter().filter(|y| comp.contains(y)).count();
-        }
-        edges /= 2;
+        // Every neighbor of a component member is in the same component,
+        // so the internal edge count is just half the degree sum.
+        let edges = comp.iter().map(|&x| adj[x].len()).sum::<usize>() / 2;
         if edges > best.0 {
             best = (edges, comp.iter().map(|&i| pairs[i]).collect());
         }
     }
     best
+}
+
+/// Upper bound on the common-edge count of any common subgraph of `g1` and
+/// `g2`: the size of the multiset intersection of their sorted edge labels
+/// (each common edge consumes one matching edge label on both sides),
+/// capped by both edge counts.
+pub fn common_edge_upper_bound(g1: &Graph, g2: &Graph) -> usize {
+    let la = g1.sorted_edge_labels();
+    let lb = g2.sorted_edge_labels();
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+    while i < la.len() && j < lb.len() {
+        match la[i].cmp(&lb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common
 }
 
 /// Compute the MCS (or MCCS, per `cfg.connected`) of `g1` and `g2`.
@@ -325,10 +551,28 @@ pub fn mcs(g1: &Graph, g2: &Graph, cfg: McsConfig) -> McsResult {
             completeness: Completeness::Exact,
         };
     }
-    if g1.vertex_count() <= g2.vertex_count() {
-        Search::run(g1, g2, cfg, false)
+    // Pre-filter: with no shared edge label no common edge exists, and a
+    // zero-edge MCS never records pairs — skip the search outright. This
+    // is exact (the bound is sound), so no meter is spun up. An
+    // effectively infinite bound disables both the short-circuit and the
+    // tightened potential below, restoring the reference search.
+    let ub = if cfg.pruning {
+        let ub = common_edge_upper_bound(g1, g2);
+        if ub == 0 {
+            return McsResult {
+                pairs: Vec::new(),
+                edges: 0,
+                completeness: Completeness::Exact,
+            };
+        }
+        ub
     } else {
-        Search::run(g2, g1, cfg, true)
+        usize::MAX
+    };
+    if g1.vertex_count() <= g2.vertex_count() {
+        Search::run(g1, g2, cfg, false, ub)
+    } else {
+        Search::run(g2, g1, cfg, true, ub)
     }
 }
 
@@ -353,6 +597,7 @@ pub fn mcs_similarity_tagged(
         McsConfig {
             connected: false,
             budget: budget.into(),
+            ..McsConfig::default()
         },
     )
 }
@@ -378,6 +623,7 @@ pub fn mccs_similarity_tagged(
         McsConfig {
             connected: true,
             budget: budget.into(),
+            ..McsConfig::default()
         },
     )
 }
@@ -496,6 +742,7 @@ mod tests {
             McsConfig {
                 connected: false,
                 budget: SearchBudget::nodes(5),
+                ..McsConfig::default()
             },
         );
         assert_eq!(r.completeness, Completeness::BudgetExhausted);
@@ -518,6 +765,7 @@ mod tests {
             McsConfig {
                 connected: false,
                 budget: SearchBudget::nodes(100_000_000),
+                ..McsConfig::default()
             },
         );
         assert!(default.is_exact() && generous.is_exact());
@@ -535,6 +783,7 @@ mod tests {
                 connected: false,
                 budget: SearchBudget::unbounded()
                     .with_deadline(Deadline::at(std::time::Instant::now())),
+                ..McsConfig::default()
             },
         );
         assert_eq!(r.completeness, Completeness::DeadlineExceeded);
@@ -549,6 +798,60 @@ mod tests {
         let (truncated_sim, c) = mcs_similarity_tagged(&g, &g, 5u64);
         assert_eq!(c, Completeness::BudgetExhausted);
         assert!(truncated_sim <= exact_sim);
+    }
+
+    #[test]
+    fn disjoint_edge_labels_are_exact_even_under_zero_budget() {
+        // a has only (0,0) edges, b only (1,1): the edge-label bound is 0,
+        // so no search is needed — exact, empty, regardless of budget.
+        let a = Graph::from_parts(&[l(0); 3], &[(0, 1), (1, 2)]);
+        let b = Graph::from_parts(&[l(1); 3], &[(0, 1), (1, 2)]);
+        assert_eq!(common_edge_upper_bound(&a, &b), 0);
+        let r = mcs(
+            &a,
+            &b,
+            McsConfig {
+                connected: false,
+                budget: SearchBudget::nodes(0),
+                ..McsConfig::default()
+            },
+        );
+        assert!(r.is_exact());
+        assert_eq!(r.edges, 0);
+        assert!(r.pairs.is_empty());
+    }
+
+    #[test]
+    fn upper_bound_counts_label_multiset_intersection() {
+        // a: two (0,0) edges + one (0,1); b: one (0,0) + one (0,1) + one (1,1).
+        let a = Graph::from_parts(&[l(0), l(0), l(0), l(1)], &[(0, 1), (1, 2), (2, 3)]);
+        let b = Graph::from_parts(&[l(0), l(0), l(1), l(1)], &[(0, 1), (1, 2), (2, 3)]);
+        // Intersection: one (0,0) + one (0,1) = 2.
+        assert_eq!(common_edge_upper_bound(&a, &b), 2);
+        let r = mcs(&a, &b, McsConfig::default());
+        assert!(r.is_exact());
+        assert_eq!(r.edges, 2);
+    }
+
+    #[test]
+    fn meeting_the_bound_short_circuits_to_exact() {
+        // Self-MCS of a large cycle: the greedy first descent reconstructs
+        // the identity mapping and meets the bound after ~n+1 probes. A
+        // budget far too small for the full tree still returns Exact,
+        // because best == upper bound proves optimality.
+        let g = cycle(12);
+        let r = mcs(
+            &g,
+            &g,
+            McsConfig {
+                connected: false,
+                budget: SearchBudget::nodes(40),
+                ..McsConfig::default()
+            },
+        );
+        assert!(r.is_exact(), "bound-met search must report Exact");
+        assert_eq!(r.edges, 12);
+        assert_eq!(r.pairs.len(), 12);
     }
 
     #[test]

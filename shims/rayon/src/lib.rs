@@ -12,9 +12,14 @@
 //!   spawns scoped threads that are always joined before the call
 //!   returns, so no thread ever outlives its borrowed data (and none can
 //!   leak).
-//! * **Contiguous index chunking** — the materialized input is split
-//!   into at most `pool_size` contiguous chunks, one scoped thread per
-//!   chunk.
+//! * **Lazy sequential fast path** — sources are held unmaterialized;
+//!   with one worker every consumer streams the source through a plain
+//!   `std` iterator chain, so `threads <= 1` pays zero per-item overhead
+//!   (no source `Vec`, no chunk bookkeeping). Only a genuinely parallel
+//!   run collects the source for chunking.
+//! * **Contiguous index chunking** — a parallel run's materialized input
+//!   is split into at most `pool_size` contiguous chunks, one scoped
+//!   thread per chunk.
 //! * **Order-preserving collection** — every consumer reassembles chunk
 //!   results in input-index order, so `map → collect` (and `filter`,
 //!   `sum`, `count`, …) return byte-identical results regardless of
@@ -110,12 +115,53 @@ pub fn current_threads() -> usize {
         n => n,
     };
     if configured == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        auto_threads()
     } else {
         configured
     }
+}
+
+/// `available_parallelism()`, resolved once per process. The raw call is
+/// a syscall (`sched_getaffinity` on Linux); paying it on every fan-out
+/// made auto mode measurably slower than a pinned pool on workloads with
+/// thousands of small parallel calls (the mining support-count loop).
+/// Real rayon also sizes its global pool exactly once.
+fn auto_threads() -> usize {
+    static AUTO: AtomicUsize = AtomicUsize::new(0);
+    match AUTO.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            AUTO.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Run the composed pipeline `f` over a *lazy* source and return the
+/// surviving outputs **in input order**.
+///
+/// With one worker this streams the source through a plain sequential
+/// loop — no materialization, no chunk bookkeeping, no allocation beyond
+/// the output itself. Only a genuinely parallel run pays to collect the
+/// source into a `Vec` for chunking.
+fn run_lazy<I, U, F>(source: I, f: F) -> Vec<U>
+where
+    I: IntoIterator,
+    I::Item: Send,
+    U: Send,
+    F: Fn(usize, I::Item) -> Option<U> + Sync,
+{
+    if current_threads() <= 1 {
+        return source
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, x)| f(i, x))
+            .collect();
+    }
+    run_ordered(source.into_iter().collect(), f)
 }
 
 /// Run the composed pipeline `f` over `items` and return the surviving
@@ -223,13 +269,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// synchronized and commutative (atomics), so an item abandoned mid-flight
 /// leaves no torn invariants behind — at worst its side-effect counters
 /// recorded partially, which supervised call sites must tolerate.
-fn run_isolated_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<Result<U, ItemPanic>>
+fn run_isolated_ordered<I, U, F>(source: I, f: F) -> Vec<Result<U, ItemPanic>>
 where
-    T: Send,
+    I: IntoIterator,
+    I::Item: Send,
     U: Send,
-    F: Fn(usize, T) -> Option<U> + Sync,
+    F: Fn(usize, I::Item) -> Option<U> + Sync,
 {
-    run_ordered(items, move |i, x| {
+    run_lazy(source, move |i, x| {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, x))) {
             Ok(Some(out)) => Some(Ok(out)),
             Ok(None) => None,
@@ -271,7 +318,7 @@ where
 
 /// Drop-in traits and iterator types mirroring `rayon::prelude`.
 pub mod prelude {
-    use super::run_ordered;
+    use super::run_lazy;
     use std::fmt;
 
     /// One composed per-item stage pipeline: maps a source item (plus its
@@ -403,109 +450,126 @@ pub mod prelude {
         }
     }
 
-    /// A parallel iterator: a materialized source plus a composed
-    /// per-item stage pipeline. Consumers ([`ParIter::collect`],
-    /// [`ParIter::count`], [`ParIter::sum`], [`ParIter::for_each`]) fan
-    /// the items out over scoped threads in contiguous index chunks and
+    /// A parallel iterator: a **lazy** source plus a composed per-item
+    /// stage pipeline. Consumers ([`ParIter::collect`],
+    /// [`ParIter::count`], [`ParIter::sum`], [`ParIter::for_each`])
+    /// stream the source through a plain sequential loop when one worker
+    /// is configured, and only materialize it for chunked fan-out when a
+    /// run is genuinely parallel — so `threads <= 1` pays zero per-item
+    /// overhead over the equivalent `std` iterator chain. Parallel runs
     /// reassemble results in input order.
-    pub struct ParIter<T, P> {
-        items: Vec<T>,
+    pub struct ParIter<I, P> {
+        source: I,
         pipe: P,
     }
 
-    impl<T, P: fmt::Debug> fmt::Debug for ParIter<T, P> {
+    impl<I, P: fmt::Debug> fmt::Debug for ParIter<I, P> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.debug_struct("ParIter")
-                .field("len", &self.items.len())
                 .field("pipe", &self.pipe)
-                .finish()
+                .finish_non_exhaustive()
         }
     }
 
-    impl<T: Send> ParIter<T, Identity> {
-        /// Wrap already-materialized source items.
-        pub fn new(items: Vec<T>) -> Self {
+    impl<I> ParIter<I, Identity>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        /// Wrap a source collection (or any lazy iterable).
+        pub fn new(source: I) -> Self {
             ParIter {
-                items,
+                source,
                 pipe: Identity,
             }
         }
     }
 
-    impl<T, P> ParIter<T, P>
+    impl<I, P> ParIter<I, P>
     where
-        T: Send,
-        P: ParPipe<T>,
+        I: IntoIterator,
+        I::Item: Send,
+        P: ParPipe<I::Item>,
     {
         /// Transform each item.
-        pub fn map<U, G>(self, g: G) -> ParIter<T, MapPipe<P, G>>
+        pub fn map<U, G>(self, g: G) -> ParIter<I, MapPipe<P, G>>
         where
             U: Send,
             G: Fn(P::Out) -> U + Sync,
         {
-            let ParIter { items, pipe } = self;
+            let ParIter { source, pipe } = self;
             ParIter {
-                items,
+                source,
                 pipe: MapPipe { inner: pipe, g },
             }
         }
 
         /// Keep only items satisfying `pred`.
-        pub fn filter<G>(self, pred: G) -> ParIter<T, FilterPipe<P, G>>
+        pub fn filter<G>(self, pred: G) -> ParIter<I, FilterPipe<P, G>>
         where
             G: Fn(&P::Out) -> bool + Sync,
         {
-            let ParIter { items, pipe } = self;
+            let ParIter { source, pipe } = self;
             ParIter {
-                items,
+                source,
                 pipe: FilterPipe { inner: pipe, pred },
             }
         }
 
         /// Copy referenced items out (`Iterator::copied`).
-        pub fn copied<'a, U>(self) -> ParIter<T, CopiedPipe<P>>
+        pub fn copied<'a, U>(self) -> ParIter<I, CopiedPipe<P>>
         where
-            P: ParPipe<T, Out = &'a U>,
+            P: ParPipe<I::Item, Out = &'a U>,
             U: Copy + Send + Sync + 'a,
         {
-            let ParIter { items, pipe } = self;
+            let ParIter { source, pipe } = self;
             ParIter {
-                items,
+                source,
                 pipe: CopiedPipe { inner: pipe },
             }
         }
 
         /// Clone referenced items out (`Iterator::cloned`).
-        pub fn cloned<'a, U>(self) -> ParIter<T, ClonedPipe<P>>
+        pub fn cloned<'a, U>(self) -> ParIter<I, ClonedPipe<P>>
         where
-            P: ParPipe<T, Out = &'a U>,
+            P: ParPipe<I::Item, Out = &'a U>,
             U: Clone + Send + Sync + 'a,
         {
-            let ParIter { items, pipe } = self;
+            let ParIter { source, pipe } = self;
             ParIter {
-                items,
+                source,
                 pipe: ClonedPipe { inner: pipe },
             }
         }
 
         /// Pair each item with its source index (see [`EnumeratePipe`]).
-        pub fn enumerate(self) -> ParIter<T, EnumeratePipe<P>> {
-            let ParIter { items, pipe } = self;
+        pub fn enumerate(self) -> ParIter<I, EnumeratePipe<P>> {
+            let ParIter { source, pipe } = self;
             ParIter {
-                items,
+                source,
                 pipe: EnumeratePipe { inner: pipe },
             }
         }
 
-        /// Execute the pipeline, returning outputs in input order.
-        fn drive(self) -> Vec<P::Out> {
-            let pipe = self.pipe;
-            run_ordered(self.items, move |i, x| pipe.apply(i, x))
+        /// Stream the pipeline on the calling thread (the `threads <= 1`
+        /// fast path shared by every consumer below).
+        fn stream(self) -> impl Iterator<Item = P::Out> {
+            let ParIter { source, pipe } = self;
+            source
+                .into_iter()
+                .enumerate()
+                .filter_map(move |(i, x)| pipe.apply(i, x))
         }
 
         /// Collect outputs in input order.
         pub fn collect<C: FromIterator<P::Out>>(self) -> C {
-            self.drive().into_iter().collect()
+            if super::current_threads() <= 1 {
+                return self.stream().collect();
+            }
+            let ParIter { source, pipe } = self;
+            run_lazy(source, move |i, x| pipe.apply(i, x))
+                .into_iter()
+                .collect()
         }
 
         /// Collect outputs in input order with **per-item panic
@@ -518,19 +582,28 @@ pub mod prelude {
         /// (exactly as with [`ParIter::collect`]); for map-only pipelines
         /// the output is index-aligned with the input.
         pub fn collect_isolated(self) -> Vec<Result<P::Out, super::ItemPanic>> {
-            let pipe = self.pipe;
-            super::run_isolated_ordered(self.items, move |i, x| pipe.apply(i, x))
+            let ParIter { source, pipe } = self;
+            super::run_isolated_ordered(source, move |i, x| pipe.apply(i, x))
         }
 
         /// Count surviving outputs.
         pub fn count(self) -> usize {
-            let pipe = self.pipe;
-            run_ordered(self.items, move |i, x| pipe.apply(i, x).map(|_| ())).len()
+            if super::current_threads() <= 1 {
+                return self.stream().count();
+            }
+            let ParIter { source, pipe } = self;
+            run_lazy(source, move |i, x| pipe.apply(i, x).map(|_| ())).len()
         }
 
         /// Sum outputs **in input order** (deterministic for floats).
         pub fn sum<S: std::iter::Sum<P::Out>>(self) -> S {
-            self.drive().into_iter().sum()
+            if super::current_threads() <= 1 {
+                return self.stream().sum();
+            }
+            let ParIter { source, pipe } = self;
+            run_lazy(source, move |i, x| pipe.apply(i, x))
+                .into_iter()
+                .sum()
         }
 
         /// Run `g` on every output (ordering of side effects is
@@ -539,8 +612,11 @@ pub mod prelude {
         where
             G: Fn(P::Out) + Sync,
         {
-            let pipe = self.pipe;
-            run_ordered(self.items, move |i, x| {
+            if super::current_threads() <= 1 {
+                return self.stream().for_each(g);
+            }
+            let ParIter { source, pipe } = self;
+            run_lazy(source, move |i, x| {
                 if let Some(out) = pipe.apply(i, x) {
                     g(out);
                 }
@@ -550,29 +626,30 @@ pub mod prelude {
     }
 
     /// Parallel stand-in for `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// Item type.
-        type Item: Send;
-        /// Consume `self` into a parallel iterator.
-        fn into_par_iter(self) -> ParIter<Self::Item, Identity>;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I
+    ///
+    /// Blanket-implemented for every `IntoIterator` with `Send` items;
+    /// the source is handed to [`ParIter`] *lazily* — nothing is
+    /// materialized until a consumer decides it actually fans out.
+    pub trait IntoParallelIterator: IntoIterator + Sized
     where
-        I::Item: Send,
+        Self::Item: Send,
     {
-        type Item = I::Item;
-        fn into_par_iter(self) -> ParIter<I::Item, Identity> {
-            ParIter::new(self.into_iter().collect())
+        /// Consume `self` into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self, Identity> {
+            ParIter::new(self)
         }
     }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I where I::Item: Send {}
 
     /// Parallel stand-in for `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'a> {
         /// Item type (a reference into `self`).
         type Item: Send + 'a;
+        /// The lazy borrowing source handed to [`ParIter`].
+        type Source: IntoIterator<Item = Self::Item>;
         /// Iterate `&self` in parallel.
-        fn par_iter(&'a self) -> ParIter<Self::Item, Identity>;
+        fn par_iter(&'a self) -> ParIter<Self::Source, Identity>;
     }
 
     impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
@@ -581,8 +658,9 @@ pub mod prelude {
         <&'a C as IntoIterator>::Item: Send,
     {
         type Item = <&'a C as IntoIterator>::Item;
-        fn par_iter(&'a self) -> ParIter<Self::Item, Identity> {
-            ParIter::new(self.into_iter().collect())
+        type Source = &'a C;
+        fn par_iter(&'a self) -> ParIter<&'a C, Identity> {
+            ParIter::new(self)
         }
     }
 
@@ -590,12 +668,12 @@ pub mod prelude {
     pub trait ParallelSlice<T: Sync> {
         /// Parallel iterator over contiguous `chunk_size`-sized windows
         /// (the last chunk may be shorter). `chunk_size` must be > 0.
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T], Identity>;
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>, Identity>;
     }
 
     impl<T: Sync> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T], Identity> {
-            ParIter::new(self.chunks(chunk_size.max(1)).collect())
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>, Identity> {
+            ParIter::new(self.chunks(chunk_size.max(1)))
         }
     }
 }

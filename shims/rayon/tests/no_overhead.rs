@@ -1,0 +1,127 @@
+//! Regression test for the sequential fast path: with `threads <= 1`,
+//! the shim's parallel iterators must stream their source lazily — no
+//! materialized source `Vec`, no chunk bookkeeping — so a one-worker
+//! "fan-out" costs exactly what the equivalent `std` iterator chain
+//! does. A byte-counting global allocator makes the overhead visible:
+//! the eager shim allocated the whole source (and, for `sum`/`count`,
+//! the whole output) per call, which is what the recorded
+//! `speedup: 0.744` mining regression on a 1-core host came from.
+//!
+//! `unsafe` is required by the `GlobalAlloc` contract (the impl only
+//! delegates to `System`).
+
+#![allow(unsafe_code)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use rayon::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Run `f` and return how many bytes of allocations it requested.
+fn bytes_in(f: impl FnOnce()) -> u64 {
+    let before = BYTES.load(Ordering::Relaxed);
+    f();
+    BYTES.load(Ordering::Relaxed) - before
+}
+
+/// `set_threads` is process-global; tests that flip it serialize here.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn with_one_thread<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::set_threads(1);
+    let r = f();
+    rayon::set_threads(0);
+    r
+}
+
+const N: u64 = 100_000;
+
+#[test]
+fn streaming_consumers_allocate_nothing_at_one_thread() {
+    with_one_thread(|| {
+        let data: Vec<u64> = (0..N).collect();
+        let bytes = bytes_in(|| {
+            let s: u64 = data.par_iter().map(|&x| x * 2).sum();
+            std::hint::black_box(s);
+            let n = data.par_iter().filter(|&&x| x % 2 == 0).count();
+            std::hint::black_box(n);
+            (0..N).into_par_iter().for_each(|x| {
+                std::hint::black_box(x);
+            });
+        });
+        assert_eq!(
+            bytes, 0,
+            "sequential sum/count/for_each must not allocate (got {bytes} bytes)"
+        );
+    });
+}
+
+#[test]
+fn sequential_collect_costs_no_more_than_the_std_chain() {
+    with_one_thread(|| {
+        let data: Vec<u64> = (0..N).collect();
+        // The shape the shim's fast path streams through: enumerate +
+        // filter_map + collect. The chain is deliberately this shape (not
+        // a plain `map`) so std cannot use its TrustedLen exact-size
+        // collect — the budget must reflect the same grow-as-you-go
+        // pattern the streaming path pays. An eagerly materialized source
+        // would add at least `N * size_of::<&u64>()` on top.
+        #[allow(clippy::unnecessary_filter_map, clippy::unused_enumerate_index)]
+        let std_bytes = bytes_in(|| {
+            let v: Vec<u64> = data
+                .iter()
+                .enumerate()
+                .filter_map(|(_, &x)| Some(x * 2))
+                .collect();
+            std::hint::black_box(&v);
+        });
+        let par_bytes = bytes_in(|| {
+            let v: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+            std::hint::black_box(&v);
+        });
+        assert!(
+            par_bytes <= std_bytes + 64,
+            "one-thread collect must match the std chain: par {par_bytes} vs std {std_bytes}"
+        );
+    });
+}
+
+#[test]
+fn lazy_source_results_match_parallel_results() {
+    let data: Vec<u64> = (0..1000).collect();
+    let expect: Vec<u64> = data.iter().map(|&x| x * 3 + 1).collect();
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    for threads in [1, 2, 8] {
+        rayon::set_threads(threads);
+        let got: Vec<u64> = data.par_iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(got, expect, "threads={threads}");
+        let total: u64 = data.par_iter().map(|&x| x * 3 + 1).sum();
+        assert_eq!(total, expect.iter().sum::<u64>(), "threads={threads}");
+    }
+    rayon::set_threads(0);
+}

@@ -139,7 +139,7 @@ proptest! {
 
     #[test]
     fn mccs_result_is_connected_common_subgraph(a in graph_strategy(6, 2), b in graph_strategy(6, 2)) {
-        let r = mcs(&a, &b, McsConfig { connected: true, budget: SearchBudget::nodes(100_000) });
+        let r = mcs(&a, &b, McsConfig { connected: true, budget: SearchBudget::nodes(100_000), ..McsConfig::default() });
         // Build the common subgraph from the pairs and check connectivity.
         if !r.pairs.is_empty() {
             let mut sub = Graph::new();

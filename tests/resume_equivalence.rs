@@ -184,6 +184,147 @@ fn interrupted_then_resumed_equals_uninterrupted() {
     rayon::set_threads(0);
 }
 
+/// The fine-stage similarity cache is part of the checkpoint (schema v2):
+/// a run crashed mid-fine-clustering resumes with the memoized class-pair
+/// entries it already computed. Cold, crashed and resumed runs must agree
+/// on clusters and the kernel tally exactly, and the cache-miss counters
+/// must prove the resumed run *reused* persisted entries instead of
+/// recomputing the whole matrix.
+#[test]
+fn fine_cache_resumed_mid_split_matches_cold_recompute() {
+    use catapult::cluster::fine::{fine_cluster_audited, fine_cluster_resumable, FineConfig};
+    use catapult::graph::SearchBudget;
+    use catapult_ckpt::{Fingerprint, StageStore};
+    use catapult_obs::Recorder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let _guard = SERIAL.lock().unwrap();
+    pfault::clear();
+    rayon::set_threads(1);
+
+    // Duplicated isomorphism classes (3 ring shapes × 4 copies, 3 chain
+    // label patterns × 4 copies) make the memoization non-trivial: far
+    // fewer class pairs than member pairs.
+    let mut db = Vec::new();
+    for i in 0..12u32 {
+        db.push(ring(5 + i % 3, 0));
+        db.push(chain(6, &[0, i % 3]));
+    }
+    let all: Vec<u32> = (0..u32::try_from(db.len()).unwrap()).collect();
+    let fp = Fingerprint {
+        dataset_hash: 77,
+        config_hash: 78,
+        eta_min: 1,
+        eta_max: 9,
+        gamma: 9,
+    };
+    let fine_with_probe = |rec: &Recorder| FineConfig {
+        max_cluster_size: 4,
+        budget: SearchBudget::unbounded().with_probe(rec.stage_probe("fine")),
+        ..Default::default()
+    };
+    let misses = |rec: &Recorder| {
+        rec.snapshot()
+            .map_or(0, |s| s.stage_metric_total("fine", "cache_misses"))
+    };
+
+    // Cold baseline: every class pair computed exactly once.
+    let cold_rec = Recorder::enabled();
+    let cold = fine_cluster_audited(
+        &db,
+        vec![all.clone()],
+        &fine_with_probe(&cold_rec),
+        &mut StdRng::seed_from_u64(41),
+    );
+    let cold_misses = misses(&cold_rec);
+    assert!(cold_misses > 0, "workload must exercise the cache");
+
+    // How many checkpoint writes the fine stage performs, so the crash
+    // can land late — after most of the cache has been persisted.
+    let dir = fresh_dir("fine-cache");
+    let count_cfg = {
+        let mut c = ckpt_cfg(&dir, false);
+        c.chunk_pairs = 4;
+        c
+    };
+    pfault::install(PersistFaultPlan {
+        kind: PersistFaultKind::Crash,
+        at: u64::MAX,
+    });
+    let store = StageStore::open(&count_cfg, fp, Recorder::disabled()).unwrap();
+    fine_cluster_resumable(
+        &db,
+        vec![all.clone()],
+        &fine_with_probe(&Recorder::disabled()),
+        &mut StdRng::seed_from_u64(41),
+        &store,
+    )
+    .unwrap();
+    let writes = pfault::writes();
+    assert!(
+        writes >= 4,
+        "expected a multi-write fine stage, got {writes}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Crash at the second-to-last write, then resume.
+    pfault::clear();
+    pfault::install(PersistFaultPlan {
+        kind: PersistFaultKind::Crash,
+        at: writes - 1,
+    });
+    let crash_rec = Recorder::enabled();
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        let store = StageStore::open(&count_cfg, fp, Recorder::disabled()).unwrap();
+        fine_cluster_resumable(
+            &db,
+            vec![all.clone()],
+            &fine_with_probe(&crash_rec),
+            &mut StdRng::seed_from_u64(41),
+            &store,
+        )
+    }));
+    pfault::clear();
+    let payload = crashed.expect_err("crash fault must fire mid-fine");
+    assert_eq!(
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+        CRASH_PAYLOAD,
+        "foreign panic"
+    );
+
+    let resume_rec = Recorder::enabled();
+    let resumed_store = StageStore::open(&ckpt_cfg(&dir, true), fp, Recorder::disabled()).unwrap();
+    let resumed = fine_cluster_resumable(
+        &db,
+        vec![all],
+        &fine_with_probe(&resume_rec),
+        &mut StdRng::seed_from_u64(41),
+        &resumed_store,
+    )
+    .unwrap();
+
+    assert_eq!(resumed.clusters, cold.clusters, "resume diverged from cold");
+    assert_eq!(resumed.kernel, cold.kernel, "kernel tally diverged");
+    // The resumed half recomputed only what the crash lost: strictly
+    // fewer misses than a cold run, and the crashed + resumed halves
+    // cover at least every class pair the cold run computed.
+    let resumed_misses = misses(&resume_rec);
+    assert!(
+        resumed_misses < cold_misses,
+        "resume must reuse persisted cache entries ({resumed_misses} vs cold {cold_misses})"
+    );
+    assert!(
+        misses(&crash_rec) + resumed_misses >= cold_misses,
+        "both halves together must cover the full matrix"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    rayon::set_threads(0);
+}
+
 /// Killing the process *between* stages (simulated by deleting the
 /// later stage files a finished run wrote) resumes from the surviving
 /// prefix and still reproduces the uninterrupted digest.

@@ -217,6 +217,7 @@ fn molecule_generator_feeds_all_substrates() {
             McsConfig {
                 connected: true,
                 budget: SearchBudget::nodes(5_000),
+                ..McsConfig::default()
             },
         );
         assert!(m.edges <= a.edge_count().min(b.edge_count()));
