@@ -73,6 +73,25 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+    // The checked-in baseline was produced on a 1-core host, where the
+    // pool degenerates to sequential execution and every speedup is ~1x.
+    // Make sure nobody quotes (or diffs) those numbers against a
+    // multi-core run without noticing.
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host == 1 {
+        catapult_obs::warn(format!(
+            "{out} was measured on a single-core host: speedups are ~1x by \
+             construction and the wall-clock numbers are NOT comparable to \
+             other hosts (cargo xtask bench-diff refuses such comparisons \
+             without --allow-cross-host)"
+        ));
+    } else {
+        catapult_obs::warn(format!(
+            "wall-clock numbers in {out} are specific to this host \
+             ({host} threads); compare across hosts only via \
+             `cargo xtask bench-diff --allow-cross-host`"
+        ));
+    }
 
     if let Some(path) = metrics_out {
         let mut m = RunManifest::new("bench_parallel");

@@ -229,13 +229,12 @@ pub fn run_recorded(scale: usize, reps: usize, recorder: &Recorder) -> Vec<Kerne
 /// Hand-rolled JSON (the workspace has no serde): stable key order, one
 /// entry per kernel variant.
 pub fn to_json(benches: &[KernelBench]) -> String {
-    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"schema_version\": {},\n",
         catapult_obs::SCHEMA_VERSION
     ));
-    s.push_str(&format!("  \"host_threads\": {host},\n"));
+    s.push_str(&crate::host_fingerprint_json());
     s.push_str(&format!("  \"warmup_reps\": {WARMUP_REPS},\n"));
     s.push_str(&format!("  \"pair_budget_nodes\": {PAIR_BUDGET},\n"));
     s.push_str("  \"entries\": [\n");

@@ -150,13 +150,12 @@ pub fn run_recorded(scale: usize, reps: usize, recorder: &Recorder) -> Vec<Paral
 /// Hand-rolled JSON (the workspace has no serde): stable key order, one
 /// entry per workload.
 pub fn to_json(benches: &[ParallelBench]) -> String {
-    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"schema_version\": {},\n",
         catapult_obs::SCHEMA_VERSION
     ));
-    s.push_str(&format!("  \"host_threads\": {host},\n"));
+    s.push_str(&crate::host_fingerprint_json());
     s.push_str("  \"entries\": [\n");
     for (i, b) in benches.iter().enumerate() {
         s.push_str(&format!(

@@ -64,7 +64,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "metric-name",
-        summary: "recorder metrics follow stage.kernel.metric",
+        summary:
+            "metric/flight-event names follow stage.kernel.metric; no raw eprintln in pipeline code",
     },
     RuleInfo {
         name: "raw-instant",
@@ -203,7 +204,15 @@ pub fn check_file(
     }
     let obs_scope = !rel.starts_with("crates/obs/") && !rel.starts_with("shims/");
     if on("metric-name") && obs_scope {
-        metric_name(f, out);
+        // CLI-style binaries (`/bin/`), xtask, and catalint itself talk
+        // to a terminal on purpose; the eprintln ban covers library
+        // pipeline code only, where stderr output should flow through
+        // `catapult_obs::warn` / the progress meter.
+        let forbid_eprintln = is_library_src(rel)
+            && !rel.contains("/bin/")
+            && !rel.starts_with("crates/xtask/")
+            && !rel.starts_with("crates/catalint/");
+        metric_name(f, forbid_eprintln, out);
     }
     if on("raw-instant") && obs_scope {
         raw_instant(f, out);
@@ -526,34 +535,65 @@ fn no_raw_spawn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Rule `metric-name`: literal names registered on a `Recorder` follow
-/// `stage.kernel.metric` (≥ 3 lowercase dot-separated segments).
-fn metric_name(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+/// Rule `metric-name`: literal names registered on a `Recorder`
+/// (`.counter("…")` / `.histogram("…")`) or logged to the flight
+/// recorder (`flight::event("…", …)`) follow `stage.kernel.metric`
+/// (≥ 3 lowercase dot-separated segments). When `forbid_eprintln` is
+/// set (library pipeline code), raw `eprintln!` also fires: ad-hoc
+/// stderr output bypasses both the flight recorder and the `--progress`
+/// meter — route it through `catapult_obs::warn` instead.
+fn metric_name(f: &SourceFile, forbid_eprintln: bool, out: &mut Vec<Diagnostic>) {
     for ci in 0..f.n_code() {
-        if f.in_test(ci) || !f.is_punct(ci, ".") {
+        if f.in_test(ci) {
             continue;
         }
-        if !(f.is_ident(ci + 1, "counter") || f.is_ident(ci + 1, "histogram")) {
-            continue;
-        }
-        if !f.is_punct(ci + 2, "(") || ci + 3 >= f.n_code() || f.ckind(ci + 3) != TokenKind::StrLit
+        if f.is_punct(ci, ".")
+            && (f.is_ident(ci + 1, "counter") || f.is_ident(ci + 1, "histogram"))
+            && f.is_punct(ci + 2, "(")
+            && ci + 3 < f.n_code()
+            && f.ckind(ci + 3) == TokenKind::StrLit
         {
-            continue;
+            check_metric_literal(f, ci + 3, out);
         }
-        let lit = f.ctext(ci + 3);
-        let name = lit.trim_matches(|c| c == '"' || c == '#' || c == 'r' || c == 'b');
-        if !valid_metric_name(name) {
+        if f.is_ident(ci, "flight")
+            && f.is_punct(ci + 1, "::")
+            && f.is_ident(ci + 2, "event")
+            && f.is_punct(ci + 3, "(")
+            && ci + 4 < f.n_code()
+            && f.ckind(ci + 4) == TokenKind::StrLit
+        {
+            check_metric_literal(f, ci + 4, out);
+        }
+        if forbid_eprintln && f.is_ident(ci, "eprintln") && f.is_punct(ci + 1, "!") {
             emit(
                 f,
-                ci + 3,
+                ci,
                 "metric-name",
-                format!(
-                    "metric name `{name}` violates the `stage.kernel.metric` \
-                     convention (>= 3 lowercase dot-separated segments)"
-                ),
+                "raw `eprintln!` in pipeline code bypasses the flight recorder \
+                 and the `--progress` meter; use `catapult_obs::warn` (or a \
+                 counter/flight event), or annotate `// xtask-allow: metric-name`"
+                    .into(),
                 out,
             );
         }
+    }
+}
+
+/// Shared literal check for recorder metrics and flight event names.
+fn check_metric_literal(f: &SourceFile, ci: usize, out: &mut Vec<Diagnostic>) {
+    let lit = f.ctext(ci);
+    let name = lit.trim_matches(|c| c == '"' || c == '#' || c == 'r' || c == 'b');
+    if !valid_metric_name(name) {
+        emit(
+            f,
+            ci,
+            "metric-name",
+            format!(
+                "metric name `{name}` violates the `stage.kernel.metric` \
+                 convention (>= 3 lowercase dot-separated segments)"
+            ),
+            out,
+        );
     }
 }
 

@@ -2,8 +2,11 @@
 fn record(rec: &mut Recorder) {
     rec.counter("mining.iso.calls").incr(1);
     rec.histogram("scoring.greedy.probes_per_call").record(2);
+    flight::event("flight.span.open", "mining", 1);
+    catapult_obs::warn("the blessed stderr path");
     let doc = ".counter(\"bad\")"; // a string, not a call
-    let _ = doc;
+    let msg = "eprintln!(\"fake\")"; // a string, not a macro call
+    let _ = (doc, msg);
 }
 
 struct Recorder;

@@ -322,6 +322,11 @@ impl StageStore {
             match write_once(&tmp, &path, &image) {
                 Ok(()) => {
                     self.recorder.counter("ckpt.store.write").incr();
+                    catapult_obs::flight::event(
+                        "flight.ckpt.write",
+                        catapult_obs::flight::interned(stage),
+                        seq,
+                    );
                     return Ok(());
                 }
                 Err(_) if attempt < attempts => {
@@ -369,14 +374,19 @@ impl StageStore {
         match decode_file(&path, &raw, stage, self.fp) {
             Ok((seq, payload)) => {
                 self.recorder.counter("ckpt.store.load").incr();
+                catapult_obs::flight::event(
+                    "flight.ckpt.load",
+                    catapult_obs::flight::interned(stage),
+                    seq,
+                );
                 Ok(Some((seq, payload)))
             }
             Err(Verdict::Corrupt(detail)) => {
                 self.recorder.counter("ckpt.store.reject").incr();
-                eprintln!(
-                    "warning: discarding corrupt checkpoint {}: {detail}; recomputing stage `{stage}`",
+                catapult_obs::warn(format!(
+                    "discarding corrupt checkpoint {}: {detail}; recomputing stage `{stage}`",
                     path.display()
-                );
+                ));
                 // Best-effort removal; a fresh save overwrites it anyway.
                 std::fs::remove_file(&path).ok();
                 Ok(None)

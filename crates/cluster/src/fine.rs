@@ -487,10 +487,10 @@ pub(crate) fn fine_inner<R: SnapRng>(
                 Err(e) => {
                     // Checksummed but undecodable: schema drift within a
                     // version. Recomputing is safe; reusing is not.
-                    eprintln!(
-                        "warning: discarding undecodable fine checkpoint ({e}); \
+                    catapult_obs::warn(format!(
+                        "discarding undecodable fine checkpoint ({e}); \
                          recomputing stage `fine`"
-                    );
+                    ));
                     st.discard("fine")?;
                 }
             }
@@ -505,6 +505,16 @@ pub(crate) fn fine_inner<R: SnapRng>(
             }
         }
     }
+    // Progress accounting (`--progress` ETA): each cluster in the queue
+    // is one item; a split retires its input and enqueues its halves, so
+    // the total grows by the extra pieces as the run discovers them.
+    let items = &cfg.budget.probe;
+    items.add(
+        "items",
+        "total",
+        (done.len() + work.len() + usize::from(current.is_some())) as u64,
+    );
+    items.add("items", "done", done.len() as u64);
     let chunk = store.map_or(usize::MAX, StageStore::chunk_pairs);
     // Memoized similarity matrix, shared across every split this run
     // performs and — through the checkpoint — across resumes, so no
@@ -553,6 +563,7 @@ pub(crate) fn fine_inner<R: SnapRng>(
             )
         })?;
         let cluster_len = progress.cluster.len();
+        let (work_before, done_before) = (work.len(), done.len());
         for mut c in [c1, c2] {
             if c.len() == cluster_len {
                 // Degenerate split (all graphs identical): halve by index.
@@ -572,6 +583,11 @@ pub(crate) fn fine_inner<R: SnapRng>(
                 done.push(c);
             }
         }
+        // One input retired, `pushed` pieces enqueued: the known total
+        // grows by the difference, and finished pieces count as done.
+        let pushed = (work.len() - work_before) + (done.len() - done_before);
+        items.add("items", "total", pushed.saturating_sub(1) as u64);
+        items.add("items", "done", (done.len() - done_before) as u64);
         write_state(
             store,
             &mut seq,

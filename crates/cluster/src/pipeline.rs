@@ -164,6 +164,11 @@ fn mine_features<R: Rng>(
             let tally = Tally::new();
             let min_count = ((cfg.miner.min_support * db.len() as f64).ceil() as usize).max(1);
             let mut confirmed = Vec::new();
+            // Progress accounting (`--progress` ETA): one item per
+            // candidate subtree recounted on the full database.
+            search
+                .probe
+                .add("items", "total", mined.subtrees.len() as u64);
             for t in mined.subtrees {
                 let txs: Vec<u32> = (0..db.len() as u32)
                     .filter(|&i| {
@@ -178,6 +183,7 @@ fn mine_features<R: Rng>(
                         ..t
                     });
                 }
+                search.probe.add("items", "done", 1);
             }
             (confirmed, mined.kernel.merge(tally.counts()))
         }
@@ -216,7 +222,9 @@ fn discard_undecodable(
     stage: &str,
     err: &dyn std::fmt::Display,
 ) -> Result<(), CkptError> {
-    eprintln!("warning: discarding undecodable {stage} checkpoint ({err}); recomputing");
+    catapult_obs::warn(format!(
+        "discarding undecodable {stage} checkpoint ({err}); recomputing"
+    ));
     st.discard(stage)
 }
 

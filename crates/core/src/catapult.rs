@@ -205,7 +205,9 @@ fn load_stage<T>(
     match decode(&payload) {
         Ok(v) => Ok(Some(v)),
         Err(e) => {
-            eprintln!("warning: discarding undecodable {stage} checkpoint ({e}); recomputing");
+            catapult_obs::warn(format!(
+                "discarding undecodable {stage} checkpoint ({e}); recomputing"
+            ));
             st.discard(stage)?;
             Ok(None)
         }

@@ -122,6 +122,13 @@ pub fn find_canned_patterns<R: Rng>(
     let iterations = cfg.recorder.counter("scoring.greedy.iterations");
     let candidates_seen = cfg.recorder.counter("scoring.greedy.candidates");
     let budget = cfg.budget.clone();
+    // Progress accounting (`--progress` ETA): γ slots to fill, one done
+    // per selected pattern. The greedy loop may stop early (exhausted
+    // candidates), so done ≤ total is a bound, not a promise.
+    let items_done = cfg.recorder.counter("selection.items.done");
+    cfg.recorder
+        .counter("selection.items.total")
+        .add(budget.gamma() as u64);
     let mut elw = EdgeLabelWeights::new(EdgeLabelStats::from_graphs(db));
     let mut cw = ClusterWeights::new(csgs, db.len());
     let index = EdgeLabelIndex::build(db);
@@ -244,6 +251,7 @@ pub fn find_canned_patterns<R: Rng>(
             score: best_score,
             source_csg,
         });
+        items_done.incr();
     }
 
     SelectionResult {

@@ -54,12 +54,23 @@ impl WorkloadEvaluation {
         recorder: &catapult_obs::Recorder,
     ) -> Self {
         let _span = recorder.span("evaluate");
+        // Progress accounting (`--progress` ETA): one item per query.
+        // `Counter` is an atomic cell, so bumping it from the parallel
+        // map is commutative and cannot perturb the ordered results.
+        let items_done = recorder.counter("evaluate.items.done");
+        recorder
+            .counter("evaluate.items.total")
+            .add(queries.len() as u64);
         // Parallel audit: `formulate` is a pure function of its arguments
         // and the shim collects in input order, so `formulations[i]` always
         // belongs to `queries[i]` regardless of thread count.
         let formulations: Vec<Formulation> = queries
             .par_iter()
-            .map(|q| formulate(q, patterns, DEFAULT_EMBEDDING_CAP))
+            .map(|q| {
+                let f = formulate(q, patterns, DEFAULT_EMBEDDING_CAP);
+                items_done.incr();
+                f
+            })
             .collect();
         if recorder.is_enabled() {
             recorder

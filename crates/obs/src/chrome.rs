@@ -1,0 +1,260 @@
+//! Trace export: Chrome trace-event JSON and folded flame stacks.
+//!
+//! [`chrome_trace`] converts a recorder [`Snapshot`] into the Trace
+//! Event Format consumed by `chrome://tracing`, Perfetto, and Speedscope
+//! — each closed span becomes a complete (`"ph": "X"`) event, spans
+//! still open at snapshot time become begin (`"ph": "B"`) events, and
+//! every rayon-shim worker gets its own lane via the `tid` field plus a
+//! `thread_name` metadata record. Timestamps are the recorder's
+//! monotonic nanoseconds floored to the format's microseconds; the exact
+//! ns values ride along in `args` so nothing is lost.
+//!
+//! [`folded_stacks`] renders the same span tree in the folded-stack text
+//! format flamegraph tooling consumes (`inferno`, `flamegraph.pl`,
+//! Speedscope): one `root;child;leaf <self_ns>` line per call path,
+//! weighted by *self* time so a parent's bar does not double-count its
+//! children.
+//!
+//! Both writers use the crate's hand-rolled [`crate::json`] output —
+//! zero new dependencies — and both are deterministic for a given
+//! snapshot: trace events in span-creation order, folded lines sorted
+//! lexicographically.
+
+use crate::json::Value;
+use crate::recorder::{Snapshot, SpanRecord};
+
+/// Schema version stamped on [`chrome_trace`] output. Chrome and
+/// Perfetto ignore unknown top-level keys, so the versioned envelope
+/// stays loadable by the real consumers while
+/// [`crate::manifest::guard_overwrite`] can still protect the file.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Convert a snapshot's span tree to Chrome trace-event JSON.
+#[must_use]
+pub fn chrome_trace(snapshot: &Snapshot) -> Value {
+    let mut events = Value::array();
+    // One lane per worker id seen, named up front so the viewer shows
+    // "worker 3" instead of a bare tid.
+    let mut workers: Vec<u32> = snapshot.spans.iter().map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for w in workers {
+        let mut args = Value::object();
+        args.set(
+            "name",
+            if w == 0 {
+                "caller".to_string()
+            } else {
+                format!("worker {w}")
+            },
+        );
+        let mut meta = Value::object();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", 1u64);
+        meta.set("tid", w);
+        meta.set("args", args);
+        events.push(meta);
+    }
+    for span in &snapshot.spans {
+        let mut args = Value::object();
+        args.set("span_id", span.id);
+        match span.parent {
+            Some(p) => args.set("parent", p),
+            None => args.set("parent", Value::Null),
+        };
+        args.set("start_ns", span.start_ns);
+        if let Some(end) = span.end_ns {
+            args.set("end_ns", end);
+        }
+        let mut ev = Value::object();
+        ev.set("name", span.name);
+        ev.set("cat", "span");
+        ev.set("ph", if span.end_ns.is_some() { "X" } else { "B" });
+        ev.set("ts", span.start_ns / 1_000);
+        if span.end_ns.is_some() {
+            ev.set("dur", span.duration_ns() / 1_000);
+        }
+        ev.set("pid", 1u64);
+        ev.set("tid", span.worker);
+        ev.set("args", args);
+        events.push(ev);
+    }
+    let mut root = Value::object();
+    root.set("schema_version", TRACE_SCHEMA_VERSION);
+    root.set("displayTimeUnit", "ms");
+    root.set("traceEvents", events);
+    root
+}
+
+/// Self time of `span`: its duration minus its direct children's
+/// durations (saturating — children recorded on worker threads can
+/// overlap and exceed the parent's wall clock).
+fn self_time_ns(span: &SpanRecord, spans: &[SpanRecord]) -> u64 {
+    let children: u64 = spans
+        .iter()
+        .filter(|c| c.parent == Some(span.id))
+        .map(SpanRecord::duration_ns)
+        .sum();
+    span.duration_ns().saturating_sub(children)
+}
+
+/// Root-to-span call path, `;`-joined (the folded-stack convention).
+fn path_of(span: &SpanRecord, spans: &[SpanRecord]) -> String {
+    let mut names = vec![span.name];
+    let mut cur = span.parent;
+    // Parent ids strictly precede children (creation order), so this
+    // walk terminates even on a malformed snapshot.
+    while let Some(pid) = cur {
+        match spans.iter().find(|s| s.id == pid) {
+            Some(p) => {
+                names.push(p.name);
+                cur = p.parent;
+            }
+            None => break,
+        }
+    }
+    names.reverse();
+    names.join(";")
+}
+
+/// Render the span tree as folded flame stacks: one
+/// `path;to;span <self_ns>` line per distinct call path, sorted
+/// lexicographically, weighted by self time in nanoseconds. Open spans
+/// (no end time) are skipped — their duration is undefined.
+#[must_use]
+pub fn folded_stacks(snapshot: &Snapshot) -> String {
+    let mut weights: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for span in &snapshot.spans {
+        if span.end_ns.is_none() {
+            continue;
+        }
+        let path = path_of(span, &snapshot.spans);
+        *weights.entry(path).or_insert(0) += self_time_ns(span, &snapshot.spans);
+    }
+    let mut out = String::new();
+    for (path, ns) in &weights {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_snapshot() -> Snapshot {
+        let rec = Recorder::enabled();
+        {
+            let _root = rec.span("pipeline");
+            {
+                let _a = rec.span("clustering");
+                let _w = crate::worker::enter(2);
+                let _b = rec.span("mining");
+            }
+            let _c = rec.span("selection");
+        }
+        rec.snapshot().expect("enabled recorder snapshots")
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid() {
+        let trace = chrome_trace(&sample_snapshot());
+        let text = trace.render();
+        assert_eq!(crate::schema_version_of(&text), Some(TRACE_SCHEMA_VERSION));
+        let parsed = crate::json::parse(&text).expect("trace JSON parses");
+        let Some(Value::Array(events)) = parsed.get("traceEvents") else {
+            panic!("traceEvents missing or not an array");
+        };
+        assert!(!events.is_empty());
+        for ev in events {
+            for key in ["name", "ph", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "event missing `{key}`: {ev:?}");
+            }
+            let Some(Value::Str(ph)) = ev.get("ph") else {
+                panic!("ph not a string: {ev:?}");
+            };
+            match ph.as_str() {
+                "X" => {
+                    assert!(ev.get("ts").is_some(), "X event missing ts");
+                    assert!(ev.get("dur").is_some(), "X event missing dur");
+                }
+                "B" => assert!(ev.get("ts").is_some(), "B event missing ts"),
+                "M" => assert!(
+                    ev.get("args").and_then(|a| a.get("name")).is_some(),
+                    "metadata event missing args.name"
+                ),
+                other => panic!("unexpected phase `{other}`"),
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_gives_workers_their_own_lanes() {
+        let trace = chrome_trace(&sample_snapshot());
+        let Some(Value::Array(events)) = trace.get("traceEvents") else {
+            panic!("no traceEvents");
+        };
+        let lane_names: Vec<&Value> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(Value::Str(p)) if p == "M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")))
+            .collect();
+        assert!(
+            lane_names.contains(&&Value::from("caller")),
+            "{lane_names:?}"
+        );
+        assert!(
+            lane_names.contains(&&Value::from("worker 2")),
+            "{lane_names:?}"
+        );
+        // The mining span must sit in worker 2's lane.
+        let mining = events
+            .iter()
+            .find(|e| matches!(e.get("name"), Some(Value::Str(n)) if n == "mining"))
+            .expect("mining span exported");
+        assert_eq!(mining.get("tid"), Some(&Value::UInt(2)));
+    }
+
+    #[test]
+    fn folded_stacks_weight_by_self_time() {
+        let folded = folded_stacks(&sample_snapshot());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 4, "{folded}");
+        assert!(lines.iter().any(|l| l.starts_with("pipeline ")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("pipeline;clustering;mining ")));
+        assert!(lines.iter().any(|l| l.starts_with("pipeline;selection ")));
+        for line in &lines {
+            let (_, weight) = line.rsplit_once(' ').expect("space-separated weight");
+            let _: u64 = weight.parse().expect("integer ns weight");
+        }
+        // Lines come out sorted, so diffs of two exports are meaningful.
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn open_spans_export_as_begin_events_and_skip_folding() {
+        let rec = Recorder::enabled();
+        let _open = rec.span("still_running");
+        let snap = rec.snapshot().expect("snapshot");
+        let trace = chrome_trace(&snap);
+        let Some(Value::Array(events)) = trace.get("traceEvents") else {
+            panic!("no traceEvents");
+        };
+        let open = events
+            .iter()
+            .find(|e| matches!(e.get("name"), Some(Value::Str(n)) if n == "still_running"))
+            .expect("open span exported");
+        assert_eq!(open.get("ph"), Some(&Value::Str("B".into())));
+        assert!(open.get("dur").is_none());
+        assert_eq!(folded_stacks(&snap), "");
+    }
+}

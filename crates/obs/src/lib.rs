@@ -31,8 +31,11 @@
 //! `Instant::now()` timing outside this crate, so [`now`] and
 //! [`Stopwatch`] are the blessed clock accessors.
 
+pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod manifest;
+pub mod progress;
 pub mod recorder;
 pub mod trace;
 pub mod worker;
@@ -43,6 +46,18 @@ pub use recorder::{
     Snapshot, SpanGuard, SpanRecord, StageProbe,
 };
 pub use trace::summary_table;
+
+/// Print a one-shot warning to stderr and log it to the flight
+/// recorder.
+///
+/// The blessed replacement for raw `eprintln!` warnings in pipeline
+/// crates (xtask lint rule 7 forbids those outside this crate): routing
+/// warnings through here keeps them on stderr — never perturbing stdout
+/// determinism — and preserves them in crash dumps.
+pub fn warn(msg: impl std::fmt::Display) {
+    flight::event("flight.log.warning", "", 0);
+    eprintln!("warning: {msg}");
+}
 
 use std::time::{Duration, Instant};
 

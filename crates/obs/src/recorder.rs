@@ -95,8 +95,12 @@ impl Recorder {
     /// worker id active at open time ([`worker::current`]).
     #[inline]
     pub fn span(&self, name: &'static str) -> SpanGuard {
+        // The flight recorder sees every span boundary, even under a
+        // disabled recorder — crash forensics must not depend on
+        // `--metrics-out` having been passed.
+        crate::flight::event("flight.span.open", name, 0);
         let Some(inner) = &self.inner else {
-            return SpanGuard { open: None };
+            return SpanGuard { open: None, name };
         };
         let start_ns = duration_ns(inner.epoch.elapsed());
         let parent = SPAN_STACK.with(|s| {
@@ -120,6 +124,7 @@ impl Recorder {
         SPAN_STACK.with(|s| s.borrow_mut().push((inner.id, id)));
         SpanGuard {
             open: Some((Arc::clone(inner), id)),
+            name,
         }
     }
 
@@ -246,10 +251,12 @@ impl SpanRecord {
 #[derive(Debug)]
 pub struct SpanGuard {
     open: Option<(Arc<Inner>, u32)>,
+    name: &'static str,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        crate::flight::event("flight.span.close", self.name, 0);
         let Some((inner, id)) = self.open.take() else {
             return;
         };
@@ -273,11 +280,16 @@ impl Drop for SpanGuard {
 pub struct Counter(Option<Arc<AtomicU64>>);
 
 impl Counter {
-    /// Add `n`.
+    /// Add `n`. Saturates at `u64::MAX`: a pinned total is visibly
+    /// wrong in a manifest, a wrapped one silently plausible.
+    /// (Saturating add is still commutative and associative, so the
+    /// deterministic-aggregation guarantee is unaffected.)
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
-            cell.fetch_add(n, Ordering::Relaxed);
+            let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                Some(c.saturating_add(n))
+            });
         }
     }
 
@@ -318,7 +330,14 @@ impl Histogram {
         let bucket = (64 - value.leading_zeros()) as usize;
         self.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        // Saturate instead of wrapping: a sum that pins at u64::MAX is
+        // visibly wrong in a manifest, while a wrapped one looks like a
+        // plausible small number.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
     }
 
     /// Aggregate view of everything recorded so far.
@@ -476,6 +495,15 @@ impl StageProbe {
 
     /// Flush one finished kernel invocation into the stage counters.
     pub fn flush(&self, kernel: Kernel, m: KernelMeasurement) {
+        // Flight events fire even for a disabled probe: the flight
+        // recorder's budget-degradation trail must not depend on
+        // `--metrics-out`. Without stage cells the kernel name is the
+        // best available subject.
+        let subject = self.0.as_ref().map_or(kernel.name(), |c| c.stage);
+        crate::flight::event("flight.probe.flush", subject, m.probes);
+        if !m.exact {
+            crate::flight::event("flight.budget.degraded", subject, m.probes);
+        }
         let Some(cells) = &self.0 else {
             return;
         };
@@ -660,5 +688,58 @@ mod tests {
         let probe = rec.stage_probe("mining");
         probe.add("subtree", "levels", 3);
         assert_eq!(rec.counter("mining.subtree.levels").get(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_well_defined() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        // With no samples the quantile sentinel is 0 (the count == 0
+        // early return), never a garbage bucket bound.
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p90, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_quantile() {
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.summary();
+        assert_eq!((s.count, s.sum), (1, 5));
+        // One sample in bucket [4,8): all quantiles report its upper bound.
+        assert_eq!((s.p50, s.p90, s.p99), (7, 7, 7));
+
+        let zero = Histogram::new();
+        zero.record(0);
+        let s = zero.summary();
+        assert_eq!((s.count, s.sum), (1, 0));
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(7);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, u64::MAX, "overflow must pin, not wrap");
+        // Extreme values land in the top bucket, reported at its upper
+        // bound 2^63 - 1.
+        assert_eq!(s.p99, (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let rec = Recorder::enabled();
+        let c = rec.counter("mining.test.saturation");
+        c.add(u64::MAX);
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX, "counter overflow must pin, not wrap");
     }
 }

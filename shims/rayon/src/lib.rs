@@ -217,13 +217,18 @@ where
             })
             .collect();
         let mut out = Vec::with_capacity(len);
-        for handle in handles {
+        for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok(part) => out.extend(part),
                 // A worker closure panicked: re-raise its payload on the
                 // caller. `scope` has already joined (or will join) the
-                // remaining workers, so nothing leaks.
-                Err(payload) => std::panic::resume_unwind(payload),
+                // remaining workers, so nothing leaks. The flight
+                // recorder logs the re-raise (the worker's own panic
+                // already hit the panic hook on the worker thread).
+                Err(payload) => {
+                    catapult_obs::flight::event("flight.worker.panic", "fail_fast", w as u64 + 1);
+                    std::panic::resume_unwind(payload)
+                }
             }
         }
         out
@@ -280,10 +285,16 @@ where
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, x))) {
             Ok(Some(out)) => Some(Ok(out)),
             Ok(None) => None,
-            Err(payload) => Some(Err(ItemPanic {
-                index: i,
-                message: panic_message(payload.as_ref()),
-            })),
+            Err(payload) => {
+                // Supervised mode never unwinds past the item, so this
+                // flight event is the isolated panic's only footprint
+                // besides the ItemPanic value itself.
+                catapult_obs::flight::event("flight.worker.panic", "isolated", i as u64);
+                Some(Err(ItemPanic {
+                    index: i,
+                    message: panic_message(payload.as_ref()),
+                }))
+            }
         }
     })
 }

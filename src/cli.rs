@@ -22,7 +22,8 @@ use catapult_eval::WorkloadEvaluation;
 use catapult_graph::fmt::{parse_graphs, write_graphs};
 use catapult_graph::{Deadline, Graph, LabelInterner, SearchBudget};
 use catapult_obs::json::Value;
-use catapult_obs::{manifest, ManifestError, Recorder, RunManifest};
+use catapult_obs::progress::ProgressMeter;
+use catapult_obs::{chrome, flight, manifest, ManifestError, Recorder, RunManifest};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -84,7 +85,7 @@ impl From<CkptError> for CliError {
 }
 
 /// Flags that take no value — their presence is the value.
-const BOOL_FLAGS: &[&str] = &["trace", "force", "resume", "keep-going"];
+const BOOL_FLAGS: &[&str] = &["trace", "force", "resume", "keep-going", "progress"];
 
 /// Parsed `--key value` flags.
 #[derive(Debug)]
@@ -210,8 +211,18 @@ common:\n\
   --metrics-out FILE write a schema-versioned JSON run manifest (spans,\n\
                      kernel counters, environment) after the command\n\
   --trace            print a per-stage wall-time / kernel-effort table\n\
-  --force            overwrite a metrics file whose schema_version differs,\n\
-                     or wipe a checkpoint directory and start over\n\
+  --trace-out FILE   write the span tree as Chrome trace-event JSON\n\
+                     (loadable in chrome://tracing, Perfetto, Speedscope)\n\
+  --folded-out FILE  write folded flame stacks (flamegraph.pl / inferno\n\
+                     collapse format, weighted by span self time)\n\
+  --flight-out FILE  dump the flight-recorder event log to FILE at exit;\n\
+                     the same path is armed as the crash-dump target, so\n\
+                     a panicking run leaves its last moments behind\n\
+  --progress         print a live heartbeat (stage, items, probes/sec,\n\
+                     ETA) to stderr every second; never touches stdout\n\
+  --force            overwrite an output file whose schema_version differs\n\
+                     (metrics/trace/flight), or wipe a checkpoint\n\
+                     directory and start over\n\
 select crash safety:\n\
   --checkpoint-dir D write a checkpoint at every pipeline stage boundary\n\
                      (and mid-fine-clustering) under D\n\
@@ -433,14 +444,44 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     rayon::check_thread_env().map_err(CliError::Usage)?;
     apply_threads(&flags)?;
     let metrics_out = flags.get("metrics-out").map(str::to_string);
+    let trace_out = flags.get("trace-out").map(str::to_string);
+    let folded_out = flags.get("folded-out").map(str::to_string);
+    let flight_out = flags.get("flight-out").map(str::to_string);
     let trace = flags.switch("trace");
+    let progress = flags.switch("progress");
     let force = flags.switch("force");
-    // Refuse a schema-incompatible overwrite up front, before any work.
-    if let Some(path) = &metrics_out {
+    // Refuse schema-incompatible overwrites up front, before any work.
+    // Metrics manifests, Chrome traces, and flight dumps all carry a
+    // `schema_version`, so one guard (and one `--force`) governs them.
+    for path in [&metrics_out, &trace_out, &flight_out]
+        .into_iter()
+        .flatten()
+    {
         manifest::guard_overwrite(Path::new(path), force)?;
     }
-    let mut obs = ObsSession::new(metrics_out.is_some() || trace);
-    let mut out = match cmd.as_str() {
+    // Folded stacks are plain text (no schema field to check), so the
+    // guard degrades to plain existence.
+    if let Some(path) = &folded_out {
+        if Path::new(path).exists() && !force {
+            return Err(CliError::Usage(manifest::overwrite_refusal(
+                path,
+                "existing file would be overwritten",
+            )));
+        }
+    }
+    // The flight recorder is on for every CLI run — bounded memory, one
+    // atomic load per event when nothing consumes it — so a crash always
+    // has forensics to dump. The *file* is written only on request
+    // (`--flight-out`) or by the armed panic hook.
+    flight::set_enabled(true);
+    if let Some(path) = &flight_out {
+        flight::arm_crash_dump(Path::new(path));
+    }
+    let telemetry = trace || progress || trace_out.is_some() || folded_out.is_some();
+    let mut obs = ObsSession::new(metrics_out.is_some() || telemetry);
+    let meter =
+        progress.then(|| ProgressMeter::start(&obs.recorder, std::time::Duration::from_secs(1)));
+    let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags, &mut obs),
         "select" => cmd_select(&flags, &mut obs),
         "evaluate" => cmd_evaluate(&flags, &mut obs),
@@ -448,11 +489,23 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n{USAGE}"
         ))),
-    }?;
+    };
+    // Stop the heartbeat before writing artifacts or composing output so
+    // its stderr lines cannot interleave with the epilogue.
+    drop(meter);
+    let mut out = result?;
     if let Some(snapshot) = obs.recorder.snapshot() {
         if trace {
             out.push('\n');
             out.push_str(&catapult_obs::summary_table(&snapshot));
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, chrome::chrome_trace(&snapshot).render())?;
+            out.push_str(&format!("\nwrote trace to {path}"));
+        }
+        if let Some(path) = &folded_out {
+            std::fs::write(path, chrome::folded_stacks(&snapshot))?;
+            out.push_str(&format!("\nwrote folded stacks to {path}"));
         }
         if let Some(path) = metrics_out {
             let mut m = RunManifest::new(cmd);
@@ -472,6 +525,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             m.write(Path::new(&path), force)?;
             out.push_str(&format!("\nwrote metrics to {path}"));
         }
+    }
+    if let Some(path) = &flight_out {
+        // Disarm first: the run succeeded, so a later unrelated panic
+        // (e.g. in a caller's teardown) must not clobber this dump.
+        flight::disarm_crash_dump();
+        flight::dump_to(Path::new(path))?;
+        out.push_str(&format!("\nwrote flight log to {path}"));
     }
     Ok(out)
 }
@@ -768,6 +828,170 @@ mod tests {
         .unwrap();
         assert!(out.contains("pipeline"), "{out}");
         assert!(out.contains("probes/sec"), "{out}");
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_and_folded_stacks() {
+        let db_path = tmp("db_trace_out.txt");
+        let t_path = tmp("trace_out.json");
+        let f_path = tmp("folded_out.txt");
+        let _ = std::fs::remove_file(&t_path);
+        let _ = std::fs::remove_file(&f_path);
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "12",
+            "--seed",
+            "2",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        let select = |extra: &[&str]| {
+            let mut a = args(&[
+                "select",
+                "--db",
+                &db_path,
+                "--gamma",
+                "3",
+                "--min-size",
+                "3",
+                "--max-size",
+                "5",
+                "--walks",
+                "10",
+                "--trace-out",
+                &t_path,
+                "--folded-out",
+                &f_path,
+            ]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            run(&a)
+        };
+        let out = select(&[]).unwrap();
+        assert!(out.contains("wrote trace to"), "{out}");
+        assert!(out.contains("wrote folded stacks to"), "{out}");
+        // The trace must be structurally valid Chrome trace-event JSON.
+        let trace = std::fs::read_to_string(&t_path).unwrap();
+        assert_eq!(
+            catapult_obs::schema_version_of(&trace),
+            Some(chrome::TRACE_SCHEMA_VERSION)
+        );
+        let parsed = catapult_obs::json::parse(&trace).unwrap();
+        match parsed.get("traceEvents") {
+            Some(Value::Array(events)) => assert!(!events.is_empty()),
+            other => panic!("traceEvents missing: {other:?}"),
+        }
+        assert!(trace.contains("\"pipeline\""), "missing root span");
+        // Folded stacks: `path;to;span <ns>` lines rooted at the pipeline.
+        let folded = std::fs::read_to_string(&f_path).unwrap();
+        assert!(
+            folded.lines().any(|l| l.starts_with("pipeline;")),
+            "{folded}"
+        );
+        for line in folded.lines() {
+            let (_, w) = line.rsplit_once(' ').expect("weighted line");
+            let _: u64 = w.parse().expect("integer weight");
+        }
+        // Overwriting the (schema-less) folded file needs --force, and
+        // the refusal names the flag.
+        let r = select(&[]);
+        assert!(
+            matches!(&r, Err(CliError::Usage(m)) if m.contains("--force")),
+            "{r:?}"
+        );
+        select(&["--force"]).unwrap();
+        // A foreign-schema trace file is refused with the same message.
+        std::fs::write(&t_path, "{\n  \"schema_version\": 999\n}\n").unwrap();
+        let _ = std::fs::remove_file(&f_path);
+        let r = select(&[]);
+        assert!(
+            matches!(&r, Err(CliError::Usage(m)) if m.contains("--force")),
+            "{r:?}"
+        );
+        let _ = std::fs::remove_file(&t_path);
+        let _ = std::fs::remove_file(&f_path);
+    }
+
+    #[test]
+    fn flight_out_dumps_versioned_event_log() {
+        let db_path = tmp("db_flight.txt");
+        let fl_path = tmp("flight_out.json");
+        let _ = std::fs::remove_file(&fl_path);
+        run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "10",
+            "--seed",
+            "6",
+            "--out",
+            &db_path,
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "select",
+            "--db",
+            &db_path,
+            "--gamma",
+            "3",
+            "--min-size",
+            "3",
+            "--max-size",
+            "5",
+            "--walks",
+            "10",
+            "--flight-out",
+            &fl_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote flight log to"), "{out}");
+        let text = std::fs::read_to_string(&fl_path).unwrap();
+        assert_eq!(
+            catapult_obs::schema_version_of(&text),
+            Some(flight::FLIGHT_SCHEMA_VERSION)
+        );
+        let parsed = catapult_obs::json::parse(&text).unwrap();
+        match parsed.get("events") {
+            Some(Value::Array(events)) => assert!(!events.is_empty()),
+            other => panic!("events missing: {other:?}"),
+        }
+        // Span boundaries and kernel flushes must both be on the record.
+        assert!(text.contains("flight.span.open"), "no span events");
+        assert!(text.contains("flight.probe.flush"), "no probe events");
+        let _ = std::fs::remove_file(&fl_path);
+    }
+
+    #[test]
+    fn progress_switch_is_accepted_and_output_neutral() {
+        let db_path = tmp("db_progress.txt");
+        let quiet = run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "10",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let noisy = run(&args(&[
+            "generate",
+            "--profile",
+            "emol",
+            "--count",
+            "10",
+            "--seed",
+            "9",
+            "--progress",
+        ]))
+        .unwrap();
+        // The heartbeat goes to stderr only: stdout is byte-identical.
+        assert_eq!(quiet, noisy);
+        let _ = std::fs::remove_file(&db_path);
     }
 
     #[test]

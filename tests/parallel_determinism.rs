@@ -128,6 +128,56 @@ fn recorder_enabled_run_is_byte_identical_to_disabled() {
     }
 }
 
+/// The *full* telemetry stack — flight recorder capturing events, a
+/// `--progress` heartbeat ticking on its own thread, recorder enabled —
+/// must also be invisible in the output, for both a sequential and a
+/// saturated pool. This is the CLI's `--progress`/`--flight-out`
+/// neutrality contract.
+#[test]
+fn flight_recorder_and_progress_meter_are_output_neutral() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = quickstart_db();
+    let golden = with_threads(1, || {
+        serialize(&db, &run_catapult(&db.graphs, &quickstart_cfg()))
+    });
+
+    let was_enabled = catapult_obs::flight::is_enabled();
+    catapult_obs::flight::set_enabled(true);
+    for threads in [1usize, 8] {
+        // Drain whatever earlier stages left in the rings so the
+        // per-iteration assertions see only this run's events.
+        let _ = catapult_obs::flight::snapshot();
+        let recorder = catapult_obs::Recorder::enabled();
+        let meter = catapult_obs::progress::ProgressMeter::start(
+            &recorder,
+            std::time::Duration::from_millis(1),
+        );
+        let cfg = CatapultConfig {
+            recorder: recorder.clone(),
+            ..quickstart_cfg()
+        };
+        let got = with_threads(threads, || serialize(&db, &run_catapult(&db.graphs, &cfg)));
+        // Give the heartbeat (25ms poll) time for at least one tick
+        // before stopping it.
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        drop(meter);
+        assert_eq!(
+            got, golden,
+            "threads={threads}: telemetry stack changed pipeline output"
+        );
+        let (events, _dropped) = catapult_obs::flight::snapshot();
+        assert!(
+            events.iter().any(|e| e.name == "flight.span.open"),
+            "threads={threads}: flight recorder captured no spans"
+        );
+        assert!(
+            events.iter().any(|e| e.name == "flight.progress.tick"),
+            "threads={threads}: progress meter never ticked"
+        );
+    }
+    catapult_obs::flight::set_enabled(was_enabled);
+}
+
 #[test]
 fn auto_sizing_also_matches_the_golden() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
@@ -322,10 +372,24 @@ mod fault_sweep_under_threads {
                         )
                     };
                     let off = run_with(catapult_obs::Recorder::disabled());
-                    let on = run_with(catapult_obs::Recorder::enabled());
+                    // The "on" side runs the full telemetry stack:
+                    // recorder + flight recorder + progress heartbeat.
+                    let on = {
+                        let was_enabled = catapult_obs::flight::is_enabled();
+                        catapult_obs::flight::set_enabled(true);
+                        let rec = catapult_obs::Recorder::enabled();
+                        let meter = catapult_obs::progress::ProgressMeter::start(
+                            &rec,
+                            std::time::Duration::from_millis(1),
+                        );
+                        let out = run_with(rec);
+                        drop(meter);
+                        catapult_obs::flight::set_enabled(was_enabled);
+                        out
+                    };
                     assert_eq!(
                         on, off,
-                        "K={k} kind={kind:?}: recorder changed the degraded outcome"
+                        "K={k} kind={kind:?}: telemetry changed the degraded outcome"
                     );
                 }
             }
