@@ -154,6 +154,29 @@ impl Baseline {
         }
     }
 
+    /// How a regenerated ledger differs from the previous one: counts of
+    /// fingerprints added, pruned outright, and entries whose head-room
+    /// grew or shrank. `--update-baseline` prints this so a rewrite is
+    /// auditable in the diff *and* in the terminal.
+    #[must_use]
+    pub fn diff(old: &Baseline, new: &Baseline) -> BaselineDiff {
+        let mut d = BaselineDiff::default();
+        for (fp, &n) in &new.entries {
+            match old.entries.get(fp) {
+                None => d.added += 1,
+                Some(&o) if n > o => d.grown += 1,
+                Some(&o) if n < o => d.shrunk += 1,
+                Some(_) => {}
+            }
+        }
+        d.pruned = old
+            .entries
+            .keys()
+            .filter(|fp| !new.entries.contains_key(*fp))
+            .count();
+        d
+    }
+
     /// Render as the checked-in JSON document (sorted, schema-versioned).
     #[must_use]
     pub fn to_json(&self) -> Value {
@@ -171,6 +194,50 @@ impl Baseline {
         v.set("schema_version", BASELINE_SCHEMA_VERSION)
             .set("entries", items);
         v
+    }
+}
+
+/// Delta between two baselines (see [`Baseline::diff`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineDiff {
+    /// Fingerprints present only in the new ledger (fresh debt).
+    pub added: usize,
+    /// Fingerprints dropped entirely (debt paid off, or the offending
+    /// line was edited and re-fingerprinted).
+    pub pruned: usize,
+    /// Entries whose grandfathered count increased.
+    pub grown: usize,
+    /// Entries whose count decreased but did not reach zero.
+    pub shrunk: usize,
+}
+
+impl BaselineDiff {
+    /// True when the rewrite changed nothing.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        *self == BaselineDiff::default()
+    }
+
+    /// One-line human summary, e.g. `+2 added, -3 pruned, 1 shrunk`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_noop() {
+            return "no changes".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.added > 0 {
+            parts.push(format!("+{} added", self.added));
+        }
+        if self.pruned > 0 {
+            parts.push(format!("-{} pruned", self.pruned));
+        }
+        if self.grown > 0 {
+            parts.push(format!("{} grown", self.grown));
+        }
+        if self.shrunk > 0 {
+            parts.push(format!("{} shrunk", self.shrunk));
+        }
+        parts.join(", ")
     }
 }
 
@@ -307,6 +374,51 @@ mod tests {
         let r = report(vec![allowed, diag("r", "a.rs", 2, "line two")]);
         let b = Baseline::from_report(&r);
         assert_eq!(b.len(), 1, "only the active finding is grandfathered");
+    }
+
+    #[test]
+    fn regenerating_prunes_grows_and_shrinks_in_one_run() {
+        // Old ledger: "gone" x1 (debt since paid), "shrinker" x3 (one
+        // paid), "grower" x1 (one more accrued), "steady" x1.
+        let old = Baseline::from_report(&report(vec![
+            diag("r", "a.rs", 1, "gone"),
+            diag("r", "a.rs", 2, "shrinker"),
+            diag("r", "a.rs", 3, "shrinker"),
+            diag("r", "a.rs", 4, "shrinker"),
+            diag("r", "a.rs", 5, "grower"),
+            diag("r", "a.rs", 6, "steady"),
+        ]));
+        let new = Baseline::from_report(&report(vec![
+            diag("r", "a.rs", 2, "shrinker"),
+            diag("r", "a.rs", 3, "shrinker"),
+            diag("r", "a.rs", 5, "grower"),
+            diag("r", "a.rs", 7, "grower"),
+            diag("r", "a.rs", 6, "steady"),
+            diag("r", "b.rs", 1, "fresh"),
+        ]));
+        let d = Baseline::diff(&old, &new);
+        assert_eq!(
+            d,
+            BaselineDiff {
+                added: 1,
+                pruned: 1,
+                grown: 1,
+                shrunk: 1
+            }
+        );
+        assert!(!d.is_noop());
+        let s = d.summary();
+        for part in ["+1 added", "-1 pruned", "1 grown", "1 shrunk"] {
+            assert!(s.contains(part), "summary `{s}` missing `{part}`");
+        }
+        // Regeneration *is* pruning: the rewritten ledger no longer
+        // grandfathers the paid-off fingerprint, so a reintroduction of
+        // the same line fails the build instead of hiding behind debt.
+        let mut reintroduced = report(vec![diag("r", "a.rs", 1, "gone")]);
+        new.apply(&mut reintroduced);
+        assert_eq!(reintroduced.count(Suppression::None), 1);
+        assert_eq!(Baseline::diff(&new, &new), BaselineDiff::default());
+        assert_eq!(Baseline::diff(&new, &new).summary(), "no changes");
     }
 
     #[test]

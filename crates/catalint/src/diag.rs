@@ -11,8 +11,9 @@ use catapult_obs::json::Value;
 use std::fmt::Write as _;
 
 /// Schema version of the JSON report (`--json`). v2 added the
-/// `fn` (enclosing function) field per finding.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// `fn` (enclosing function) field per finding; v3 added the
+/// `summary.suppressed_by_rule` per-rule suppression breakdown.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// FNV-1a 64-bit hash, rendered as fixed-width hex. Used for baseline
 /// fingerprints; zero-dependency and stable across platforms.
@@ -130,6 +131,25 @@ impl Report {
         self.findings.iter().filter(|d| d.suppressed == s).count()
     }
 
+    /// Per-rule suppression breakdown: rule name → `(allowed,
+    /// baselined)` counts, only for rules with at least one suppressed
+    /// finding. Sorted by rule name (`BTreeMap`), so both renderings
+    /// below are deterministic.
+    #[must_use]
+    pub fn suppressed_by_rule(&self) -> std::collections::BTreeMap<&'static str, (usize, usize)> {
+        let mut by_rule = std::collections::BTreeMap::new();
+        for d in &self.findings {
+            let slot: &mut (usize, usize) = by_rule.entry(d.rule).or_default();
+            match d.suppressed {
+                Suppression::None => {}
+                Suppression::Allowed => slot.0 += 1,
+                Suppression::Baselined => slot.1 += 1,
+            }
+        }
+        by_rule.retain(|_, &mut (a, b)| a + b > 0);
+        by_rule
+    }
+
     /// Sort findings into the deterministic report order.
     pub fn finalize(&mut self) {
         self.findings.sort_by(|a, b| {
@@ -167,6 +187,12 @@ impl Report {
             self.count(Suppression::Allowed),
             self.count(Suppression::Baselined),
         );
+        for (rule, (allowed, baselined)) in self.suppressed_by_rule() {
+            let _ = writeln!(
+                out,
+                "    suppressed [{rule}]: {allowed} allowed, {baselined} baselined"
+            );
+        }
         out
     }
 
@@ -190,12 +216,19 @@ impl Report {
                 .set("current", *current);
             stale.push(e);
         }
+        let mut by_rule = Value::object();
+        for (rule, (allowed, baselined)) in self.suppressed_by_rule() {
+            let mut e = Value::object();
+            e.set("allowed", allowed).set("baselined", baselined);
+            by_rule.set(rule, e);
+        }
         let mut summary = Value::object();
         summary
             .set("total", self.findings.len())
             .set("active", self.count(Suppression::None))
             .set("allowed", self.count(Suppression::Allowed))
-            .set("baselined", self.count(Suppression::Baselined));
+            .set("baselined", self.count(Suppression::Baselined))
+            .set("suppressed_by_rule", by_rule);
         let mut v = Value::object();
         v.set("schema_version", REPORT_SCHEMA_VERSION)
             .set("tool", "catalint")
@@ -281,10 +314,43 @@ mod tests {
         };
         r.finalize();
         let text = r.to_json().render();
-        assert!(text.starts_with("{\n  \"schema_version\": 2"));
+        assert!(text.starts_with("{\n  \"schema_version\": 3"));
         assert!(text.contains("\"fn\": \"f\""));
         assert!(text.contains("\"suppressed\": true"));
         assert!(text.contains("\"suppressed_by\": \"baseline\""));
+        assert!(text.contains("\"suppressed_by_rule\""));
         assert!(text.contains("\"recorded\": 3"));
+    }
+
+    #[test]
+    fn per_rule_suppression_breakdown() {
+        let mut r = Report {
+            findings: vec![
+                diag("b-rule", "z.rs", 1, Suppression::None),
+                diag("a-rule", "a.rs", 2, Suppression::Allowed),
+                diag("a-rule", "a.rs", 3, Suppression::Allowed),
+                diag("a-rule", "a.rs", 4, Suppression::Baselined),
+                diag("c-rule", "c.rs", 1, Suppression::Baselined),
+            ],
+            files_scanned: 3,
+            rules_run: vec!["a-rule", "b-rule", "c-rule"],
+            stale_baseline: vec![],
+        };
+        r.finalize();
+        let by_rule = r.suppressed_by_rule();
+        assert_eq!(by_rule.get("a-rule"), Some(&(2, 1)));
+        assert_eq!(by_rule.get("c-rule"), Some(&(0, 1)));
+        assert_eq!(
+            by_rule.get("b-rule"),
+            None,
+            "rules with only active findings are omitted"
+        );
+        let human = r.render_human();
+        assert!(human.contains("suppressed [a-rule]: 2 allowed, 1 baselined"));
+        assert!(human.contains("suppressed [c-rule]: 0 allowed, 1 baselined"));
+        assert!(!human.contains("suppressed [b-rule]"));
+        let json = r.to_json().render();
+        assert!(json.contains("\"a-rule\": {"));
+        assert!(json.contains("\"allowed\": 2"));
     }
 }

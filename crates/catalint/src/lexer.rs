@@ -136,8 +136,13 @@ impl Lexer<'_> {
         self.bytes.get(self.pos + ahead).copied()
     }
 
-    /// Advance past one full `char` (multi-byte safe).
+    /// Advance past one full `char` (multi-byte safe; no-op at EOF, so
+    /// a truncated escape like `'\` at end of input cannot push a token
+    /// span past the source).
     fn bump_char(&mut self) {
+        if self.pos >= self.bytes.len() {
+            return;
+        }
         let mut next = self.pos + 1;
         while next < self.bytes.len() && !self.src.is_char_boundary(next) {
             next += 1;

@@ -32,6 +32,8 @@ pub mod lexer;
 pub mod rules;
 pub mod scan;
 pub mod symbols;
+pub mod taint;
+pub mod timing;
 pub mod xrules;
 
 use diag::Report;
@@ -39,7 +41,9 @@ use rules::FileCtx;
 use scan::SourceFile;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use symbols::Workspace;
+use timing::RuleTimer;
 
 /// Top-level directories scanned for Rust sources.
 const SCAN_ROOTS: &[&str] = &["src", "crates", "shims", "tests", "examples", "benches"];
@@ -115,9 +119,13 @@ pub fn crate_roots(files: &[String]) -> BTreeSet<&str> {
         .collect()
 }
 
-/// Every rule name, file-level then interprocedural, in registry order.
+/// Every rule name — file-level, interprocedural, then taint — in
+/// registry order.
 pub fn all_rules() -> impl Iterator<Item = &'static rules::RuleInfo> {
-    rules::RULES.iter().chain(xrules::XRULES.iter())
+    rules::RULES
+        .iter()
+        .chain(xrules::XRULES.iter())
+        .chain(taint::TAINT_RULES.iter())
 }
 
 /// The set of enabled rule names for a `--rule` filter (empty filter →
@@ -128,7 +136,10 @@ pub fn enabled_rules(filter: &[String]) -> Result<BTreeSet<&'static str>, String
     }
     let mut on = BTreeSet::new();
     for name in filter {
-        match rules::rule_named(name).or_else(|| xrules::xrule_named(name)) {
+        match rules::rule_named(name)
+            .or_else(|| xrules::xrule_named(name))
+            .or_else(|| taint::taint_rule_named(name))
+        {
             Some(info) => {
                 on.insert(info.name);
             }
@@ -153,12 +164,25 @@ pub struct Analysis {
     pub report: Report,
     /// The workspace index the interprocedural rules consumed.
     pub workspace: Workspace,
+    /// Per-rule wall-clock totals in rule-name order (empty unless the
+    /// analysis was run with timing; never part of the JSON report).
+    pub timings: Vec<(&'static str, Duration)>,
 }
 
 /// Run the enabled rules over the workspace at `root`: the per-file
 /// token rules stream over each source, then the symbol index and call
-/// graph are built once and the interprocedural rules run on top.
+/// graph are built once and the interprocedural rules (taint included)
+/// run on top.
 pub fn analyze(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result<Analysis> {
+    analyze_timed(root, enabled, false)
+}
+
+/// [`analyze`] with optional per-rule wall-clock accounting.
+pub fn analyze_timed(
+    root: &Path,
+    enabled: &BTreeSet<&'static str>,
+    timing: bool,
+) -> std::io::Result<Analysis> {
     let files = discover(root)?;
     let roots = crate_roots(&files);
     let mut report = Report {
@@ -166,6 +190,7 @@ pub fn analyze(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result
         files_scanned: files.len(),
         ..Report::default()
     };
+    let mut timer = RuleTimer::new(timing);
     let mut parsed = Vec::with_capacity(files.len());
     for rel in &files {
         let text = std::fs::read_to_string(root.join(rel))?;
@@ -174,13 +199,20 @@ pub fn analyze(root: &Path, enabled: &BTreeSet<&'static str>) -> std::io::Result
             root,
             is_crate_root: roots.contains(rel.as_str()),
         };
-        rules::check_file(&file, &ctx, enabled, &mut report.findings);
+        rules::check_file_timed(&file, &ctx, enabled, &mut report.findings, &mut timer);
         parsed.push(file);
     }
     let workspace = Workspace::build(parsed);
-    xrules::check_workspace(&workspace, enabled, &mut report.findings);
+    xrules::check_workspace_timed(&workspace, enabled, &mut report.findings, &mut timer);
+    timer.time("taint", || {
+        taint::check_workspace(&workspace, enabled, &mut report.findings);
+    });
     report.finalize();
-    Ok(Analysis { report, workspace })
+    Ok(Analysis {
+        report,
+        workspace,
+        timings: timer.finish(),
+    })
 }
 
 /// Run the enabled rules and return just the report (see [`analyze`]).

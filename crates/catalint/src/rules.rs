@@ -23,6 +23,7 @@
 use crate::diag::{Diagnostic, Suppression};
 use crate::lexer::TokenKind;
 use crate::scan::SourceFile;
+use crate::timing::RuleTimer;
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -181,26 +182,37 @@ pub fn check_file(
     enabled: &BTreeSet<&'static str>,
     out: &mut Vec<Diagnostic>,
 ) {
+    check_file_timed(f, ctx, enabled, out, &mut RuleTimer::new(false));
+}
+
+/// [`check_file`] with per-rule wall-clock accounting (`--timing`).
+pub fn check_file_timed(
+    f: &SourceFile,
+    ctx: &FileCtx<'_>,
+    enabled: &BTreeSet<&'static str>,
+    out: &mut Vec<Diagnostic>,
+    timer: &mut RuleTimer,
+) {
     let rel = f.rel.as_str();
     let on = |name: &str| enabled.contains(name);
 
     if on("kernel-no-panic") && KERNEL_FILES.contains(&rel) {
-        kernel_no_panic(f, out);
+        timer.time("kernel-no-panic", || kernel_no_panic(f, out));
     }
     if on("doc-coverage") && in_dirs(rel, DOC_COVERED_DIRS) {
-        doc_coverage(f, ctx, out);
+        timer.time("doc-coverage", || doc_coverage(f, ctx, out));
     }
     if on("float-eq") && SCORING_FILES.contains(&rel) {
-        float_eq(f, out);
+        timer.time("float-eq", || float_eq(f, out));
     }
     if on("lint-header") && ctx.is_crate_root {
-        lint_header(f, out);
+        timer.time("lint-header", || lint_header(f, out));
     }
     if on("consume-completeness") && in_dirs(rel, COMPLETENESS_DIRS) {
-        consume_completeness(f, out);
+        timer.time("consume-completeness", || consume_completeness(f, out));
     }
     if on("no-raw-spawn") && !rel.starts_with("shims/rayon/") {
-        no_raw_spawn(f, out);
+        timer.time("no-raw-spawn", || no_raw_spawn(f, out));
     }
     let obs_scope = !rel.starts_with("crates/obs/") && !rel.starts_with("shims/");
     if on("metric-name") && obs_scope {
@@ -212,30 +224,30 @@ pub fn check_file(
             && !rel.contains("/bin/")
             && !rel.starts_with("crates/xtask/")
             && !rel.starts_with("crates/catalint/");
-        metric_name(f, forbid_eprintln, out);
+        timer.time("metric-name", || metric_name(f, forbid_eprintln, out));
     }
     if on("raw-instant") && obs_scope {
-        raw_instant(f, out);
+        timer.time("raw-instant", || raw_instant(f, out));
     }
     if on("hash-iter-order") && is_library_src(rel) {
-        hash_iter_order(f, out);
+        timer.time("hash-iter-order", || hash_iter_order(f, out));
     }
     if on("float-total-order") && is_library_src(rel) {
-        float_total_order(f, out);
+        timer.time("float-total-order", || float_total_order(f, out));
     }
     if on("cast-truncation") && (KERNEL_FILES.contains(&rel) || CAST_EXTRA_FILES.contains(&rel)) {
-        cast_truncation(f, out);
+        timer.time("cast-truncation", || cast_truncation(f, out));
     }
     if on("interior-mutability") && is_library_src(rel) && !in_dirs(rel, INTERIOR_MUT_ALLOWED) {
-        interior_mutability(f, out);
+        timer.time("interior-mutability", || interior_mutability(f, out));
     }
     if on("lock-order") {
-        lock_order(f, out);
+        timer.time("lock-order", || lock_order(f, out));
     }
     let unwind_scope =
         is_library_src(rel) && !rel.starts_with("shims/rayon/") && !rel.starts_with("crates/ckpt/");
     if on("unwind-safety") && unwind_scope {
-        unwind_safety(f, out);
+        timer.time("unwind-safety", || unwind_safety(f, out));
     }
 }
 
@@ -638,7 +650,7 @@ fn raw_instant(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 // ---- determinism rules -------------------------------------------------
 
 /// Iterator-producing methods on hash containers.
-const HASH_ITER_METHODS: &[&str] = &[
+pub(crate) const HASH_ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -655,7 +667,7 @@ const HASH_ITER_METHODS: &[&str] = &[
 /// `max` families are deliberately *absent*: f64 sums are
 /// order-sensitive (non-associative rounding) and min/max break ties by
 /// encounter order.
-const ORDER_SINKS: &[&str] = &[
+pub(crate) const ORDER_SINKS: &[&str] = &[
     "sort",
     "sort_by",
     "sort_unstable",
@@ -745,7 +757,7 @@ fn hash_iter_order(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 /// Names known to hold a hash container in this file.
-fn collect_hash_names(f: &SourceFile) -> BTreeSet<&str> {
+pub(crate) fn collect_hash_names(f: &SourceFile) -> BTreeSet<&str> {
     let mut names: BTreeSet<&str> = BTreeSet::new();
     let mut hash_fns: BTreeSet<&str> = BTreeSet::new();
 
@@ -828,7 +840,7 @@ fn collect_hash_names(f: &SourceFile) -> BTreeSet<&str> {
 
 /// `let [mut] v = …;` immediately followed by `v.sort…` — the dominant
 /// collect-then-sort idiom.
-fn let_followed_by_sort(f: &SourceFile, (s, e): (usize, usize)) -> bool {
+pub(crate) fn let_followed_by_sort(f: &SourceFile, (s, e): (usize, usize)) -> bool {
     if !f.is_ident(s, "let") || !f.is_punct(e, ";") {
         return false;
     }

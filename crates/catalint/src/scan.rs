@@ -43,8 +43,10 @@ pub struct SourceFile {
     test_mask: Vec<bool>,
     /// Byte offset of each line start (line 1 is index 0).
     line_starts: Vec<usize>,
-    /// Line number → rules allowed on that line via `xtask-allow`.
-    allows: BTreeMap<usize, Vec<String>>,
+    /// Line number → `(rule, justification)` pairs allowed on that line
+    /// via `xtask-allow`. The justification is the free text following
+    /// the rule list in the same marker (empty when none was written).
+    allows: BTreeMap<usize, Vec<(String, String)>>,
     /// Every `fn` definition in the file, in source order.
     fn_spans: Vec<FnSpan>,
 }
@@ -68,6 +70,18 @@ pub struct FnSpan {
 
 /// The escape-hatch marker inside a comment.
 const ALLOW_MARKER: &str = "xtask-allow:";
+
+/// Strip separators and comment furniture off a marker's trailing free
+/// text: the `-- why` convention, stray dashes/colons, and a block
+/// comment's closing `*/`.
+fn clean_justification(raw: &str) -> String {
+    raw.trim()
+        .trim_end_matches("*/")
+        .trim_matches(|c: char| {
+            c.is_whitespace() || matches!(c, '-' | '—' | ':' | ';' | '(' | ')' | '.')
+        })
+        .to_string()
+}
 
 impl SourceFile {
     /// Lex and index `text` as the file at workspace-relative `rel`.
@@ -269,26 +283,36 @@ impl SourceFile {
                 continue;
             }
             let body = t.text(&self.text);
-            let mut rules: Vec<String> = Vec::new();
+            let mut rules: Vec<(String, String)> = Vec::new();
             let mut rest = body;
             while let Some(at) = rest.find(ALLOW_MARKER) {
                 rest = &rest[at + ALLOW_MARKER.len()..];
-                // Parse a comma-separated list of rule names.
+                // Parse a comma-separated list of rule names. A candidate
+                // with no letter (e.g. the `--` justification separator)
+                // ends the list rather than joining it.
+                let mut names: Vec<String> = Vec::new();
                 loop {
                     let trimmed = rest.trim_start();
                     let name: String = trimmed
                         .chars()
                         .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-')
                         .collect();
-                    if name.is_empty() {
+                    if name.is_empty() || !name.bytes().any(|b| b.is_ascii_lowercase()) {
                         break;
                     }
                     rest = &trimmed[name.len()..];
-                    rules.push(name);
+                    names.push(name);
                     match rest.trim_start().strip_prefix(',') {
                         Some(after) => rest = after,
                         None => break,
                     }
+                }
+                // Everything up to the next marker (or the comment's end)
+                // is this marker's justification, shared by its rules.
+                let j_end = rest.find(ALLOW_MARKER).unwrap_or(rest.len());
+                let just = clean_justification(&rest[..j_end]);
+                for name in names {
+                    rules.push((name, just.clone()));
                 }
             }
             if rules.is_empty() {
@@ -419,8 +443,42 @@ impl SourceFile {
             .any(|l| {
                 self.allows
                     .get(l)
-                    .is_some_and(|rules| rules.iter().any(|r| r == rule))
+                    .is_some_and(|rules| rules.iter().any(|(r, _)| r == rule))
             })
+    }
+
+    /// The justification attached to an `xtask-allow` marker covering
+    /// `rule` on 1-based `line` (or the line above): `None` when no
+    /// marker covers the rule, `Some("")` when a marker exists but
+    /// carries no free text after the rule list. The exact line wins
+    /// over the line above — a trailing marker on the previous statement
+    /// never lends its justification downward past a closer marker.
+    /// Rules with a mandatory sanctioning policy (taint) reject the
+    /// empty case.
+    #[must_use]
+    pub fn allow_justification(&self, line: usize, rule: &str) -> Option<&str> {
+        for l in [line, line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            let Some(rules) = self.allows.get(&l) else {
+                continue;
+            };
+            let mut found: Option<&str> = None;
+            for (r, just) in rules {
+                if r != rule {
+                    continue;
+                }
+                if !just.is_empty() {
+                    return Some(just);
+                }
+                found = Some("");
+            }
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
     }
 
     // ---- statement structure -------------------------------------------
@@ -529,6 +587,40 @@ mod tests {
         assert!(f.allowed(3, "hash-iter-order"), "line-above marker");
         assert!(f.allowed(3, "cast-truncation"), "comma-separated list");
         assert!(!f.allowed(3, "float-eq"));
+    }
+
+    #[test]
+    fn allow_markers_carry_justifications() {
+        let f = file(
+            "let a = x.lock(); // xtask-allow: taint -- cache stores pure values\n\
+             let b = y.lock(); // xtask-allow: taint\n\
+             /* xtask-allow: taint, lock-order -- one guard, no nesting */\n\
+             let c = z.lock();\n",
+        );
+        assert_eq!(
+            f.allow_justification(1, "taint"),
+            Some("cache stores pure values"),
+            "free text after `--` is the justification"
+        );
+        assert_eq!(
+            f.allow_justification(2, "taint"),
+            Some(""),
+            "marker without text is allowed-but-unjustified"
+        );
+        assert_eq!(f.allow_justification(2, "float-eq"), None, "wrong rule");
+        assert_eq!(
+            f.allow_justification(4, "lock-order"),
+            Some("one guard, no nesting"),
+            "block comment justification shared across the rule list"
+        );
+        assert_eq!(
+            f.allow_justification(4, "taint"),
+            Some("one guard, no nesting")
+        );
+        assert!(
+            f.allowed(1, "taint") && f.allowed(2, "taint"),
+            "justification never changes plain allowed()"
+        );
     }
 
     #[test]

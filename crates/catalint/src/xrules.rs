@@ -20,6 +20,7 @@ use crate::lexer::TokenKind;
 use crate::rules::{RuleInfo, COMPLETENESS_DIRS, KERNEL_FILES};
 use crate::scan::SourceFile;
 use crate::symbols::{CallSite, Callee, Workspace};
+use crate::timing::RuleTimer;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Every interprocedural rule, in the order findings are reported.
@@ -72,17 +73,27 @@ pub fn check_workspace(
     enabled: &BTreeSet<&'static str>,
     out: &mut Vec<Diagnostic>,
 ) {
+    check_workspace_timed(ws, enabled, out, &mut RuleTimer::new(false));
+}
+
+/// [`check_workspace`] with per-rule wall-clock accounting (`--timing`).
+pub fn check_workspace_timed(
+    ws: &Workspace,
+    enabled: &BTreeSet<&'static str>,
+    out: &mut Vec<Diagnostic>,
+    timer: &mut RuleTimer,
+) {
     if enabled.contains("budget-threading") {
-        budget_threading(ws, out);
+        timer.time("budget-threading", || budget_threading(ws, out));
     }
     if enabled.contains("panic-reachability") {
-        panic_reachability(ws, out);
+        timer.time("panic-reachability", || panic_reachability(ws, out));
     }
     if enabled.contains("completeness-flow") {
-        completeness_flow(ws, out);
+        timer.time("completeness-flow", || completeness_flow(ws, out));
     }
     if enabled.contains("lock-order-xfn") {
-        lock_order_xfn(ws, out);
+        timer.time("lock-order-xfn", || lock_order_xfn(ws, out));
     }
 }
 

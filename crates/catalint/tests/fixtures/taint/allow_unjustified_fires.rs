@@ -1,0 +1,6 @@
+//@ file: crates/core/src/progress.rs
+pub fn now_ms() -> u64 {
+    // xtask-allow: taint
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

@@ -1,0 +1,14 @@
+//@ file: crates/core/src/manifest.rs
+pub struct RunManifest {
+    pub threads: String,
+}
+
+pub fn build_manifest(threads: usize) -> RunManifest {
+    RunManifest {
+        threads: threads.to_string(),
+    }
+}
+//@ file: shims/rayon/src/lib.rs
+pub fn configured_threads() -> Option<String> {
+    std::env::var("CATAPULT_THREADS").ok()
+}

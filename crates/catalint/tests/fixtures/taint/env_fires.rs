@@ -1,0 +1,9 @@
+//@ file: crates/core/src/manifest.rs
+pub struct RunManifest {
+    pub threads: String,
+}
+
+pub fn build_manifest() -> RunManifest {
+    let threads = std::env::var("CATAPULT_THREADS").unwrap_or_default();
+    RunManifest { threads }
+}

@@ -1,0 +1,24 @@
+//@ file: crates/core/src/freq.rs
+use std::collections::HashMap;
+
+pub fn edge_frequencies(edges: &[u32]) -> Vec<(u32, usize)> {
+    let mut freq: HashMap<u32, usize> = HashMap::new();
+    for &e in edges {
+        *freq.entry(e).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (e, c) in freq.iter() {
+        out.push((*e, *c));
+    }
+    out
+}
+//@ file: crates/core/src/select.rs
+pub struct SelectionResult {
+    pub ranked: Vec<(u32, usize)>,
+}
+
+pub fn rank_edges(edges: &[u32]) -> SelectionResult {
+    SelectionResult {
+        ranked: edge_frequencies(edges),
+    }
+}

@@ -1,0 +1,13 @@
+//@ file: crates/core/src/select.rs
+pub struct SelectionResult {
+    pub patterns: Vec<u32>,
+    pub budget_ms: u64,
+}
+
+pub fn select_patterns(budget_ms: u64) -> SelectionResult {
+    let patterns = vec![budget_ms as u32];
+    SelectionResult {
+        patterns,
+        budget_ms,
+    }
+}

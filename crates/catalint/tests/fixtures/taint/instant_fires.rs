@@ -1,0 +1,14 @@
+//@ file: crates/core/src/select.rs
+pub struct SelectionResult {
+    pub patterns: Vec<u32>,
+    pub elapsed_ms: u64,
+}
+
+pub fn select_patterns(budget_ms: u64) -> SelectionResult {
+    let t0 = std::time::Instant::now();
+    let patterns = vec![budget_ms as u32];
+    SelectionResult {
+        patterns,
+        elapsed_ms: t0.elapsed().as_millis() as u64,
+    }
+}

@@ -1,0 +1,12 @@
+//@ file: crates/cluster/src/collect.rs
+use std::sync::Mutex;
+
+pub struct SelectionResult {
+    pub order: Vec<u32>,
+}
+
+pub fn drain_results(shared: &Mutex<Vec<u32>>) -> SelectionResult {
+    let mut guard = shared.lock().unwrap();
+    let order = std::mem::take(&mut *guard);
+    SelectionResult { order }
+}

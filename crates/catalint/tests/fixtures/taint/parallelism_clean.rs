@@ -1,0 +1,10 @@
+//@ file: crates/core/src/chunks.rs
+pub struct PipelineReport {
+    pub chunks: usize,
+}
+
+pub fn plan_chunks(items: usize, workers: usize) -> PipelineReport {
+    PipelineReport {
+        chunks: items / workers.max(1),
+    }
+}

@@ -1,0 +1,13 @@
+//@ file: crates/core/src/chunks.rs
+pub struct PipelineReport {
+    pub chunks: usize,
+}
+
+pub fn plan_chunks(items: usize) -> PipelineReport {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    PipelineReport {
+        chunks: items / workers,
+    }
+}

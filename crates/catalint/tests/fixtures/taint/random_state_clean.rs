@@ -1,0 +1,11 @@
+//@ file: crates/core/src/keyed.rs
+pub struct SelectionResult {
+    pub patterns: Vec<u32>,
+}
+
+pub fn keyed_patterns(xs: &[u32]) -> SelectionResult {
+    let set: std::collections::BTreeSet<u32> = xs.iter().copied().collect();
+    SelectionResult {
+        patterns: set.into_iter().collect(),
+    }
+}

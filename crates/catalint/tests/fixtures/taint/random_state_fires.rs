@@ -1,0 +1,16 @@
+//@ file: crates/core/src/keyed.rs
+pub struct SelectionResult {
+    pub patterns: Vec<u32>,
+}
+
+pub fn keyed_patterns(xs: &[u32]) -> SelectionResult {
+    let state = std::collections::hash_map::RandomState::new();
+    let mut patterns: Vec<u32> = xs.to_vec();
+    patterns.dedup_by_key(|x| {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = state.build_hasher();
+        h.write_u32(*x);
+        h.finish()
+    });
+    SelectionResult { patterns }
+}

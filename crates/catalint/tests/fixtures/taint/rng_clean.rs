@@ -1,0 +1,15 @@
+//@ file: crates/core/src/sample.rs
+pub struct SelectionResult {
+    pub picks: Vec<u32>,
+}
+
+fn pick_seed(run_seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(run_seed);
+    rng.next_u64()
+}
+
+pub fn sample_patterns(n: u32, run_seed: u64) -> SelectionResult {
+    let seed = pick_seed(run_seed);
+    let picks = (0..n).map(|i| i ^ (seed as u32)).collect();
+    SelectionResult { picks }
+}

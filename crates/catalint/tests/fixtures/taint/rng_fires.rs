@@ -1,0 +1,15 @@
+//@ file: crates/core/src/sample.rs
+pub struct SelectionResult {
+    pub picks: Vec<u32>,
+}
+
+fn pick_seed() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn sample_patterns(n: u32) -> SelectionResult {
+    let seed = pick_seed();
+    let picks = (0..n).map(|i| i ^ (seed as u32)).collect();
+    SelectionResult { picks }
+}

@@ -1,0 +1,24 @@
+//@ file: crates/core/src/histo.rs
+use std::collections::HashMap;
+
+pub fn label_counts(labels: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (l, c) in counts.iter() {
+        out.push((*l, *c));
+    }
+    out
+}
+//@ file: crates/core/src/report.rs
+pub struct PipelineReport {
+    pub counts: Vec<(u32, usize)>,
+}
+
+pub fn summarize(labels: &[u32]) -> PipelineReport {
+    let mut counts = label_counts(labels);
+    counts.sort_unstable();
+    PipelineReport { counts }
+}

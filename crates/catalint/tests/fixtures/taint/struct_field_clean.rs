@@ -1,0 +1,20 @@
+//@ file: crates/core/src/bundle.rs
+pub struct SelectionResult {
+    pub patterns: Vec<u32>,
+}
+
+pub struct Bundle {
+    pub sel: SelectionResult,
+    pub note: String,
+}
+//@ file: crates/core/src/deep.rs
+pub fn build_note(run_seed: u64) -> String {
+    format!("run seed {run_seed}")
+}
+//@ file: crates/core/src/pipeline.rs
+pub fn bundle_up(patterns: Vec<u32>, run_seed: u64) -> Bundle {
+    Bundle {
+        sel: SelectionResult { patterns },
+        note: build_note(run_seed),
+    }
+}

@@ -1,0 +1,27 @@
+//@ file: crates/core/src/bundle.rs
+pub struct SelectionResult {
+    pub patterns: Vec<u32>,
+}
+
+pub struct Bundle {
+    pub sel: SelectionResult,
+    pub note: String,
+}
+//@ file: crates/core/src/deep.rs
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn build_note() -> String {
+    format!("run at {}", stamp())
+}
+//@ file: crates/core/src/pipeline.rs
+pub fn bundle_up(patterns: Vec<u32>) -> Bundle {
+    Bundle {
+        sel: SelectionResult { patterns },
+        note: build_note(),
+    }
+}

@@ -1,0 +1,8 @@
+//@ file: crates/ckpt/src/wire.rs
+pub fn encode_state(out: &mut Vec<u8>, salt: u8) {
+    out.push(salt);
+}
+
+pub fn decode_state(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}

@@ -1,0 +1,10 @@
+//@ file: crates/ckpt/src/wire.rs
+fn seed_salt() -> u8 {
+    let t = std::time::Instant::now();
+    (t.elapsed().subsec_nanos() & 0xff) as u8
+}
+
+pub fn encode_state(out: &mut Vec<u8>) {
+    let salt = seed_salt();
+    out.push(salt);
+}

@@ -1,0 +1,220 @@
+//! Generator-based property tests for the lexer.
+//!
+//! A hand-rolled xorshift PRNG (fixed seeds — runs are reproducible by
+//! construction) builds randomized sources around the lexer's hardest
+//! ambiguities: raw strings at arbitrary hash depth whose bodies embed
+//! shallower `"#…` sequences, arbitrarily nested block comments,
+//! lifetime-vs-char-literal splits, and the float/range family
+//! (`1.` / `1..2` / `1.0e3` / `1.max(2)`). Every generated source must
+//! re-tile byte-identically: the token spans cover the input with no
+//! gaps or overlaps, and concatenating the token texts reproduces the
+//! input exactly. Lexing is also checked to be a pure function of the
+//! bytes (two lexes agree token-for-token).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use catalint::lexer::{lex, TokenKind};
+
+/// xorshift64 — deterministic, dependency-free randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish draw in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The tiling invariant: gapless, full-coverage, byte-identical rebuild.
+fn assert_tiles(src: &str, what: &str) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    let mut rebuilt = String::new();
+    for t in &tokens {
+        assert_eq!(
+            t.start, pos,
+            "gap or overlap at byte {pos} (token {:?}) in {what}: {src:?}",
+            t.kind
+        );
+        rebuilt.push_str(t.text(src));
+        pos = t.end;
+    }
+    assert_eq!(
+        pos,
+        src.len(),
+        "token coverage ends early in {what}: {src:?}"
+    );
+    assert_eq!(rebuilt, src, "round-trip mismatch in {what}");
+
+    let again = lex(src);
+    assert_eq!(tokens.len(), again.len(), "lexing is not deterministic");
+    for (a, b) in tokens.iter().zip(again.iter()) {
+        assert!(
+            a.kind == b.kind && a.start == b.start && a.end == b.end,
+            "token mismatch between identical lexes in {what}"
+        );
+    }
+}
+
+/// A raw string at hash depth `depth` whose body embeds `"#…` runs of
+/// every strictly shallower depth — the closer must only match at the
+/// full depth.
+fn gen_raw_string(rng: &mut Rng, depth: usize) -> String {
+    let hashes = "#".repeat(depth);
+    let mut body = String::from("raw ");
+    for inner in 0..depth {
+        body.push('"');
+        body.push_str(&"#".repeat(inner));
+        body.push(' ');
+    }
+    if rng.below(2) == 0 {
+        body.push_str("trailing \\ backslash is literal");
+    }
+    format!("r{hashes}\"{body}\"{hashes}")
+}
+
+/// A block comment nested `depth` levels, with line-comment decoys inside.
+fn gen_nested_comment(rng: &mut Rng, depth: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..depth {
+        s.push_str("/* level ");
+    }
+    if rng.below(2) == 0 {
+        s.push_str("// not a line comment here ");
+    }
+    for _ in 0..depth {
+        s.push_str(" */");
+    }
+    s
+}
+
+/// Lifetime-vs-char ambiguities.
+fn gen_lifetime_or_char(rng: &mut Rng) -> String {
+    let cases = [
+        "&'a str",
+        "'x'",
+        "'\\''",
+        "'\\n'",
+        "b'q'",
+        "<'long_lifetime>",
+        "'_",
+        "x: &'static str",
+    ];
+    cases[rng.below(cases.len())].to_string()
+}
+
+/// Float/range ambiguities.
+fn gen_float_or_range(rng: &mut Rng) -> String {
+    let a = rng.below(100);
+    let b = rng.below(100);
+    match rng.below(6) {
+        0 => format!("{a}."),
+        1 => format!("{a}..{b}"),
+        2 => format!("{a}..={b}"),
+        3 => format!("{a}.{b}e{}", rng.below(9)),
+        4 => format!("{a}.max({b})"),
+        _ => format!("{a}.0f64"),
+    }
+}
+
+fn gen_snippet(rng: &mut Rng) -> String {
+    match rng.below(6) {
+        0 => {
+            let depth = rng.below(7);
+            gen_raw_string(rng, depth)
+        }
+        1 => {
+            let depth = 1 + rng.below(5);
+            gen_nested_comment(rng, depth)
+        }
+        2 => gen_lifetime_or_char(rng),
+        3 => gen_float_or_range(rng),
+        4 => format!("ident_{}", rng.below(1000)),
+        _ => "let x = \"str with \\\" escape\";".to_string(),
+    }
+}
+
+#[test]
+fn random_token_soup_retiles_byte_identically() {
+    let mut rng = Rng::new(0x5eed_cafe_f00d_0001);
+    for case in 0..300 {
+        let mut src = String::new();
+        for _ in 0..(1 + rng.below(20)) {
+            src.push_str(&gen_snippet(&mut rng));
+            src.push_str([" ", "\n", "\t", ""][rng.below(4)]);
+        }
+        assert_tiles(&src, &format!("soup case {case}"));
+    }
+}
+
+#[test]
+fn raw_strings_lex_as_one_token_at_every_depth() {
+    let mut rng = Rng::new(0x5eed_cafe_f00d_0002);
+    for depth in 0..8 {
+        for rep in 0..10 {
+            let raw = gen_raw_string(&mut rng, depth);
+            let src = format!("let s = {raw} ;");
+            assert_tiles(&src, &format!("raw depth {depth} rep {rep}"));
+            let tokens = lex(&src);
+            let strs: Vec<_> = tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::StrLit)
+                .collect();
+            assert_eq!(
+                strs.len(),
+                1,
+                "raw string at depth {depth} must be one StrLit: {src:?}"
+            );
+            assert_eq!(strs[0].text(&src), raw, "span covers the whole literal");
+        }
+    }
+}
+
+#[test]
+fn nested_comments_lex_as_one_token_at_every_depth() {
+    let mut rng = Rng::new(0x5eed_cafe_f00d_0003);
+    for depth in 1..8 {
+        let comment = gen_nested_comment(&mut rng, depth);
+        let src = format!("before {comment} after");
+        assert_tiles(&src, &format!("comment depth {depth}"));
+        let tokens = lex(&src);
+        let blocks: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::BlockComment)
+            .collect();
+        assert_eq!(
+            blocks.len(),
+            1,
+            "nesting depth {depth} must close into one token: {src:?}"
+        );
+        assert_eq!(blocks[0].text(&src), comment);
+    }
+}
+
+#[test]
+fn truncated_generations_still_tile() {
+    // Chop every generated snippet at a random byte (on a char
+    // boundary): unterminated raw strings, comments, and char literals
+    // must still tile to the end of input.
+    let mut rng = Rng::new(0x5eed_cafe_f00d_0004);
+    for case in 0..200 {
+        let full = gen_snippet(&mut rng);
+        let mut cut = rng.below(full.len() + 1);
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        assert_tiles(&full[..cut], &format!("truncated case {case}"));
+    }
+}

@@ -62,8 +62,9 @@ fn every_fixture_round_trips() {
         }
     }
     assert_eq!(
-        n, 36,
-        "14 file rules x (fires + clean) + 4 xrules x (fires + clean)"
+        n, 58,
+        "14 file rules x (fires + clean) + 4 xrules x (fires + clean) \
+         + 11 taint pairs"
     );
 }
 

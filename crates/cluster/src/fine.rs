@@ -188,6 +188,7 @@ impl SimCache {
     fn lock(&self) -> MutexGuard<'_, BTreeMap<(u32, u32), (f64, Completeness)>> {
         // A poisoned lock only means some worker panicked after a plain
         // insert/read; the map itself is always in a consistent state.
+        // xtask-allow: taint -- keyed BTreeMap cache: inserts commute and snapshots read it sorted
         self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

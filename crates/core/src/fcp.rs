@@ -44,7 +44,7 @@ pub fn generate_fcp(
     let first = *freq
         // max_by_key over a total (count, Reverse(edge id)) key has a
         // unique winner for any visit order.
-        // xtask-allow: hash-iter-order
+        // xtask-allow: hash-iter-order, taint -- argmax over a total (count, Reverse(id)) key; unique winner for any visit order
         .iter()
         .max_by_key(|&(e, &c)| (c, std::cmp::Reverse(e.0)))
         .map(|(e, _)| e)?;
@@ -64,7 +64,7 @@ pub fn generate_fcp(
         let next = freq
             // Same total (count, Reverse(id)) key as above: the argmax
             // is unique, so visit order cannot leak.
-            // xtask-allow: hash-iter-order
+            // xtask-allow: hash-iter-order, taint -- argmax over a total (count, Reverse(id)) key; unique winner for any visit order
             .iter()
             .filter(|&(&eid, _)| {
                 if in_pattern[eid.index()] {

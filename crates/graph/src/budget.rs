@@ -135,6 +135,7 @@ impl Deadline {
 
     /// Whether the deadline has passed.
     pub fn expired(self) -> bool {
+        // xtask-allow: taint -- deadline checks gate interruption only; an interrupted run checkpoints and resumes, it never silently diverges
         catapult_obs::now() >= self.at
     }
 
@@ -411,6 +412,7 @@ impl BudgetMeter {
             }
         }
         if let Some(d) = self.deadline {
+            // xtask-allow: taint -- deadline trip gates interruption only and is recorded as Completeness::DeadlineExceeded, never silent
             if catapult_obs::now() >= d {
                 self.status = Completeness::DeadlineExceeded;
                 return true;
@@ -665,6 +667,7 @@ pub mod fault {
     fn plan_slot() -> std::sync::MutexGuard<'static, Option<FaultPlan>> {
         // A poisoned lock only means another test panicked; the plan value
         // itself is always valid.
+        // xtask-allow: taint -- whole-value fault-plan slot: install/clear replace it atomically, no order-sensitive accumulation
         PLAN.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -703,7 +706,7 @@ pub mod fault {
             FaultKind::Deadline => {
                 // Test-only fault injection wants "already expired", not a
                 // measured duration; the monotonic source is irrelevant.
-                meter.deadline = Some(Instant::now()); // xtask-allow: raw-instant
+                meter.deadline = Some(Instant::now()); // xtask-allow: raw-instant, taint -- test-only fault rig wants an already-expired deadline; the value is never observed
                 meter.check_every = 1;
             }
             FaultKind::Cancel => {

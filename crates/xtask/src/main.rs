@@ -66,7 +66,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: cargo xtask lint [--json PATH] [--rule NAME[,NAME]...]... \
-[--callgraph PATH] [--callgraph-dot PATH] [--update-baseline]
+[--callgraph PATH] [--callgraph-dot PATH] [--taint-graph PATH] [--taint-graph-dot PATH] \
+[--timing] [--time-budget-ms N] [--update-baseline]
        cargo xtask bench-diff [--tolerance PCT] [--allow-cross-host] \
 [--deterministic-only] OLD.json NEW.json";
 
@@ -155,6 +156,15 @@ struct LintOpts {
     callgraph: Option<PathBuf>,
     /// Write the workspace call graph as Graphviz DOT here.
     callgraph_dot: Option<PathBuf>,
+    /// Write the nondeterminism taint graph as JSON here.
+    taint_graph: Option<PathBuf>,
+    /// Write the nondeterminism taint graph as Graphviz DOT here.
+    taint_graph_dot: Option<PathBuf>,
+    /// Print a per-rule wall-clock breakdown after the report.
+    timing: bool,
+    /// Fail (exit 1) when the timed rules exceed this budget. Implies
+    /// `--timing`.
+    time_budget_ms: Option<u64>,
     /// Regenerate the baseline from current findings instead of checking.
     update_baseline: bool,
 }
@@ -188,6 +198,24 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
                     .ok_or("--callgraph-dot requires a PATH argument")?;
                 opts.callgraph_dot = Some(PathBuf::from(path));
             }
+            "--taint-graph" => {
+                let path = it.next().ok_or("--taint-graph requires a PATH argument")?;
+                opts.taint_graph = Some(PathBuf::from(path));
+            }
+            "--taint-graph-dot" => {
+                let path = it
+                    .next()
+                    .ok_or("--taint-graph-dot requires a PATH argument")?;
+                opts.taint_graph_dot = Some(PathBuf::from(path));
+            }
+            "--timing" => opts.timing = true,
+            "--time-budget-ms" => {
+                let ms = it.next().ok_or("--time-budget-ms requires a number")?;
+                opts.time_budget_ms = Some(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("--time-budget-ms got a bad number `{ms}`"))?,
+                );
+            }
             "--update-baseline" => opts.update_baseline = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -211,7 +239,8 @@ fn lint(opts: &LintOpts) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let analysis = match catalint::analyze(&root, &enabled) {
+    let timing = opts.timing || opts.time_budget_ms.is_some();
+    let analysis = match catalint::analyze_timed(&root, &enabled, timing) {
         Ok(a) => a,
         Err(err) => {
             eprintln!("xtask lint: scan failed: {err}");
@@ -221,6 +250,7 @@ fn lint(opts: &LintOpts) -> ExitCode {
     let catalint::Analysis {
         mut report,
         workspace,
+        timings,
     } = analysis;
 
     if let Some(path) = &opts.callgraph {
@@ -236,9 +266,32 @@ fn lint(opts: &LintOpts) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if opts.taint_graph.is_some() || opts.taint_graph_dot.is_some() {
+        let graph = catalint::taint::TaintGraph::compute(&workspace);
+        if let Some(path) = &opts.taint_graph {
+            let text = graph.to_json(&workspace).render();
+            if let Err(err) = std::fs::write(path, text + "\n") {
+                eprintln!("xtask lint: cannot write {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Some(path) = &opts.taint_graph_dot {
+            if let Err(err) = std::fs::write(path, graph.to_dot(&workspace)) {
+                eprintln!("xtask lint: cannot write {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     let baseline_path = root.join(BASELINE_FILE);
     if opts.update_baseline {
+        // A missing or unreadable previous ledger (including schema-v1
+        // files mid-migration) diffs against empty: everything current
+        // reads as added, which is exactly what the rewrite does.
+        let old = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|text| Baseline::parse(&text).ok())
+            .unwrap_or_default();
         let baseline = Baseline::from_report(&report);
         let text = baseline.to_json().render();
         if let Err(err) = std::fs::write(&baseline_path, text + "\n") {
@@ -249,10 +302,11 @@ fn lint(opts: &LintOpts) -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "xtask lint: wrote {} ({} grandfathered entr{})",
+            "xtask lint: wrote {} ({} grandfathered entr{}; {})",
             baseline_path.display(),
             baseline.len(),
-            if baseline.len() == 1 { "y" } else { "ies" }
+            if baseline.len() == 1 { "y" } else { "ies" },
+            Baseline::diff(&old, &baseline).summary(),
         );
         return ExitCode::SUCCESS;
     }
@@ -281,11 +335,35 @@ fn lint(opts: &LintOpts) -> ExitCode {
     }
 
     let rendered = report.render_human();
-    if report.active().next().is_some() {
+    let failing = report.active().next().is_some();
+    if failing {
         eprint!("{rendered}");
-        ExitCode::FAILURE
     } else {
         print!("{rendered}");
+    }
+
+    let mut over_budget = false;
+    if timing {
+        let total: std::time::Duration = timings.iter().map(|(_, d)| *d).sum();
+        println!("catalint timing ({} timed rule(s)):", timings.len());
+        for (rule, dur) in &timings {
+            println!("    {:<24} {:>9.3}ms", rule, dur.as_secs_f64() * 1e3);
+        }
+        println!("    {:<24} {:>9.3}ms", "total", total.as_secs_f64() * 1e3);
+        if let Some(budget) = opts.time_budget_ms {
+            let total_ms = total.as_millis();
+            if total_ms > u128::from(budget) {
+                eprintln!("xtask lint: time budget exceeded: {total_ms}ms > {budget}ms");
+                over_budget = true;
+            } else {
+                println!("xtask lint: within time budget ({total_ms}ms <= {budget}ms)");
+            }
+        }
+    }
+
+    if failing || over_budget {
+        ExitCode::FAILURE
+    } else {
         ExitCode::SUCCESS
     }
 }
@@ -368,7 +446,34 @@ mod tests {
         assert!(parse_lint_args(&s(&["--rule"])).is_err());
         assert!(parse_lint_args(&s(&["--callgraph"])).is_err());
         assert!(parse_lint_args(&s(&["--callgraph-dot"])).is_err());
+        assert!(parse_lint_args(&s(&["--taint-graph"])).is_err());
+        assert!(parse_lint_args(&s(&["--taint-graph-dot"])).is_err());
+        assert!(parse_lint_args(&s(&["--time-budget-ms"])).is_err());
+        assert!(parse_lint_args(&s(&["--time-budget-ms", "lots"])).is_err());
+        assert!(parse_lint_args(&s(&["--time-budget-ms", "-5"])).is_err());
         assert!(parse_lint_args(&s(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn taint_and_timing_flags_parse() {
+        let opts = parse_lint_args(&s(&[
+            "--taint-graph",
+            "tg.json",
+            "--taint-graph-dot",
+            "tg.dot",
+            "--timing",
+            "--time-budget-ms",
+            "60000",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.taint_graph.as_deref(), Some(Path::new("tg.json")));
+        assert_eq!(opts.taint_graph_dot.as_deref(), Some(Path::new("tg.dot")));
+        assert!(opts.timing);
+        assert_eq!(opts.time_budget_ms, Some(60_000));
+
+        let bare = parse_lint_args(&[]).expect("parses");
+        assert!(!bare.timing);
+        assert_eq!(bare.time_budget_ms, None);
     }
 
     #[test]
